@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+rendered report (the same rows/series the paper plots) is written to
+``benchmarks/reports/<name>.txt`` so it survives pytest's output capturing,
+and the pytest-benchmark timings measure how long the reproduction takes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    """Directory the rendered figure/table reports are written to."""
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture
+def save_report(report_dir: Path) -> Callable[[str, str], Path]:
+    """Write a rendered report to ``benchmarks/reports/<name>.txt``."""
+
+    def _save(name: str, content: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(content + "\n", encoding="utf-8")
+        return path
+
+    return _save

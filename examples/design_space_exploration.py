@@ -1,0 +1,113 @@
+"""Design-space exploration of the in-memory accelerator.
+
+The paper fixes the PIM configuration to 16 PEs per vault at 312.5 MHz; this
+example uses the same models to explore the neighbourhood of that design
+point for a chosen benchmark:
+
+* how the routing speedup scales with PE frequency (and when the chosen
+  distribution dimension flips, cf. Fig. 18),
+* how many PEs per vault are worth integrating,
+* whether each configuration still fits the HMC's thermal budget
+  (Sec. 6.5).
+
+Run with::
+
+    python examples/design_space_exploration.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DesignPoint, PIMCapsNet
+from repro.analysis.tables import format_table
+from repro.hmc.config import HMCConfig
+from repro.hmc.thermal import ThermalModel
+from repro.workloads.benchmarks import benchmark_names
+
+
+def sweep_frequency(benchmark: str, frequencies=(312.5, 625.0, 937.5, 1250.0)) -> None:
+    rows = []
+    for frequency in frequencies:
+        hmc = HMCConfig().with_pe_frequency(frequency)
+        accelerator = PIMCapsNet(benchmark, hmc_config=hmc)
+        baseline = accelerator.simulate_routing(DesignPoint.BASELINE_GPU)
+        pim = accelerator.simulate_routing(DesignPoint.PIM_CAPSNET)
+        thermal = ThermalModel(config=hmc).check(frequency)
+        rows.append(
+            [
+                frequency,
+                pim.dimension.value if pim.dimension else "-",
+                pim.time_seconds * 1e3,
+                pim.speedup_over(baseline),
+                thermal.logic_power_watts,
+                "yes" if thermal.within_budget else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["PE freq (MHz)", "dimension", "RP time (ms)", "speedup", "logic power (W)", "thermal ok"],
+            rows,
+            title="PE frequency sweep (cf. Fig. 18)",
+        )
+    )
+
+
+def sweep_pe_count(benchmark: str, pe_counts=(4, 8, 16, 32)) -> None:
+    rows = []
+    for pes in pe_counts:
+        hmc = HMCConfig().with_pes_per_vault(pes)
+        accelerator = PIMCapsNet(benchmark, hmc_config=hmc)
+        baseline = accelerator.simulate_routing(DesignPoint.BASELINE_GPU)
+        pim = accelerator.simulate_routing(DesignPoint.PIM_CAPSNET)
+        thermal = ThermalModel(config=hmc).check()
+        rows.append(
+            [
+                pes,
+                pim.time_seconds * 1e3,
+                pim.speedup_over(baseline),
+                thermal.logic_power_watts,
+                "yes" if thermal.within_budget else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["PEs / vault", "RP time (ms)", "speedup", "logic power (W)", "thermal ok"],
+            rows,
+            title="PEs-per-vault sweep (ablation of the intra-vault design)",
+        )
+    )
+
+
+def sweep_pipeline_depth(benchmark: str, depths=(1, 2, 4, 8, 16, 32)) -> None:
+    from repro.core.pipeline import PipelineModel
+
+    rows = []
+    for depth in depths:
+        accelerator = PIMCapsNet(benchmark, pipeline=PipelineModel(num_batches=depth))
+        baseline = accelerator.simulate_end_to_end(DesignPoint.BASELINE_GPU)
+        pim = accelerator.simulate_end_to_end(DesignPoint.PIM_CAPSNET)
+        rows.append([depth, pim.speedup_over(baseline), pim.energy_saving_over(baseline)])
+    print(
+        format_table(
+            ["batch groups", "overall speedup", "energy saving"],
+            rows,
+            title="Pipeline depth sweep (host/HMC overlap, Sec. 4)",
+        )
+    )
+
+
+def main(benchmark: str = "Caps-MN1") -> None:
+    print(f"== Design-space exploration for {benchmark} ==\n")
+    sweep_frequency(benchmark)
+    print()
+    sweep_pe_count(benchmark)
+    print()
+    sweep_pipeline_depth(benchmark)
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "Caps-MN1"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; choose one of {benchmark_names()}")
+    main(name)

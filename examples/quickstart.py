@@ -1,0 +1,100 @@
+"""Quickstart: evaluate PIM-CapsNet on one Table-1 benchmark.
+
+Builds the hybrid GPU + HMC accelerator model for Caps-MN1 (the CapsNet-MNIST
+configuration with batch size 100), shows how the inter-vault distributor
+picks a parallelization dimension, and reports the routing-procedure and
+end-to-end speedups / energy savings over the GPU baseline -- the numbers
+behind Figs. 15 and 17 of the paper.
+
+Run with::
+
+    python examples/quickstart.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DesignPoint, PIMCapsNet
+from repro.analysis.tables import format_table
+from repro.workloads.benchmarks import benchmark_names
+from repro.workloads.parallelism import Dimension
+
+
+def main(benchmark: str = "Caps-MN1") -> None:
+    accelerator = PIMCapsNet(benchmark)
+    print(f"== PIM-CapsNet quickstart: {accelerator.benchmark.describe()} ==\n")
+
+    # ---- how the inter-vault distributor decides -----------------------------
+    distributor = accelerator.distributor
+    rows = []
+    for dimension in Dimension:
+        plan = distributor.plan_for_dimension(dimension)
+        rows.append(
+            [
+                dimension.value,
+                plan.per_vault_operations.total_operations / 1e6,
+                plan.crossbar_payload_bytes / 1e6,
+                plan.crossbar_packets / 1e3,
+                plan.vaults_used,
+                distributor.score_model.estimated_time(plan) * 1e3,
+            ]
+        )
+    print(
+        format_table(
+            ["Dimension", "per-vault Mops", "inter-vault MB", "packets (k)", "vaults", "est. time (ms)"],
+            rows,
+            title="Inter-vault distribution candidates (execution-score inputs)",
+        )
+    )
+    print(f"Selected dimension: {distributor.best_dimension().value}\n")
+
+    # ---- routing procedure (Fig. 15) -----------------------------------------
+    routing = accelerator.compare_routing()
+    baseline = routing[DesignPoint.BASELINE_GPU]
+    rows = [
+        [
+            design.value,
+            result.time_seconds * 1e3,
+            result.speedup_over(baseline),
+            result.energy_joules,
+            1.0 - result.energy_saving_over(baseline),
+        ]
+        for design, result in routing.items()
+    ]
+    print(
+        format_table(
+            ["Design", "RP time (ms)", "speedup", "energy (J)", "energy (norm.)"],
+            rows,
+            title="Routing procedure (Fig. 15 / Fig. 16 design points)",
+        )
+    )
+
+    # ---- end to end (Fig. 17) --------------------------------------------------
+    end_to_end = accelerator.compare_end_to_end()
+    baseline_e2e = end_to_end[DesignPoint.BASELINE_GPU]
+    rows = [
+        [
+            design.value,
+            result.time_seconds * 1e3,
+            result.speedup_over(baseline_e2e),
+            result.energy_joules,
+            result.energy_saving_over(baseline_e2e),
+        ]
+        for design, result in end_to_end.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Design", "total time (ms)", "speedup", "energy (J)", "energy saving"],
+            rows,
+            title=f"End-to-end inference, {accelerator.pipeline.num_batches} pipelined batch groups (Fig. 17)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "Caps-MN1"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; choose one of {benchmark_names()}")
+    main(name)

@@ -1,0 +1,33 @@
+"""PIM-CapsNet reproduction library.
+
+A from-scratch Python reproduction of *"Enabling Highly Efficient Capsule
+Networks Processing Through A PIM-Based Architecture Design"* (HPCA 2020):
+
+* :mod:`repro.capsnet`    -- functional CapsNet model (numpy) with dynamic /
+  EM routing, training and synthetic datasets.
+* :mod:`repro.arithmetic` -- the PE's bit-level approximate arithmetic and
+  accuracy recovery.
+* :mod:`repro.workloads`  -- analytic op / traffic models of the Table-1
+  benchmarks.
+* :mod:`repro.gpu`        -- GPU timing & energy model (baseline / host).
+* :mod:`repro.hmc`        -- Hybrid Memory Cube simulator (vaults, banks,
+  crossbar, PEs, power, thermal).
+* :mod:`repro.core`       -- the PIM-CapsNet accelerator: inter-/intra-vault
+  workload distribution, RMAS, pipelining and design-point comparisons.
+* :mod:`repro.experiments`-- drivers reproducing every evaluation figure and
+  table of the paper.
+"""
+
+from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.workloads.benchmarks import BENCHMARKS, BenchmarkConfig, get_benchmark
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DesignPoint",
+    "PIMCapsNet",
+    "BENCHMARKS",
+    "BenchmarkConfig",
+    "get_benchmark",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Analysis helpers: metrics and plain-text table formatting for experiments."""
+
+from repro.analysis.metrics import (
+    energy_saving,
+    geometric_mean,
+    normalize,
+    percentage,
+    speedup,
+)
+from repro.analysis.tables import format_table, transpose_rows
+
+__all__ = [
+    "energy_saving",
+    "geometric_mean",
+    "normalize",
+    "percentage",
+    "speedup",
+    "format_table",
+    "transpose_rows",
+]

@@ -1,0 +1,52 @@
+"""Small metric helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """Speedup of ``improved_time`` relative to ``baseline_time`` (>1 is faster)."""
+    if improved_time <= 0:
+        return float("inf")
+    if baseline_time < 0:
+        raise ValueError("baseline_time must be non-negative")
+    return baseline_time / improved_time
+
+
+def energy_saving(baseline_energy: float, improved_energy: float) -> float:
+    """Fractional energy saving (1 - improved / baseline)."""
+    if baseline_energy <= 0:
+        raise ValueError("baseline_energy must be positive")
+    return 1.0 - improved_energy / baseline_energy
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Normalize ``values`` to ``reference``."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return [value / reference for value in values]
+
+
+def percentage(fraction: float) -> str:
+    """Render a fraction as a percentage string with two decimals."""
+    return f"{100.0 * fraction:.2f}%"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional average for speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain arithmetic mean."""
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of an empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,49 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment drivers print the same rows/series the paper's tables and
+figures report; this module renders them as aligned monospace tables so the
+benchmark harness output is readable in a terminal and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def transpose_rows(rows: Sequence[Sequence[object]]) -> List[List[object]]:
+    """Transpose a rectangular list of rows (utility for series-major figures)."""
+    if not rows:
+        return []
+    length = len(rows[0])
+    if any(len(row) != length for row in rows):
+        raise ValueError("rows must be rectangular")
+    return [[row[i] for row in rows] for i in range(length)]

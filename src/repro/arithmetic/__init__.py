@@ -1,0 +1,57 @@
+"""Approximate arithmetic used by the PIM-CapsNet processing elements.
+
+The HMC logic-layer PEs proposed by the paper (Sec. 5.2.2) only contain
+adders, multipliers, bit shifters and multiplexers.  The "special" functions
+required by the routing procedure -- division, inverse square root and the
+exponential function -- are therefore evaluated through bit-level
+approximations on the IEEE-754 single precision format, optionally followed
+by an *accuracy recovery* multiplier calibrated offline.
+
+This package implements those approximations faithfully at the bit level so
+that the functional CapsNet model (:mod:`repro.capsnet`) can be evaluated
+with exactly the arithmetic a PIM-CapsNet deployment would use, which is how
+Table 5 of the paper (accuracy with/without recovery) is reproduced.
+"""
+
+from repro.arithmetic.fp32 import (
+    FP32_BIAS,
+    FP32_EXPONENT_BITS,
+    FP32_FRACTION_BITS,
+    FloatFields,
+    bits_to_float,
+    compose,
+    decompose,
+    float_to_bits,
+)
+from repro.arithmetic.approx import (
+    approx_div,
+    approx_exp,
+    approx_inv_sqrt,
+    approx_reciprocal,
+    exact_exp,
+    exact_inv_sqrt,
+    exact_reciprocal,
+)
+from repro.arithmetic.recovery import AccuracyRecovery, calibrate_exp_recovery
+from repro.arithmetic.context import MathContext
+
+__all__ = [
+    "FP32_BIAS",
+    "FP32_EXPONENT_BITS",
+    "FP32_FRACTION_BITS",
+    "FloatFields",
+    "bits_to_float",
+    "compose",
+    "decompose",
+    "float_to_bits",
+    "approx_div",
+    "approx_exp",
+    "approx_inv_sqrt",
+    "approx_reciprocal",
+    "exact_exp",
+    "exact_inv_sqrt",
+    "exact_reciprocal",
+    "AccuracyRecovery",
+    "calibrate_exp_recovery",
+    "MathContext",
+]

@@ -1,0 +1,131 @@
+"""Math context abstracting exact vs. PE-approximate arithmetic.
+
+The functional CapsNet model evaluates the routing procedure through a
+:class:`MathContext`.  Three contexts matter for the paper's experiments:
+
+* ``MathContext.exact()``            -- FP32 reference arithmetic (the GPU baseline).
+* ``MathContext.approximate()``      -- the PE approximations *without* accuracy
+  recovery (Table 5, middle rows).
+* ``MathContext.approximate_with_recovery()`` -- the PE approximations *with*
+  the calibrated recovery multiplier (Table 5, bottom rows).
+
+Keeping this a small strategy object keeps the layer / routing code free of
+any knowledge about which hardware it is being evaluated for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.arithmetic import approx
+from repro.arithmetic.recovery import AccuracyRecovery, calibrate_exp_recovery
+
+
+@dataclass(frozen=True)
+class MathContext:
+    """Bundle of the special-function implementations used by routing.
+
+    Attributes:
+        use_approximations: when False all functions fall back to exact FP32.
+        newton_steps: Newton refinement steps used by the reciprocal and
+            inverse-square-root datapaths.
+        exp_recovery: optional accuracy-recovery correction for the
+            exponential approximation.
+        name: human readable label used in reports.
+    """
+
+    use_approximations: bool = False
+    newton_steps: int = 1
+    exp_recovery: Optional[AccuracyRecovery] = None
+    name: str = "exact"
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def exact() -> "MathContext":
+        """FP32 reference arithmetic (GPU baseline)."""
+        return MathContext(use_approximations=False, name="exact")
+
+    @staticmethod
+    def approximate(newton_steps: int = 1) -> "MathContext":
+        """PE approximations without accuracy recovery."""
+        return MathContext(
+            use_approximations=True,
+            newton_steps=newton_steps,
+            exp_recovery=None,
+            name="approx",
+        )
+
+    @staticmethod
+    def approximate_with_recovery(
+        newton_steps: int = 1,
+        calibration_samples: int = 10_000,
+        seed: int = 2020,
+    ) -> "MathContext":
+        """PE approximations with the offline-calibrated recovery multiplier."""
+        recovery = calibrate_exp_recovery(num_samples=calibration_samples, seed=seed)
+        return MathContext(
+            use_approximations=True,
+            newton_steps=newton_steps,
+            exp_recovery=recovery,
+            name="approx+recovery",
+        )
+
+    # -- special functions ---------------------------------------------------
+
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        """Exponential function (Eq. 5 softmax numerator)."""
+        if not self.use_approximations:
+            return approx.exact_exp(x)
+        result = approx.approx_exp(x)
+        if self.exp_recovery is not None:
+            result = self.exp_recovery.apply(result)
+        return result
+
+    def reciprocal(self, x: np.ndarray) -> np.ndarray:
+        """Reciprocal ``1/x``."""
+        if not self.use_approximations:
+            return approx.exact_reciprocal(x)
+        return approx.approx_reciprocal(x, newton_steps=self.newton_steps)
+
+    def divide(self, numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+        """Division ``numerator / denominator``."""
+        if not self.use_approximations:
+            return (
+                np.asarray(numerator, dtype=np.float32)
+                / np.asarray(denominator, dtype=np.float32)
+            ).astype(np.float32)
+        return approx.approx_div(numerator, denominator, newton_steps=self.newton_steps)
+
+    def inv_sqrt(self, x: np.ndarray) -> np.ndarray:
+        """Inverse square root ``1/sqrt(x)``."""
+        if not self.use_approximations:
+            return approx.exact_inv_sqrt(x)
+        return approx.approx_inv_sqrt(x, newton_steps=self.newton_steps)
+
+    # -- composite routing functions -----------------------------------------
+
+    def softmax(self, logits: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Numerically stable softmax along ``axis`` (Eq. 5)."""
+        logits = np.asarray(logits, dtype=np.float32)
+        shifted = logits - np.max(logits, axis=axis, keepdims=True)
+        exp = self.exp(shifted)
+        total = np.sum(exp, axis=axis, keepdims=True, dtype=np.float32)
+        return (exp * self.reciprocal(total)).astype(np.float32)
+
+    def squash(self, vectors: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Squash non-linearity (Eq. 3) along ``axis``."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        norm_sq = np.sum(vectors * vectors, axis=axis, keepdims=True, dtype=np.float32)
+        norm_sq = np.maximum(norm_sq, np.float32(1e-12))
+        inv_norm = self.inv_sqrt(norm_sq)
+        scale = norm_sq * self.reciprocal(np.float32(1.0) + norm_sq)
+        return (vectors * scale * inv_norm).astype(np.float32)
+
+
+#: Convenience module-level instances.
+EXACT = MathContext.exact()
+APPROXIMATE = MathContext.approximate()

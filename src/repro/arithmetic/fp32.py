@@ -1,0 +1,141 @@
+"""IEEE-754 single precision (FP32) bit-level utilities.
+
+The PIM-CapsNet PE approximations (Sec. 5.2.2, Fig. 12 of the paper) operate
+directly on the sign / exponent / fraction fields of FP32 numbers: the
+exponential function is evaluated by *constructing* a floating point bit
+pattern whose exponent and fraction fields are filled by shifted versions of
+an intermediate fixed point value, and the inverse square root / reciprocal
+approximations manipulate the exponent field through integer arithmetic.
+
+Everything in this module is vectorized over numpy arrays and is careful to
+use explicit 32-bit types so the bit patterns match what a hardware
+implementation would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of bits in the FP32 exponent field.
+FP32_EXPONENT_BITS = 8
+#: Number of bits in the FP32 fraction (mantissa) field.
+FP32_FRACTION_BITS = 23
+#: Exponent bias of the FP32 format.
+FP32_BIAS = 127
+#: Mask selecting the fraction field.
+FP32_FRACTION_MASK = np.uint32((1 << FP32_FRACTION_BITS) - 1)
+#: Mask selecting the (biased) exponent field, already shifted into place.
+FP32_EXPONENT_MASK = np.uint32(((1 << FP32_EXPONENT_BITS) - 1) << FP32_FRACTION_BITS)
+#: Mask selecting the sign bit.
+FP32_SIGN_MASK = np.uint32(1 << (FP32_EXPONENT_BITS + FP32_FRACTION_BITS))
+
+
+@dataclass(frozen=True)
+class FloatFields:
+    """Decomposed view of one or more FP32 values.
+
+    Attributes:
+        sign: 0 for positive values, 1 for negative values.
+        exponent: biased exponent field (0..255).
+        fraction: 23-bit fraction field (the leading implicit 1 is *not*
+            included).
+    """
+
+    sign: np.ndarray
+    exponent: np.ndarray
+    fraction: np.ndarray
+
+    @property
+    def real_exponent(self) -> np.ndarray:
+        """Unbiased exponent ``exponent - bias`` (as signed integers)."""
+        return self.exponent.astype(np.int32) - FP32_BIAS
+
+    @property
+    def significand(self) -> np.ndarray:
+        """The 24-bit significand ``1.fraction`` as an integer (1 << 23 | fraction)."""
+        return (np.uint32(1) << FP32_FRACTION_BITS) | self.fraction
+
+
+def float_to_bits(value: np.ndarray | float) -> np.ndarray:
+    """Reinterpret FP32 value(s) as their raw 32-bit unsigned representation."""
+    arr = np.asarray(value, dtype=np.float32)
+    return arr.view(np.uint32)
+
+
+def bits_to_float(bits: np.ndarray | int) -> np.ndarray:
+    """Reinterpret raw 32-bit pattern(s) as FP32 value(s)."""
+    arr = np.asarray(bits, dtype=np.uint32)
+    return arr.view(np.float32)
+
+
+def decompose(value: np.ndarray | float) -> FloatFields:
+    """Split FP32 value(s) into sign / biased exponent / fraction fields."""
+    bits = float_to_bits(value)
+    sign = (bits >> np.uint32(FP32_EXPONENT_BITS + FP32_FRACTION_BITS)) & np.uint32(1)
+    exponent = (bits & FP32_EXPONENT_MASK) >> np.uint32(FP32_FRACTION_BITS)
+    fraction = bits & FP32_FRACTION_MASK
+    return FloatFields(sign=sign, exponent=exponent, fraction=fraction)
+
+
+def compose(sign: np.ndarray, exponent: np.ndarray, fraction: np.ndarray) -> np.ndarray:
+    """Assemble FP32 value(s) from sign / biased exponent / fraction fields.
+
+    The fields are masked to their legal widths so callers may pass
+    intermediate values that overflow the field (mirroring the "chucked bits"
+    behaviour described in the paper's Fig. 12).
+    """
+    sign_bits = (np.asarray(sign, dtype=np.uint32) & np.uint32(1)) << np.uint32(
+        FP32_EXPONENT_BITS + FP32_FRACTION_BITS
+    )
+    exp_bits = (
+        np.asarray(exponent, dtype=np.uint32) & np.uint32((1 << FP32_EXPONENT_BITS) - 1)
+    ) << np.uint32(FP32_FRACTION_BITS)
+    frac_bits = np.asarray(fraction, dtype=np.uint32) & FP32_FRACTION_MASK
+    return bits_to_float(sign_bits | exp_bits | frac_bits)
+
+
+def shift_significand(value: np.ndarray | float, shift: int) -> np.ndarray:
+    """Logically shift the significand of FP32 value(s).
+
+    ``shift > 0`` shifts right (towards less significant bits, losing the
+    lowest bits exactly like the "over-chucking" effect in the paper) and
+    ``shift < 0`` shifts left.  The exponent field is adjusted accordingly so
+    the represented value is unchanged except for chucked bits.
+
+    This helper is primarily useful for tests that validate the PE datapath
+    behaviour; the production approximations use fused formulations.
+    """
+    fields = decompose(value)
+    significand = fields.significand.astype(np.int64)
+    if shift >= 0:
+        shifted = significand >> shift
+    else:
+        shifted = significand << (-shift)
+    new_exponent = fields.exponent.astype(np.int64) + shift
+    # Renormalize: the implicit leading one must sit at bit FP32_FRACTION_BITS.
+    leading = np.where(shifted > 0, np.int64(np.floor(np.log2(np.maximum(shifted, 1)))), 0)
+    correction = leading - FP32_FRACTION_BITS
+    renorm = np.where(
+        correction >= 0,
+        shifted >> np.maximum(correction, 0),
+        shifted << np.maximum(-correction, 0),
+    )
+    new_exponent = new_exponent + correction
+    fraction = (renorm & np.int64(FP32_FRACTION_MASK)).astype(np.uint32)
+    return compose(fields.sign, new_exponent.astype(np.uint32), fraction)
+
+
+def ulp_distance(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+    """Distance between FP32 values in units-in-the-last-place.
+
+    Used by the test-suite to bound the error of the bit-level approximations
+    in a representation-aware way.
+    """
+    ia = float_to_bits(a).astype(np.int64)
+    ib = float_to_bits(b).astype(np.int64)
+    # Map the sign-magnitude integer representation to a monotonic scale.
+    ia = np.where(ia < 0x80000000, ia, 0x80000000 - ia)
+    ib = np.where(ib < 0x80000000, ib, 0x80000000 - ib)
+    return np.abs(ia - ib)

@@ -1,0 +1,58 @@
+"""Functional Capsule Network model (numpy).
+
+This package implements the CapsNet described in Sabour et al. (Dynamic
+Routing Between Capsules) and used by the PIM-CapsNet paper as the workload:
+
+* convolutional feature extraction (``Conv2D``),
+* the PrimaryCaps layer that groups conv features into low-level capsules,
+* the class-capsule ("DigitCaps") layer whose low-to-high capsule mapping is
+  computed by a routing procedure (dynamic routing or EM routing),
+* the fully connected decoder used for reconstruction,
+* margin loss, a small SGD trainer, and deterministic synthetic datasets so
+  that accuracy experiments (Table 5 of the paper) run offline.
+
+The routing procedure accepts a :class:`repro.arithmetic.MathContext`, which
+is how inference "on" the PIM-CapsNet PEs (approximate exp / division /
+inverse sqrt, with or without accuracy recovery) is evaluated functionally.
+"""
+
+from repro.capsnet.functions import margin_loss, relu, sigmoid, softmax, squash
+from repro.capsnet.routing import DynamicRouting, EMRouting, RoutingResult
+from repro.capsnet.layers import (
+    CapsuleLayer,
+    Conv2D,
+    Dense,
+    Flatten,
+    PrimaryCaps,
+    ReLU,
+    Sigmoid,
+)
+from repro.capsnet.model import CapsNet, CapsNetConfig, DecoderConfig
+from repro.capsnet.datasets import DatasetSpec, SyntheticImageDataset, dataset_for_benchmark
+from repro.capsnet.training import Trainer, TrainingResult
+
+__all__ = [
+    "margin_loss",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "squash",
+    "DynamicRouting",
+    "EMRouting",
+    "RoutingResult",
+    "CapsuleLayer",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "PrimaryCaps",
+    "ReLU",
+    "Sigmoid",
+    "CapsNet",
+    "CapsNetConfig",
+    "DecoderConfig",
+    "DatasetSpec",
+    "SyntheticImageDataset",
+    "dataset_for_benchmark",
+    "Trainer",
+    "TrainingResult",
+]

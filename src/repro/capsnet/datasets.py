@@ -1,0 +1,198 @@
+"""Deterministic synthetic datasets standing in for the paper's benchmarks.
+
+The paper evaluates on MNIST, CIFAR10, three EMNIST splits and SVHN.  Those
+datasets are not available offline in this environment, so this module
+generates *class-structured synthetic images* with the same tensor shapes and
+class counts: each class owns a smooth random prototype image and samples are
+noisy, slightly shifted copies of the prototype.  This preserves what the
+accuracy experiments need -- a classification task the CapsNet can actually
+learn -- while keeping everything deterministic and offline.
+
+See DESIGN.md ("Substitutions") for the rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.capsnet.functions import one_hot
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape-level description of an image classification dataset.
+
+    Attributes:
+        name: dataset name as used in the paper (e.g. ``"MNIST"``).
+        image_shape: ``(channels, height, width)``.
+        num_classes: number of target classes.
+    """
+
+    name: str
+    image_shape: Tuple[int, int, int]
+    num_classes: int
+
+    @property
+    def pixels(self) -> int:
+        """Total number of scalar pixels per image."""
+        c, h, w = self.image_shape
+        return c * h * w
+
+
+#: Dataset specs for all datasets referenced in Table 1 of the paper.
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "MNIST": DatasetSpec("MNIST", (1, 28, 28), 10),
+    "CIFAR10": DatasetSpec("CIFAR10", (3, 32, 32), 10),
+    "EMNIST-LETTER": DatasetSpec("EMNIST-LETTER", (1, 28, 28), 26),
+    "EMNIST-BALANCED": DatasetSpec("EMNIST-BALANCED", (1, 28, 28), 47),
+    "EMNIST-BYCLASS": DatasetSpec("EMNIST-BYCLASS", (1, 28, 28), 62),
+    "SVHN": DatasetSpec("SVHN", (3, 32, 32), 10),
+}
+
+
+def _smooth(image: np.ndarray, passes: int = 2) -> np.ndarray:
+    """Cheap box-blur so class prototypes have spatial structure, not white noise."""
+    out = image.astype(np.float32)
+    for _ in range(passes):
+        padded = np.pad(out, ((0, 0), (1, 1), (1, 1)), mode="edge")
+        out = (
+            padded[:, :-2, 1:-1]
+            + padded[:, 2:, 1:-1]
+            + padded[:, 1:-1, :-2]
+            + padded[:, 1:-1, 2:]
+            + padded[:, 1:-1, 1:-1]
+        ) / 5.0
+    return out
+
+
+class SyntheticImageDataset:
+    """Class-structured synthetic image dataset.
+
+    Each class ``k`` owns a smooth prototype image ``P_k``; a sample of class
+    ``k`` is ``clip(P_k shifted by a small random offset + noise)``.  The
+    prototypes are well separated so a small CapsNet reaches high accuracy in
+    a few epochs, which is what the Table-5 style accuracy comparison needs.
+
+    Args:
+        spec: shape-level description of the dataset.
+        num_train: number of training samples.
+        num_test: number of test samples.
+        noise_level: standard deviation of the additive pixel noise.
+        max_shift: maximum absolute spatial shift (pixels) applied per sample.
+        seed: RNG seed; the dataset is fully determined by its arguments.
+    """
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        num_train: int = 512,
+        num_test: int = 256,
+        noise_level: float = 0.08,
+        max_shift: int = 1,
+        seed: int = 7,
+    ) -> None:
+        if num_train < spec.num_classes or num_test < spec.num_classes:
+            raise ValueError("need at least one sample per class in each split")
+        self.spec = spec
+        self.noise_level = float(noise_level)
+        self.max_shift = int(max_shift)
+        rng = np.random.default_rng(seed)
+        self._prototypes = self._make_prototypes(rng)
+        self.train_images, self.train_labels = self._make_split(rng, num_train)
+        self.test_images, self.test_labels = self._make_split(rng, num_test)
+
+    # -- construction --------------------------------------------------------
+
+    def _make_prototypes(self, rng: np.random.Generator) -> np.ndarray:
+        channels, height, width = self.spec.image_shape
+        prototypes = np.zeros((self.spec.num_classes, channels, height, width), dtype=np.float32)
+        yy, xx = np.mgrid[0:height, 0:width]
+        cells = 4  # the image is divided into a cells x cells on/off pattern
+        cell_h = max(1, height // cells)
+        cell_w = max(1, width // cells)
+        for k in range(self.spec.num_classes):
+            # A class-specific on/off cell pattern provides a strong, spatially
+            # structured signature (think of a smoothed QR code), which keeps
+            # the synthetic classification task learnable even for the
+            # 47/62-class EMNIST substitutes.
+            pattern = rng.random((cells, cells)) < 0.5
+            cell_image = np.zeros((height, width), dtype=np.float32)
+            for cy_idx in range(cells):
+                for cx_idx in range(cells):
+                    if pattern[cy_idx, cx_idx]:
+                        cell_image[
+                            cy_idx * cell_h : min(height, (cy_idx + 1) * cell_h),
+                            cx_idx * cell_w : min(width, (cx_idx + 1) * cell_w),
+                        ] = 1.0
+            cell_image = _smooth(cell_image[np.newaxis, :, :], passes=1)[0]
+            # Add a distinctive bright blob at a class-specific location.
+            cy = int((k * 7919) % (height - 6)) + 3
+            cx = int((k * 104729) % (width - 6)) + 3
+            blob = np.exp(-(((yy - cy) ** 2 + (xx - cx) ** 2) / 18.0)).astype(np.float32)
+            texture = _smooth(
+                rng.uniform(0.0, 1.0, size=(channels, height, width)).astype(np.float32), passes=2
+            )
+            proto = 0.15 * texture + 0.65 * cell_image[np.newaxis, :, :] + 0.4 * blob[np.newaxis, :, :]
+            prototypes[k] = np.clip(proto, 0.0, 1.0)
+        return prototypes
+
+    def _make_split(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        labels = np.arange(count, dtype=np.int64) % self.spec.num_classes
+        rng.shuffle(labels)
+        channels, height, width = self.spec.image_shape
+        images = np.zeros((count, channels, height, width), dtype=np.float32)
+        for idx, label in enumerate(labels):
+            proto = self._prototypes[label]
+            dy = int(rng.integers(-self.max_shift, self.max_shift + 1))
+            dx = int(rng.integers(-self.max_shift, self.max_shift + 1))
+            shifted = np.roll(np.roll(proto, dy, axis=1), dx, axis=2)
+            noisy = shifted + rng.normal(0.0, self.noise_level, size=proto.shape)
+            images[idx] = np.clip(noisy, 0.0, 1.0)
+        return images, labels
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        return self.spec.num_classes
+
+    def train_batches(
+        self, batch_size: int, rng: np.random.Generator | None = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield shuffled ``(images, labels, onehot)`` training mini-batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(self.train_images.shape[0])
+        (rng or np.random.default_rng(0)).shuffle(order)
+        for start in range(0, order.size, batch_size):
+            idx = order[start : start + batch_size]
+            labels = self.train_labels[idx]
+            yield (
+                self.train_images[idx],
+                labels,
+                one_hot(labels, self.spec.num_classes),
+            )
+
+    def test_set(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the full held-out test split ``(images, labels)``."""
+        return self.test_images, self.test_labels
+
+
+def dataset_for_benchmark(
+    dataset_name: str,
+    num_train: int = 512,
+    num_test: int = 256,
+    seed: int = 7,
+) -> SyntheticImageDataset:
+    """Build the synthetic dataset for a paper dataset name (case-insensitive)."""
+    key = dataset_name.strip().upper().replace(" ", "-").replace("_", "-")
+    if key not in DATASET_SPECS:
+        raise KeyError(
+            f"unknown dataset {dataset_name!r}; known: {sorted(DATASET_SPECS)}"
+        )
+    return SyntheticImageDataset(DATASET_SPECS[key], num_train=num_train, num_test=num_test, seed=seed)

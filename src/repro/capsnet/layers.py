@@ -1,0 +1,496 @@
+"""Neural network layers for the CapsNet functional model.
+
+The layers implement both forward and backward passes with plain numpy so
+that the accuracy experiments (Table 5 of the paper) can train small
+CapsNets end-to-end without any deep learning framework.  The backward pass
+of the capsule layer follows the common practice of treating the final
+routing coefficients as constants (gradients flow through the prediction
+vectors and the squash non-linearity).
+
+All layers follow a minimal protocol:
+
+* ``forward(x)`` stores whatever is needed for the backward pass and returns
+  the output,
+* ``backward(grad)`` returns the gradient with respect to the input and
+  accumulates parameter gradients in ``grads``,
+* ``params`` / ``grads`` are dictionaries keyed by parameter name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arithmetic.context import MathContext
+from repro.capsnet import functions as F
+from repro.capsnet.routing import DynamicRouting, RoutingResult
+
+
+class Layer:
+    """Base class providing parameter bookkeeping for trainable layers."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        """Reset accumulated parameter gradients."""
+        for name, value in self.params.items():
+            self.grads[name] = np.zeros_like(value)
+
+    @property
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers
+# ---------------------------------------------------------------------------
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold image patches into columns.
+
+    Args:
+        x: input of shape ``(batch, channels, height, width)``.
+        kernel: ``(kh, kw)``.
+        stride: stride in both dimensions.
+        padding: zero padding in both dimensions.
+
+    Returns:
+        ``(columns, (out_h, out_w))`` where columns has shape
+        ``(batch, out_h*out_w, channels*kh*kw)``.
+    """
+    batch, channels, height, width = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(height, kh, stride, padding)
+    out_w = conv_output_size(width, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, channels * kh * kw)
+    return np.ascontiguousarray(cols, dtype=np.float32), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold column gradients back into an image gradient (inverse of :func:`im2col`)."""
+    batch, channels, height, width = input_shape
+    kh, kw = kernel
+    out_h = conv_output_size(height, kh, stride, padding)
+    out_w = conv_output_size(width, kw, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float32
+    )
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ---------------------------------------------------------------------------
+# Standard layers
+# ---------------------------------------------------------------------------
+
+
+class Conv2D(Layer):
+    """2-D convolution layer (NCHW layout) backed by im2col.
+
+    Args:
+        in_channels: input channel count.
+        out_channels: output channel count.
+        kernel_size: square kernel size.
+        stride: stride in both dimensions.
+        padding: zero padding in both dimensions.
+        rng: RNG used for He-uniform weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) < 1:
+            raise ValueError("Conv2D dimensions must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = float(np.sqrt(6.0 / fan_in))
+        self.params["weight"] = rng.uniform(
+            -bound, bound, size=(out_channels, in_channels, kernel_size, kernel_size)
+        ).astype(np.float32)
+        self.params["bias"] = np.zeros(out_channels, dtype=np.float32)
+        self.zero_grads()
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int], Tuple[int, int, int, int]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, (out_h, out_w) = im2col(
+            x, (self.kernel_size, self.kernel_size), self.stride, self.padding
+        )
+        weight = self.params["weight"].reshape(self.out_channels, -1)
+        out = cols @ weight.T + self.params["bias"]
+        out = out.reshape(x.shape[0], out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (cols, (out_h, out_w), x.shape)
+        return np.ascontiguousarray(out, dtype=np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, (out_h, out_w), input_shape = self._cache
+        grad = np.asarray(grad, dtype=np.float32)
+        grad_cols_out = grad.transpose(0, 2, 3, 1).reshape(input_shape[0], out_h * out_w, -1)
+        weight = self.params["weight"].reshape(self.out_channels, -1)
+        self.grads["weight"] += (
+            np.einsum("bpo,bpk->ok", grad_cols_out, cols).reshape(self.params["weight"].shape)
+        )
+        self.grads["bias"] += grad_cols_out.sum(axis=(0, 1))
+        grad_cols = grad_cols_out @ weight
+        return col2im(
+            grad_cols,
+            input_shape,
+            (self.kernel_size, self.kernel_size),
+            self.stride,
+            self.padding,
+        )
+
+    def output_shape(self, input_hw: Tuple[int, int]) -> Tuple[int, int, int]:
+        """Return ``(out_channels, out_h, out_w)`` for a given input size."""
+        out_h = conv_output_size(input_hw[0], self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(input_hw[1], self.kernel_size, self.stride, self.padding)
+        return self.out_channels, out_h, out_w
+
+
+class ReLU(Layer):
+    """Element-wise rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        self._mask = (x > 0).astype(np.float32)
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad, dtype=np.float32) * self._mask
+
+
+class Sigmoid(Layer):
+    """Element-wise logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = F.sigmoid(x)
+        return self._output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad, dtype=np.float32) * F.sigmoid_grad(self._output)
+
+
+class Flatten(Layer):
+    """Flatten all dimensions except the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad, dtype=np.float32).reshape(self._shape)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if min(in_features, out_features) < 1:
+            raise ValueError("Dense dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        bound = float(np.sqrt(6.0 / in_features))
+        self.params["weight"] = rng.uniform(
+            -bound, bound, size=(in_features, out_features)
+        ).astype(np.float32)
+        self.params["bias"] = np.zeros(out_features, dtype=np.float32)
+        self.zero_grads()
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected input (batch, {self.in_features}), got {x.shape}")
+        self._input = x
+        return x @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad, dtype=np.float32)
+        self.grads["weight"] += self._input.T @ grad
+        self.grads["bias"] += grad.sum(axis=0)
+        return grad @ self.params["weight"].T
+
+
+# ---------------------------------------------------------------------------
+# Capsule layers
+# ---------------------------------------------------------------------------
+
+
+def _squash_backward(s: np.ndarray, v_grad: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Gradient of the squash non-linearity with respect to its input ``s``."""
+    s = np.asarray(s, dtype=np.float32)
+    v_grad = np.asarray(v_grad, dtype=np.float32)
+    norm_sq = np.sum(s * s, axis=axis, keepdims=True, dtype=np.float32) + np.float32(1e-12)
+    norm = np.sqrt(norm_sq)
+    g = norm / (1.0 + norm_sq)
+    g_prime = (1.0 - norm_sq) / (1.0 + norm_sq) ** 2
+    dot = np.sum(s * v_grad, axis=axis, keepdims=True, dtype=np.float32)
+    return (g * v_grad + (g_prime / norm) * dot * s).astype(np.float32)
+
+
+class PrimaryCaps(Layer):
+    """PrimaryCaps layer: convolution + capsule grouping + squash.
+
+    A convolution produces ``capsule_channels * capsule_dim`` feature maps;
+    the activations at each spatial location are grouped into
+    ``capsule_channels`` capsules of ``capsule_dim`` elements each and passed
+    through the squash non-linearity.
+
+    Args:
+        in_channels: channels of the incoming feature map.
+        capsule_channels: number of capsule types (32 in CapsNet-MNIST).
+        capsule_dim: dimensionality of each low-level capsule (8).
+        kernel_size: convolution kernel size (9).
+        stride: convolution stride (2).
+        rng: RNG for weight initialization.
+        context: arithmetic used by the squash.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        capsule_channels: int,
+        capsule_dim: int,
+        kernel_size: int = 9,
+        stride: int = 2,
+        rng: Optional[np.random.Generator] = None,
+        context: Optional[MathContext] = None,
+    ) -> None:
+        super().__init__()
+        self.capsule_channels = capsule_channels
+        self.capsule_dim = capsule_dim
+        self.context = context or MathContext.exact()
+        self.conv = Conv2D(
+            in_channels,
+            capsule_channels * capsule_dim,
+            kernel_size,
+            stride=stride,
+            padding=0,
+            rng=rng,
+        )
+        self.params = self.conv.params
+        self.grads = self.conv.grads
+        self._pre_squash: Optional[np.ndarray] = None
+        self._conv_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Return low-level capsules of shape ``(batch, num_capsules, capsule_dim)``."""
+        features = self.conv.forward(x)
+        batch, channels, height, width = features.shape
+        self._conv_shape = features.shape
+        capsules = features.reshape(
+            batch, self.capsule_channels, self.capsule_dim, height, width
+        )
+        capsules = capsules.transpose(0, 1, 3, 4, 2).reshape(batch, -1, self.capsule_dim)
+        self._pre_squash = capsules
+        return self.context.squash(capsules, axis=-1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._pre_squash is None or self._conv_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_pre = _squash_backward(self._pre_squash, np.asarray(grad, dtype=np.float32))
+        batch, channels, height, width = self._conv_shape
+        grad_features = grad_pre.reshape(
+            batch, self.capsule_channels, height, width, self.capsule_dim
+        ).transpose(0, 1, 4, 2, 3).reshape(batch, channels, height, width)
+        return self.conv.backward(grad_features)
+
+    def num_capsules(self, input_hw: Tuple[int, int]) -> int:
+        """Number of low-level capsules produced for a given input size."""
+        _, out_h, out_w = self.conv.output_shape(input_hw)
+        return self.capsule_channels * out_h * out_w
+
+
+class CapsuleLayer(Layer):
+    """Fully connected capsule layer with a routing procedure.
+
+    Implements Eq. (1) (prediction vectors ``u_hat = u x W``) followed by the
+    routing procedure (Eqs. 2-5) provided by ``routing``.
+
+    Args:
+        num_low: number of incoming low-level capsules.
+        num_high: number of outgoing high-level capsules (classes).
+        low_dim: dimensionality of low-level capsules.
+        high_dim: dimensionality of high-level capsules.
+        routing: routing procedure instance (``DynamicRouting`` by default).
+        rng: RNG for weight initialization.
+    """
+
+    def __init__(
+        self,
+        num_low: int,
+        num_high: int,
+        low_dim: int,
+        high_dim: int,
+        routing: Optional[DynamicRouting] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if min(num_low, num_high, low_dim, high_dim) < 1:
+            raise ValueError("capsule layer dimensions must be positive")
+        self.num_low = num_low
+        self.num_high = num_high
+        self.low_dim = low_dim
+        self.high_dim = high_dim
+        self.routing = routing or DynamicRouting()
+        rng = rng or np.random.default_rng(0)
+        self.params["weight"] = (
+            rng.standard_normal((num_low, num_high, low_dim, high_dim)) * 0.05
+        ).astype(np.float32)
+        self.zero_grads()
+        self._input: Optional[np.ndarray] = None
+        self._u_hat: Optional[np.ndarray] = None
+        self._result: Optional[RoutingResult] = None
+
+    def forward(self, low_capsules: np.ndarray) -> np.ndarray:
+        """Route low-level capsules to high-level capsules.
+
+        Args:
+            low_capsules: ``(batch, num_low, low_dim)``.
+
+        Returns:
+            High-level capsules ``(batch, num_high, high_dim)``.
+        """
+        u = np.asarray(low_capsules, dtype=np.float32)
+        if u.ndim != 3 or u.shape[1] != self.num_low or u.shape[2] != self.low_dim:
+            raise ValueError(
+                f"expected input (batch, {self.num_low}, {self.low_dim}), got {u.shape}"
+            )
+        self._input = u
+        # Eq. 1: u_hat_{j|i} = u_i x W_ij
+        u_hat = np.einsum("bld,ljdh->bljh", u, self.params["weight"]).astype(np.float32)
+        self._u_hat = u_hat
+        self._result = self.routing(u_hat)
+        return self._result.high_capsules
+
+    @property
+    def last_routing_result(self) -> Optional[RoutingResult]:
+        """Routing diagnostics of the most recent forward pass."""
+        return self._result
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None or self._u_hat is None or self._result is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad, dtype=np.float32)
+        c = self._result.coefficients
+        # Recompute s_j from the cached u_hat and final coefficients so the
+        # squash backward has its input available.
+        if c.ndim == 2:
+            weighted = self._u_hat * c[np.newaxis, :, :, np.newaxis]
+        else:
+            weighted = self._u_hat * c[:, :, :, np.newaxis]
+        s = np.sum(weighted, axis=1, dtype=np.float32)
+        grad_s = _squash_backward(s, grad)
+        # s_j = sum_i c_ij u_hat_ij  (c treated as constant).
+        if c.ndim == 2:
+            grad_u_hat = grad_s[:, np.newaxis, :, :] * c[np.newaxis, :, :, np.newaxis]
+        else:
+            grad_u_hat = grad_s[:, np.newaxis, :, :] * c[:, :, :, np.newaxis]
+        # u_hat = einsum('bld,ljdh->bljh', u, W)
+        self.grads["weight"] += np.einsum(
+            "bld,bljh->ljdh", self._input, grad_u_hat
+        ).astype(np.float32)
+        grad_input = np.einsum(
+            "bljh,ljdh->bld", grad_u_hat, self.params["weight"]
+        ).astype(np.float32)
+        return grad_input

@@ -1,0 +1,191 @@
+"""Routing procedures between capsule layers.
+
+Two algorithms are implemented:
+
+* :class:`DynamicRouting` -- the routing-by-agreement of Sabour et al.,
+  which is the algorithm the paper analyses (Algorithm 1 / Eqs. 1-5).
+* :class:`EMRouting` -- a vectorised Expectation-Maximization routing in the
+  spirit of Hinton et al. (2018), included because the paper states its
+  in-memory optimizations apply to other routing algorithms with the same
+  execution pattern.
+
+Both consume *prediction vectors* ``u_hat`` of shape
+``(batch, num_low, num_high, high_dim)`` and produce the high-level capsules
+``v`` of shape ``(batch, num_high, high_dim)``.
+
+The arithmetic used for the special functions (softmax/exp, squash) is
+provided by a :class:`repro.arithmetic.MathContext`, so the exact GPU
+reference and the approximate PIM-CapsNet PE datapaths share this code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.arithmetic.context import MathContext
+
+
+@dataclass
+class RoutingResult:
+    """Output of one routing procedure invocation.
+
+    Attributes:
+        high_capsules: ``(batch, num_high, high_dim)`` routed output capsules.
+        coefficients: final routing coefficients ``c_ij`` of shape
+            ``(num_low, num_high)`` (dynamic routing) or per-batch
+            responsibilities ``(batch, num_low, num_high)`` (EM routing).
+        logits: final agreement accumulators ``b_ij`` (dynamic routing only).
+        iterations: number of routing iterations executed.
+    """
+
+    high_capsules: np.ndarray
+    coefficients: np.ndarray
+    logits: Optional[np.ndarray]
+    iterations: int
+
+
+@dataclass
+class DynamicRouting:
+    """Dynamic routing-by-agreement (Algorithm 1 of the paper).
+
+    Args:
+        iterations: number of routing iterations (3 in the original CapsNet;
+            the Caps-SV2/SV3 benchmarks use 6 and 9).
+        context: arithmetic implementation for softmax / squash.
+        share_coefficients_across_batch: the paper's Algorithm 1 keeps a
+            single ``b_ij`` shared by all batched inputs (the agreement is
+            summed over the batch in Eq. 4); set to False to keep per-input
+            coefficients, which matches some open-source implementations.
+    """
+
+    iterations: int = 3
+    context: MathContext = field(default_factory=MathContext.exact)
+    share_coefficients_across_batch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+
+    def __call__(self, u_hat: np.ndarray) -> RoutingResult:
+        """Route prediction vectors to high-level capsules.
+
+        Args:
+            u_hat: prediction vectors ``(batch, num_low, num_high, high_dim)``.
+
+        Returns:
+            A :class:`RoutingResult`.
+        """
+        u_hat = np.asarray(u_hat, dtype=np.float32)
+        if u_hat.ndim != 4:
+            raise ValueError(
+                f"u_hat must have shape (batch, num_low, num_high, high_dim), got {u_hat.shape}"
+            )
+        batch, num_low, num_high, _ = u_hat.shape
+        ctx = self.context
+
+        if self.share_coefficients_across_batch:
+            b = np.zeros((num_low, num_high), dtype=np.float32)
+        else:
+            b = np.zeros((batch, num_low, num_high), dtype=np.float32)
+
+        v = np.zeros((batch, num_high, u_hat.shape[-1]), dtype=np.float32)
+        c = None
+        for _ in range(self.iterations):
+            # Eq. 5: c_ij = softmax_j(b_ij)
+            c = ctx.softmax(b, axis=-1)
+            # Eq. 2: s_j^k = sum_i u_hat_{j|i}^k * c_ij
+            if self.share_coefficients_across_batch:
+                weighted = u_hat * c[np.newaxis, :, :, np.newaxis]
+            else:
+                weighted = u_hat * c[:, :, :, np.newaxis]
+            s = np.sum(weighted, axis=1, dtype=np.float32)
+            # Eq. 3: v_j^k = squash(s_j^k)
+            v = ctx.squash(s, axis=-1)
+            # Eq. 4: b_ij += sum_k v_j^k . u_hat_{j|i}^k
+            agreement = np.einsum("bljh,bjh->blj", u_hat, v).astype(np.float32)
+            if self.share_coefficients_across_batch:
+                b = b + np.sum(agreement, axis=0, dtype=np.float32)
+            else:
+                b = b + agreement
+
+        assert c is not None
+        return RoutingResult(high_capsules=v, coefficients=c, logits=b, iterations=self.iterations)
+
+
+@dataclass
+class EMRouting:
+    """Expectation-Maximization routing (vector-capsule formulation).
+
+    Each high-level capsule is modelled as an axis-aligned Gaussian over the
+    prediction vectors that vote for it; the E-step computes responsibilities
+    and the M-step re-estimates the Gaussian parameters and the capsule
+    activation.  The returned ``high_capsules`` are the per-class Gaussian
+    means scaled by the capsule activation, which keeps the output interface
+    identical to :class:`DynamicRouting`.
+
+    Args:
+        iterations: number of EM iterations.
+        context: arithmetic implementation for exponentials / divisions.
+        inverse_temperature: sharpness of the E-step responsibilities.
+        min_variance: variance floor for numerical robustness.
+    """
+
+    iterations: int = 3
+    context: MathContext = field(default_factory=MathContext.exact)
+    inverse_temperature: float = 1.0
+    min_variance: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+
+    def __call__(self, u_hat: np.ndarray) -> RoutingResult:
+        """Route prediction vectors to high-level capsules via EM."""
+        u_hat = np.asarray(u_hat, dtype=np.float32)
+        if u_hat.ndim != 4:
+            raise ValueError(
+                f"u_hat must have shape (batch, num_low, num_high, high_dim), got {u_hat.shape}"
+            )
+        batch, num_low, num_high, high_dim = u_hat.shape
+        ctx = self.context
+
+        # Responsibilities r_{b,i,j}: start uniform over the high capsules.
+        r = np.full((batch, num_low, num_high), 1.0 / num_high, dtype=np.float32)
+        mu = np.zeros((batch, num_high, high_dim), dtype=np.float32)
+        activation = np.full((batch, num_high), 1.0 / num_high, dtype=np.float32)
+
+        for _ in range(self.iterations):
+            # ---- M-step: update Gaussian means/variances and activations.
+            r_sum = np.sum(r, axis=1, dtype=np.float32) + np.float32(1e-8)  # (batch, H)
+            mu = (
+                np.einsum("blj,bljh->bjh", r, u_hat).astype(np.float32)
+                / r_sum[:, :, np.newaxis]
+            )
+            diff = u_hat - mu[:, np.newaxis, :, :]
+            var = (
+                np.einsum("blj,bljh->bjh", r, diff * diff).astype(np.float32)
+                / r_sum[:, :, np.newaxis]
+            )
+            var = np.maximum(var, np.float32(self.min_variance))
+            # Activation: capsules explaining more votes with lower variance activate.
+            cost = np.sum(np.log(var), axis=-1) * r_sum / np.float32(num_low)
+            activation = 1.0 / (1.0 + ctx.exp(cost - np.mean(cost, axis=-1, keepdims=True)))
+            activation = activation.astype(np.float32)
+
+            # ---- E-step: recompute responsibilities from Gaussian likelihoods.
+            diff = u_hat - mu[:, np.newaxis, :, :]
+            log_prob = -0.5 * np.sum(
+                diff * diff / var[:, np.newaxis, :, :] + np.log(var)[:, np.newaxis, :, :],
+                axis=-1,
+                dtype=np.float32,
+            )
+            logits = self.inverse_temperature * log_prob + np.log(
+                activation[:, np.newaxis, :] + np.float32(1e-8)
+            )
+            r = ctx.softmax(logits.astype(np.float32), axis=-1)
+
+        high = (mu * activation[:, :, np.newaxis]).astype(np.float32)
+        return RoutingResult(high_capsules=high, coefficients=r, logits=None, iterations=self.iterations)

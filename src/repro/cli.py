@@ -1,0 +1,114 @@
+"""Command line interface for the PIM-CapsNet reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro characterize [--benchmarks ...]     # Figs. 4-7 (GPU bottleneck)
+    python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
+    python -m repro sweep [--benchmark NAME]             # Fig. 18 (frequency sweep)
+    python -m repro reproduce [--skip ...] [--only ...]  # everything via the runner
+
+The CLI is a thin veneer over :mod:`repro.experiments`; every command prints
+the same plain-text tables the benchmark harness writes to
+``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments import (
+    fig04_layer_breakdown,
+    fig05_stall_breakdown,
+    fig06_onchip_storage,
+    fig07_bandwidth,
+    fig15_rp_acceleration,
+    fig16_pim_breakdown,
+    fig17_end_to_end,
+    fig18_frequency_sweep,
+    runner,
+)
+from repro.workloads.benchmarks import benchmark_names
+
+
+def _validate_benchmarks(names: Optional[List[str]]) -> Optional[List[str]]:
+    if not names:
+        return None
+    known = set(benchmark_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(f"unknown benchmark(s) {unknown}; choose from {sorted(known)}")
+    return names
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    benchmarks = _validate_benchmarks(args.benchmarks)
+    print(fig04_layer_breakdown.format_report(fig04_layer_breakdown.run(benchmarks=benchmarks)))
+    print()
+    print(fig05_stall_breakdown.format_report(fig05_stall_breakdown.run(benchmarks=benchmarks)))
+    print()
+    print(fig06_onchip_storage.format_report(fig06_onchip_storage.run(benchmarks=benchmarks)))
+    print()
+    print(fig07_bandwidth.format_report(fig07_bandwidth.run(benchmarks=benchmarks)))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    benchmarks = _validate_benchmarks(args.benchmarks)
+    print(fig15_rp_acceleration.format_report(fig15_rp_acceleration.run(benchmarks=benchmarks)))
+    print()
+    print(fig16_pim_breakdown.format_report(fig16_pim_breakdown.run(benchmarks=benchmarks)))
+    print()
+    print(fig17_end_to_end.format_report(fig17_end_to_end.run(benchmarks=benchmarks)))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    benchmarks = _validate_benchmarks([args.benchmark] if args.benchmark else None)
+    result = fig18_frequency_sweep.run(benchmarks=benchmarks)
+    print(fig18_frequency_sweep.format_report(result))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    result = runner.run_all(skip=args.skip, only=args.only)
+    print(result.combined_report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="GPU characterization (Figs. 4-7)"
+    )
+    characterize.add_argument("--benchmarks", nargs="*", default=None)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    evaluate = subparsers.add_parser("evaluate", help="PIM-CapsNet evaluation (Figs. 15-17)")
+    evaluate.add_argument("--benchmarks", nargs="*", default=None)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    sweep = subparsers.add_parser("sweep", help="PE frequency sweep (Fig. 18)")
+    sweep.add_argument("--benchmark", default=None)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    reproduce = subparsers.add_parser("reproduce", help="run every experiment")
+    reproduce.add_argument("--skip", nargs="*", default=[], choices=sorted(runner.EXPERIMENTS))
+    reproduce.add_argument("--only", nargs="*", default=None, choices=sorted(runner.EXPERIMENTS))
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

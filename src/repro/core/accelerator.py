@@ -1,0 +1,406 @@
+"""Top-level PIM-CapsNet accelerator model and its design-point variants.
+
+:class:`PIMCapsNet` ties the substrates together for one Table-1 benchmark:
+
+* the GPU simulator provides the baseline (and GPU-ICP) routing times, the
+  host-stage times and the GPU energy,
+* the workload distributor + HMC device provide the in-memory routing times
+  and energy for the PIM design points,
+* the RMAS contention model and the pipeline model combine the two sides
+  into end-to-end numbers.
+
+The :class:`DesignPoint` enumeration covers every configuration evaluated in
+Figs. 15-17 of the paper:
+
+===============  ==============================================================
+``BASELINE_GPU``  GPU-only execution with HBM memory
+``GPU_ICP``       GPU with an ideal cache replacement policy
+``PIM_CAPSNET``   the full proposal (inter-vault + intra-vault + mapping + RMAS)
+``PIM_INTRA``     intra-vault design only (no inter-vault data placement)
+``PIM_INTER``     inter-vault design only (no intra-vault bank-conflict fix)
+``ALL_IN_PIM``    the whole network runs on the HMC
+``RMAS_PIM``      pipelined design, PEs always win memory arbitration
+``RMAS_GPU``      pipelined design, GPU always wins memory arbitration
+===============  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Union
+
+from repro.core.distribution import DistributionPlan, ExecutionScoreModel, WorkloadDistributor
+from repro.core.intra_vault import IntraVaultDistributor
+from repro.core.pipeline import PipelineModel, PipelineTiming
+from repro.core.rmas import ContentionModel, RuntimeMemoryAccessScheduler, SchedulerPolicy
+from repro.gpu.devices import GPUDevice, baseline_device
+from repro.gpu.energy import GPUEnergyModel
+from repro.gpu.kernels import GPUCostParameters
+from repro.gpu.simulator import GPUSimulator
+from repro.hmc.address import CustomAddressMapping, DefaultAddressMapping
+from repro.hmc.config import HMCConfig
+from repro.hmc.crossbar import Crossbar
+from repro.hmc.device import HMCDevice
+from repro.hmc.pe import PEDatapath
+from repro.hmc.power import HMCPowerModel
+from repro.hmc.vault import VaultWorkload
+from repro.workloads.benchmarks import BenchmarkConfig, get_benchmark
+from repro.workloads.layers_model import CapsNetWorkload
+from repro.workloads.parallelism import Dimension
+
+
+class DesignPoint(str, Enum):
+    """Design points evaluated by the paper."""
+
+    BASELINE_GPU = "baseline"
+    GPU_ICP = "gpu-icp"
+    PIM_CAPSNET = "pim-capsnet"
+    PIM_INTRA = "pim-intra"
+    PIM_INTER = "pim-inter"
+    ALL_IN_PIM = "all-in-pim"
+    RMAS_PIM = "rmas-pim"
+    RMAS_GPU = "rmas-gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class RoutingComparison:
+    """Routing-procedure execution result for one design point (Fig. 15/16)."""
+
+    design: DesignPoint
+    benchmark: str
+    time_seconds: float
+    energy_joules: float
+    time_components: Dict[str, float] = field(default_factory=dict)
+    energy_components: Dict[str, float] = field(default_factory=dict)
+    dimension: Optional[Dimension] = None
+
+    def speedup_over(self, other: "RoutingComparison") -> float:
+        """Speedup of this design over ``other``."""
+        if self.time_seconds <= 0:
+            return float("inf")
+        return other.time_seconds / self.time_seconds
+
+    def energy_saving_over(self, other: "RoutingComparison") -> float:
+        """Fractional energy saving of this design relative to ``other``."""
+        if other.energy_joules <= 0:
+            return 0.0
+        return 1.0 - self.energy_joules / other.energy_joules
+
+
+@dataclass
+class EndToEndComparison:
+    """Whole-inference execution result for one design point (Fig. 17)."""
+
+    design: DesignPoint
+    benchmark: str
+    timing: PipelineTiming
+    energy_joules: float
+    host_stage_seconds: float
+    routing_stage_seconds: float
+
+    @property
+    def time_seconds(self) -> float:
+        """Total latency of the evaluated batch stream."""
+        return self.timing.total_time
+
+    def speedup_over(self, other: "EndToEndComparison") -> float:
+        if self.time_seconds <= 0:
+            return float("inf")
+        return other.time_seconds / self.time_seconds
+
+    def energy_saving_over(self, other: "EndToEndComparison") -> float:
+        if other.energy_joules <= 0:
+            return 0.0
+        return 1.0 - self.energy_joules / other.energy_joules
+
+
+class PIMCapsNet:
+    """Hybrid GPU + HMC accelerator model for one CapsNet benchmark.
+
+    Args:
+        benchmark: Table-1 benchmark (name or configuration).
+        gpu_device: host GPU (defaults to the paper's P100 baseline).
+        gpu_params: GPU cost-model calibration.
+        hmc_config: HMC configuration (32 vaults, 16 PEs/vault, 312.5 MHz).
+        pipeline: batch-stream pipeline model.
+        force_dimension: override the distributor's dimension choice
+            (used by the Fig. 18 sweeps).
+        rmas_queue_depth: average PE queue depth ``Q`` seen by the RMAS.
+    """
+
+    def __init__(
+        self,
+        benchmark: Union[str, BenchmarkConfig],
+        gpu_device: Optional[GPUDevice] = None,
+        gpu_params: Optional[GPUCostParameters] = None,
+        hmc_config: Optional[HMCConfig] = None,
+        pipeline: Optional[PipelineModel] = None,
+        force_dimension: Optional[Dimension] = None,
+        rmas_queue_depth: float = 8.0,
+    ) -> None:
+        self.benchmark = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+        self.gpu_device = gpu_device or baseline_device()
+        self.gpu_params = gpu_params or GPUCostParameters()
+        self.hmc_config = hmc_config or HMCConfig()
+        self.pipeline = pipeline or PipelineModel()
+        self.force_dimension = force_dimension
+        self.rmas_queue_depth = rmas_queue_depth
+
+        self.workload = CapsNetWorkload(self.benchmark)
+        self.gpu = GPUSimulator(self.gpu_device, self.gpu_params)
+        self.gpu_energy = GPUEnergyModel(device=self.gpu_device)
+
+        self.datapath = PEDatapath(frequency_hz=self.hmc_config.pe_frequency_hz)
+        self.crossbar = Crossbar(self.hmc_config)
+        self.intra_vault = IntraVaultDistributor(pes_per_vault=self.hmc_config.pes_per_vault)
+        self.score_model = ExecutionScoreModel(
+            config=self.hmc_config,
+            datapath=self.datapath,
+            crossbar=self.crossbar,
+            intra_vault=self.intra_vault,
+        )
+        self.distributor = WorkloadDistributor(
+            self.benchmark, self.hmc_config, score_model=self.score_model
+        )
+        self.hmc_power = HMCPowerModel(config=self.hmc_config)
+        self.rmas = RuntimeMemoryAccessScheduler()
+        self.contention = ContentionModel()
+
+    # ------------------------------------------------------------------ helpers
+
+    def distribution_plan(self) -> DistributionPlan:
+        """The plan PIM-CapsNet uses (best scoring, unless a dimension is forced)."""
+        if self.force_dimension is not None:
+            return self.distributor.plan_for_dimension(self.force_dimension)
+        return self.distributor.best_plan()
+
+    def _hmc_device(self, custom_mapping: bool) -> HMCDevice:
+        mapping_cls = CustomAddressMapping if custom_mapping else DefaultAddressMapping
+        return HMCDevice(
+            config=self.hmc_config,
+            mapping=mapping_cls(self.hmc_config),
+            crossbar=self.crossbar,
+            datapath=self.datapath,
+        )
+
+    def _host_stage(self) -> Dict[str, float]:
+        """Host-stage (Conv/PrimaryCaps/FC) time, flops and traffic on the GPU."""
+        layers = self.workload.host_layers()
+        time = sum(self.gpu.simulate_dense_layer(layer).total for layer in layers)
+        flops = float(sum(layer.flops for layer in layers))
+        traffic = float(sum(layer.traffic_bytes for layer in layers))
+        return {"time": time, "flops": flops, "traffic": traffic}
+
+    # ------------------------------------------------------------ routing procedure
+
+    def simulate_routing(self, design: DesignPoint) -> RoutingComparison:
+        """Routing-procedure time and energy for one design point."""
+        if design in (DesignPoint.BASELINE_GPU, DesignPoint.GPU_ICP):
+            return self._routing_on_gpu(design)
+        return self._routing_on_hmc(design)
+
+    def _routing_on_gpu(self, design: DesignPoint) -> RoutingComparison:
+        simulator = GPUSimulator(
+            self.gpu_device, self.gpu_params, ideal_cache=(design is DesignPoint.GPU_ICP)
+        )
+        profile = simulator.simulate_routing(self.workload.routing)
+        energy = self.gpu_energy.phase_energy(
+            profile.total_time,
+            flops=self.workload.routing.total_flops(),
+            dram_bytes=profile.offchip_traffic_bytes,
+        )
+        timing = profile.timing
+        return RoutingComparison(
+            design=design,
+            benchmark=self.benchmark.name,
+            time_seconds=profile.total_time,
+            energy_joules=energy.total,
+            time_components={
+                "compute": timing.compute,
+                "memory": timing.memory,
+                "sync": timing.sync,
+                "overhead": timing.overhead,
+            },
+            energy_components=energy.as_dict(),
+        )
+
+    def _routing_on_hmc(self, design: DesignPoint) -> RoutingComparison:
+        plan = self.distribution_plan()
+        custom_mapping = design is not DesignPoint.PIM_INTER
+        device = self._hmc_device(custom_mapping=custom_mapping)
+
+        crossbar_payload = plan.crossbar_payload_bytes
+        crossbar_packets = plan.crossbar_packets
+        per_vault_dram = plan.per_vault_dram_bytes
+        receiver_ports = 1
+        if design is DesignPoint.PIM_INTRA:
+            # Without the inter-vault data placement the operands stay
+            # interleaved across all vaults: (num_vaults-1)/num_vaults of every
+            # access is remote and must cross the crossbar as 16-byte blocks,
+            # spread over every vault port (all-to-all pattern).
+            remote_fraction = (self.hmc_config.num_vaults - 1) / self.hmc_config.num_vaults
+            remote_bytes = plan.total_dram_bytes * remote_fraction
+            crossbar_payload = remote_bytes
+            crossbar_packets = remote_bytes / self.hmc_config.block_bytes
+            per_vault_dram = plan.total_dram_bytes / self.hmc_config.num_vaults
+            receiver_ports = self.hmc_config.num_vaults
+
+        utilization = self.intra_vault.utilization(
+            plan.per_vault_parallel_suboperations, plan.secondary_parallelism
+        )
+        per_vault = VaultWorkload(
+            operations=plan.per_vault_operations,
+            dram_bytes=per_vault_dram,
+            concurrent_requesters=self.hmc_config.pes_per_vault,
+            pe_utilization=utilization,
+        )
+        execution = device.execute_distributed(
+            per_vault,
+            crossbar_payload_bytes=crossbar_payload,
+            crossbar_packets=crossbar_packets,
+            vaults_used=plan.vaults_used,
+            crossbar_receiver_ports=receiver_ports,
+        )
+        energy = self.hmc_power.energy(
+            execution,
+            total_operations=plan.total_operations,
+            total_dram_bytes=plan.total_dram_bytes,
+            crossbar_payload_bytes=crossbar_payload,
+        )
+        return RoutingComparison(
+            design=design,
+            benchmark=self.benchmark.name,
+            time_seconds=execution.total_time,
+            energy_joules=energy.total,
+            time_components={
+                "execution": execution.execution_time,
+                "xbar": execution.crossbar_time,
+                "vrs": execution.vrs_time,
+            },
+            energy_components=energy.as_dict(),
+            dimension=plan.dimension,
+        )
+
+    # ------------------------------------------------------------------ end to end
+
+    def simulate_end_to_end(self, design: DesignPoint) -> EndToEndComparison:
+        """Whole-inference latency and energy for one design point."""
+        host = self._host_stage()
+        routing_flops = self.workload.routing.total_flops()
+
+        if design in (DesignPoint.BASELINE_GPU, DesignPoint.GPU_ICP):
+            rp = self.simulate_routing(design)
+            timing = self.pipeline.serial(host["time"], rp.time_seconds)
+            host_energy = self.gpu_energy.phase_energy(host["time"], host["flops"], host["traffic"])
+            energy = self.pipeline.num_batches * (host_energy.total + rp.energy_joules)
+            return EndToEndComparison(
+                design=design,
+                benchmark=self.benchmark.name,
+                timing=timing,
+                energy_joules=energy,
+                host_stage_seconds=host["time"],
+                routing_stage_seconds=rp.time_seconds,
+            )
+
+        if design is DesignPoint.ALL_IN_PIM:
+            rp = self.simulate_routing(DesignPoint.PIM_CAPSNET)
+            device = self._hmc_device(custom_mapping=True)
+            host_execution = device.execute_dense(host["flops"], host["traffic"])
+            host_time = host_execution.total_time
+            timing = self.pipeline.serial(host_time, rp.time_seconds)
+            host_energy = self.hmc_power.energy(
+                host_execution,
+                total_operations=_dense_operation_mix(host["flops"]),
+                total_dram_bytes=host["traffic"],
+                crossbar_payload_bytes=0.0,
+            )
+            # With the whole network in memory the host GPU has no work at all
+            # and is assumed to be power-gated, so no idle energy is charged.
+            energy = self.pipeline.num_batches * (host_energy.total + rp.energy_joules)
+            return EndToEndComparison(
+                design=design,
+                benchmark=self.benchmark.name,
+                timing=timing,
+                energy_joules=energy,
+                host_stage_seconds=host_time,
+                routing_stage_seconds=rp.time_seconds,
+            )
+
+        # Pipelined designs (PIM-CapsNet and the two naive schedulers).
+        policy = {
+            DesignPoint.PIM_CAPSNET: SchedulerPolicy.RMAS,
+            DesignPoint.PIM_INTRA: SchedulerPolicy.RMAS,
+            DesignPoint.PIM_INTER: SchedulerPolicy.RMAS,
+            DesignPoint.RMAS_PIM: SchedulerPolicy.PIM_PRIORITY,
+            DesignPoint.RMAS_GPU: SchedulerPolicy.GPU_PRIORITY,
+        }[design]
+        rp_design = design if design in (DesignPoint.PIM_INTRA, DesignPoint.PIM_INTER) else DesignPoint.PIM_CAPSNET
+        rp = self.simulate_routing(rp_design)
+        if policy is SchedulerPolicy.RMAS:
+            # The runtime scheduler balances the two pipeline stages: it picks
+            # the host-priority share that minimizes the steady-state latency.
+            share = self.contention.optimal_share(
+                host["time"], rp.time_seconds, self.hmc_config.num_vaults
+            )
+            host_slowdown, pim_slowdown = self.contention.slowdowns_for_share(share)
+        else:
+            decision = self.rmas.decide(
+                targeted_vaults=self.hmc_config.num_vaults, queue_depth=self.rmas_queue_depth
+            )
+            host_slowdown, pim_slowdown = self.contention.slowdowns(policy, decision)
+        host_time = host["time"] * host_slowdown
+        rp_time = rp.time_seconds * pim_slowdown
+        timing = self.pipeline.pipelined(host_time, rp_time)
+
+        host_energy = self.gpu_energy.phase_energy(host_time, host["flops"], host["traffic"])
+        pim_energy_scale = pim_slowdown  # static HMC power accrues over the longer time
+        gpu_idle_time = max(0.0, timing.total_time - self.pipeline.num_batches * host_time)
+        energy = (
+            self.pipeline.num_batches * (host_energy.total + rp.energy_joules * pim_energy_scale)
+            + self.gpu_energy.idle_energy(gpu_idle_time).total
+        )
+        return EndToEndComparison(
+            design=design,
+            benchmark=self.benchmark.name,
+            timing=timing,
+            energy_joules=energy,
+            host_stage_seconds=host_time,
+            routing_stage_seconds=rp_time,
+        )
+
+    # ------------------------------------------------------------------ conveniences
+
+    def compare_routing(self, designs: Optional[list[DesignPoint]] = None) -> Dict[DesignPoint, RoutingComparison]:
+        """Routing results for several design points."""
+        designs = designs or [
+            DesignPoint.BASELINE_GPU,
+            DesignPoint.GPU_ICP,
+            DesignPoint.PIM_INTRA,
+            DesignPoint.PIM_INTER,
+            DesignPoint.PIM_CAPSNET,
+        ]
+        return {design: self.simulate_routing(design) for design in designs}
+
+    def compare_end_to_end(
+        self, designs: Optional[list[DesignPoint]] = None
+    ) -> Dict[DesignPoint, EndToEndComparison]:
+        """End-to-end results for several design points."""
+        designs = designs or [
+            DesignPoint.BASELINE_GPU,
+            DesignPoint.ALL_IN_PIM,
+            DesignPoint.RMAS_PIM,
+            DesignPoint.RMAS_GPU,
+            DesignPoint.PIM_CAPSNET,
+        ]
+        return {design: self.simulate_end_to_end(design) for design in designs}
+
+
+def _dense_operation_mix(flops: float):
+    """Operation mix of a dense stage executed on the HMC PEs (MACs only)."""
+    from repro.hmc.pe import OperationMix, PEOperation
+
+    return OperationMix().add(PEOperation.MAC, flops / 2.0)

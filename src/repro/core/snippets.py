@@ -1,0 +1,165 @@
+"""Workload snippets and the runtime snippet scheduler (Fig. 8 / Fig. 10).
+
+The inter-vault distributor (Sec. 5.1.2) does not ship one monolithic blob of
+work to each vault: the parallelizable portion of the routing procedure is
+divided into *workload snippets* -- independent slices along the chosen
+dimension -- which a hardware scheduler assigns to vaults at runtime.
+Typical CapsNet configurations produce far more snippets than the 32 vaults,
+which is what makes the distribution flexible (a vault that finishes early
+can pick up another snippet) and keeps the imbalance bounded by a single
+snippet.
+
+This module makes that machinery explicit:
+
+* :func:`build_snippets` slices a :class:`~repro.core.distribution.DistributionPlan`
+  into per-snippet operation mixes and DRAM footprints,
+* :class:`SnippetScheduler` assigns snippets to vaults (round-robin, matching
+  the paper's hardware scheduler) and reports the resulting per-vault load,
+* :func:`load_imbalance` quantifies how uneven the assignment is, which the
+  tests use to verify the "largest workload of a single vault" assumption
+  behind the paper's ``E`` formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.distribution import DistributionPlan
+from repro.hmc.pe import OperationMix
+from repro.workloads.parallelism import Dimension
+
+
+@dataclass(frozen=True)
+class WorkloadSnippet:
+    """One independent slice of the distributed routing workload.
+
+    Attributes:
+        index: snippet index along the distribution dimension.
+        dimension: the distribution dimension the snippet was cut along.
+        operations: PE operations this snippet executes.
+        dram_bytes: DRAM bytes this snippet touches in its vault.
+    """
+
+    index: int
+    dimension: Dimension
+    operations: OperationMix
+    dram_bytes: float
+
+
+@dataclass
+class SnippetAssignment:
+    """Result of scheduling snippets onto vaults."""
+
+    vault_snippets: Dict[int, List[WorkloadSnippet]] = field(default_factory=dict)
+
+    def snippets_for(self, vault: int) -> List[WorkloadSnippet]:
+        """Snippets assigned to one vault."""
+        return self.vault_snippets.get(vault, [])
+
+    def operations_for(self, vault: int) -> OperationMix:
+        """Combined operation mix of one vault's snippets."""
+        total = OperationMix()
+        for snippet in self.snippets_for(vault):
+            total = total.merged_with(snippet.operations)
+        return total
+
+    def dram_bytes_for(self, vault: int) -> float:
+        """Combined DRAM bytes of one vault's snippets."""
+        return float(sum(snippet.dram_bytes for snippet in self.snippets_for(vault)))
+
+    @property
+    def vaults_used(self) -> int:
+        """Number of vaults that received at least one snippet."""
+        return sum(1 for snippets in self.vault_snippets.values() if snippets)
+
+    @property
+    def total_snippets(self) -> int:
+        """Total number of snippets assigned."""
+        return sum(len(snippets) for snippets in self.vault_snippets.values())
+
+
+def snippet_count_for(plan: DistributionPlan, num_vaults: int) -> int:
+    """Number of snippets the plan's dimension naturally produces.
+
+    The distributor cuts along its chosen dimension, producing one snippet
+    per index of that dimension assigned to each vault slot (i.e. the total
+    extent of the dimension), never fewer than the number of vaults in use.
+    """
+    per_vault = max(1, plan.per_vault_parallel_suboperations)
+    return max(plan.vaults_used, per_vault * min(plan.vaults_used, num_vaults))
+
+
+def build_snippets(plan: DistributionPlan, num_vaults: int) -> List[WorkloadSnippet]:
+    """Slice a distribution plan into workload snippets.
+
+    The parallelizable work of the critical vault is divided evenly over its
+    ``per_vault_parallel_suboperations`` snippets; every vault in use gets the
+    same snippet structure (the plan already describes the *largest* vault, so
+    this is a slight over-approximation for the last, partially filled vault,
+    exactly like the ceiling terms of Eqs. 6-11).
+    """
+    if num_vaults < 1:
+        raise ValueError("num_vaults must be positive")
+    snippets_per_vault = max(1, plan.per_vault_parallel_suboperations)
+    total = snippets_per_vault * plan.vaults_used
+    per_snippet_ops = plan.per_vault_operations.scaled(1.0 / snippets_per_vault)
+    per_snippet_bytes = plan.per_vault_dram_bytes / snippets_per_vault
+    return [
+        WorkloadSnippet(
+            index=i,
+            dimension=plan.dimension,
+            operations=per_snippet_ops,
+            dram_bytes=per_snippet_bytes,
+        )
+        for i in range(total)
+    ]
+
+
+class SnippetScheduler:
+    """Round-robin snippet-to-vault scheduler (the paper's hardware scheduler).
+
+    Args:
+        num_vaults: vaults available in the cube.
+    """
+
+    def __init__(self, num_vaults: int) -> None:
+        if num_vaults < 1:
+            raise ValueError("num_vaults must be positive")
+        self.num_vaults = num_vaults
+
+    def assign(self, snippets: List[WorkloadSnippet], vaults_used: int | None = None) -> SnippetAssignment:
+        """Assign snippets to vaults in round-robin order.
+
+        Args:
+            snippets: snippets to assign.
+            vaults_used: restrict the assignment to the first ``vaults_used``
+                vaults (e.g. an H-dimension distribution with fewer high-level
+                capsules than vaults).
+        """
+        vaults = self.num_vaults if vaults_used is None else vaults_used
+        if not 1 <= vaults <= self.num_vaults:
+            raise ValueError("vaults_used must be in [1, num_vaults]")
+        assignment = SnippetAssignment({vault: [] for vault in range(vaults)})
+        for position, snippet in enumerate(snippets):
+            assignment.vault_snippets[position % vaults].append(snippet)
+        return assignment
+
+
+def load_imbalance(assignment: SnippetAssignment) -> float:
+    """Ratio of the most- to the least-loaded vault's operation count.
+
+    1.0 means perfectly balanced; the round-robin scheduler bounds this by
+    one snippet's worth of work.
+    """
+    loads = [
+        assignment.operations_for(vault).total_operations
+        for vault in assignment.vault_snippets
+        if assignment.snippets_for(vault)
+    ]
+    if not loads:
+        return 1.0
+    smallest = min(loads)
+    if smallest == 0:
+        return float("inf")
+    return max(loads) / smallest

@@ -1,0 +1,108 @@
+"""Fig. 15: routing-procedure speedup and energy of PIM-CapsNet.
+
+The paper compares the RP execution of the GPU baseline, the GPU with an
+ideal cache replacement policy (GPU-ICP) and PIM-CapsNet: PIM-CapsNet is
+~2.17x faster on average and saves ~92% of the RP energy, while GPU-ICP
+barely helps (~1% on both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.tables import format_table
+from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.workloads.benchmarks import BENCHMARKS
+
+#: Design points plotted by Fig. 15.
+FIG15_DESIGNS = [DesignPoint.BASELINE_GPU, DesignPoint.GPU_ICP, DesignPoint.PIM_CAPSNET]
+
+
+@dataclass
+class RPAccelerationRow:
+    """One benchmark's bars (speedup and normalized energy)."""
+
+    benchmark: str
+    speedup: Dict[DesignPoint, float]
+    normalized_energy: Dict[DesignPoint, float]
+    chosen_dimension: str
+
+
+@dataclass
+class RPAccelerationResult:
+    """All benchmarks plus the headline averages."""
+
+    rows: List[RPAccelerationRow]
+    average_speedup: float
+    max_speedup: float
+    average_energy_saving: float
+
+
+def run(benchmarks: Optional[List[str]] = None) -> RPAccelerationResult:
+    """Run the Fig. 15 comparison."""
+    names = benchmarks or list(BENCHMARKS)
+    rows: List[RPAccelerationRow] = []
+    for name in names:
+        accelerator = PIMCapsNet(name)
+        results = {design: accelerator.simulate_routing(design) for design in FIG15_DESIGNS}
+        baseline = results[DesignPoint.BASELINE_GPU]
+        rows.append(
+            RPAccelerationRow(
+                benchmark=name,
+                speedup={
+                    design: result.speedup_over(baseline) for design, result in results.items()
+                },
+                normalized_energy={
+                    design: result.energy_joules / baseline.energy_joules
+                    for design, result in results.items()
+                },
+                chosen_dimension=(
+                    results[DesignPoint.PIM_CAPSNET].dimension.value
+                    if results[DesignPoint.PIM_CAPSNET].dimension
+                    else "-"
+                ),
+            )
+        )
+    pim_speedups = [row.speedup[DesignPoint.PIM_CAPSNET] for row in rows]
+    pim_savings = [1.0 - row.normalized_energy[DesignPoint.PIM_CAPSNET] for row in rows]
+    return RPAccelerationResult(
+        rows=rows,
+        average_speedup=arithmetic_mean(pim_speedups),
+        max_speedup=max(pim_speedups),
+        average_energy_saving=arithmetic_mean(pim_savings),
+    )
+
+
+def format_report(result: RPAccelerationResult) -> str:
+    """Render the Fig. 15 bars."""
+    table = format_table(
+        headers=[
+            "Benchmark",
+            "Baseline",
+            "GPU-ICP speedup",
+            "PIM-CapsNet speedup",
+            "PIM energy (norm.)",
+            "dimension",
+        ],
+        rows=[
+            [
+                row.benchmark,
+                row.speedup[DesignPoint.BASELINE_GPU],
+                row.speedup[DesignPoint.GPU_ICP],
+                row.speedup[DesignPoint.PIM_CAPSNET],
+                row.normalized_energy[DesignPoint.PIM_CAPSNET],
+                row.chosen_dimension,
+            ]
+            for row in result.rows
+        ],
+        title="Fig. 15 -- RP speedup and normalized energy",
+    )
+    return (
+        f"{table}\n"
+        f"Average PIM-CapsNet RP speedup: {result.average_speedup:.2f}x "
+        f"(paper: 2.17x, up to 2.27x; measured max {result.max_speedup:.2f}x)\n"
+        f"Average PIM-CapsNet RP energy saving: {100.0 * result.average_energy_saving:.2f}% "
+        f"(paper: 92.18%)"
+    )

@@ -1,0 +1,109 @@
+"""Fig. 17: end-to-end CapsNet inference speedup and energy.
+
+The paper compares the whole-inference latency and energy of:
+
+* the GPU baseline,
+* All-in-PIM (the entire network on the HMC),
+* RMAS-PIM / RMAS-GPU (pipelined execution with naive memory arbitration),
+* PIM-CapsNet (pipelined execution with the runtime memory access scheduler),
+
+reporting a 2.44x average speedup and 64.91% energy saving for PIM-CapsNet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.tables import format_table
+from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.workloads.benchmarks import BENCHMARKS
+
+#: Design points plotted by Fig. 17.
+FIG17_DESIGNS = [
+    DesignPoint.BASELINE_GPU,
+    DesignPoint.ALL_IN_PIM,
+    DesignPoint.RMAS_PIM,
+    DesignPoint.RMAS_GPU,
+    DesignPoint.PIM_CAPSNET,
+]
+
+
+@dataclass
+class EndToEndRow:
+    """One benchmark's bars (speedup and normalized energy per design point)."""
+
+    benchmark: str
+    speedup: Dict[DesignPoint, float]
+    normalized_energy: Dict[DesignPoint, float]
+
+
+@dataclass
+class EndToEndResult:
+    """All benchmarks plus the headline PIM-CapsNet averages."""
+
+    rows: List[EndToEndRow]
+    average_speedup: float
+    max_speedup: float
+    average_energy_saving: float
+    average_all_in_pim_speedup: float
+
+
+def run(benchmarks: Optional[List[str]] = None) -> EndToEndResult:
+    """Run the Fig. 17 comparison."""
+    names = benchmarks or list(BENCHMARKS)
+    rows: List[EndToEndRow] = []
+    for name in names:
+        accelerator = PIMCapsNet(name)
+        results = {design: accelerator.simulate_end_to_end(design) for design in FIG17_DESIGNS}
+        baseline = results[DesignPoint.BASELINE_GPU]
+        rows.append(
+            EndToEndRow(
+                benchmark=name,
+                speedup={d: r.speedup_over(baseline) for d, r in results.items()},
+                normalized_energy={
+                    d: r.energy_joules / baseline.energy_joules for d, r in results.items()
+                },
+            )
+        )
+    pim_speedups = [row.speedup[DesignPoint.PIM_CAPSNET] for row in rows]
+    pim_savings = [1.0 - row.normalized_energy[DesignPoint.PIM_CAPSNET] for row in rows]
+    return EndToEndResult(
+        rows=rows,
+        average_speedup=arithmetic_mean(pim_speedups),
+        max_speedup=max(pim_speedups),
+        average_energy_saving=arithmetic_mean(pim_savings),
+        average_all_in_pim_speedup=arithmetic_mean(
+            [row.speedup[DesignPoint.ALL_IN_PIM] for row in rows]
+        ),
+    )
+
+
+def format_report(result: EndToEndResult) -> str:
+    """Render the Fig. 17 bars."""
+    speedup_table = format_table(
+        headers=["Benchmark"] + [design.value for design in FIG17_DESIGNS],
+        rows=[
+            [row.benchmark] + [row.speedup[design] for design in FIG17_DESIGNS]
+            for row in result.rows
+        ],
+        title="Fig. 17(a) -- end-to-end speedup over the GPU baseline",
+    )
+    energy_table = format_table(
+        headers=["Benchmark"] + [design.value for design in FIG17_DESIGNS],
+        rows=[
+            [row.benchmark] + [row.normalized_energy[design] for design in FIG17_DESIGNS]
+            for row in result.rows
+        ],
+        title="Fig. 17(b) -- end-to-end energy normalized to the GPU baseline",
+    )
+    return (
+        f"{speedup_table}\n\n{energy_table}\n"
+        f"Average PIM-CapsNet speedup: {result.average_speedup:.2f}x "
+        f"(paper: 2.44x, up to 2.76x; measured max {result.max_speedup:.2f}x)\n"
+        f"Average PIM-CapsNet energy saving: {100.0 * result.average_energy_saving:.2f}% "
+        f"(paper: 64.91%)\n"
+        f"Average All-in-PIM speedup: {result.average_all_in_pim_speedup:.2f}x "
+        f"(paper: 0.52x -- see EXPERIMENTS.md for the known deviation)"
+    )

@@ -1,0 +1,90 @@
+"""Run every reproduction experiment and print the combined report.
+
+``python -m repro.experiments.runner`` regenerates the rows/series of every
+evaluation figure and table of the paper.  Individual experiments can be
+skipped with ``--skip`` (the accuracy experiment trains networks and is the
+slowest one).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import (
+    fig04_layer_breakdown,
+    fig05_stall_breakdown,
+    fig06_onchip_storage,
+    fig07_bandwidth,
+    fig15_rp_acceleration,
+    fig16_pim_breakdown,
+    fig17_end_to_end,
+    fig18_frequency_sweep,
+    overhead,
+    table05_accuracy,
+)
+
+#: Experiment registry: name -> (run, format_report).
+EXPERIMENTS: Dict[str, Tuple[Callable[[], object], Callable[[object], str]]] = {
+    "fig04": (fig04_layer_breakdown.run, fig04_layer_breakdown.format_report),
+    "fig05": (fig05_stall_breakdown.run, fig05_stall_breakdown.format_report),
+    "fig06": (fig06_onchip_storage.run, fig06_onchip_storage.format_report),
+    "fig07": (fig07_bandwidth.run, fig07_bandwidth.format_report),
+    "fig15": (fig15_rp_acceleration.run, fig15_rp_acceleration.format_report),
+    "fig16": (fig16_pim_breakdown.run, fig16_pim_breakdown.format_report),
+    "fig17": (fig17_end_to_end.run, fig17_end_to_end.format_report),
+    "fig18": (fig18_frequency_sweep.run, fig18_frequency_sweep.format_report),
+    "table5": (table05_accuracy.run, table05_accuracy.format_report),
+    "overhead": (overhead.run, overhead.format_report),
+}
+
+
+@dataclass
+class RunnerResult:
+    """Results and rendered reports of every executed experiment."""
+
+    results: Dict[str, object] = field(default_factory=dict)
+    reports: Dict[str, str] = field(default_factory=dict)
+
+    def combined_report(self) -> str:
+        """All reports concatenated with separators."""
+        sections = []
+        for name, report in self.reports.items():
+            sections.append(f"{'=' * 78}\n{name}\n{'=' * 78}\n{report}")
+        return "\n\n".join(sections)
+
+
+def run_all(skip: Optional[List[str]] = None, only: Optional[List[str]] = None) -> RunnerResult:
+    """Run the selected experiments.
+
+    Args:
+        skip: experiment names to skip.
+        only: if given, run only these experiments.
+    """
+    skip = set(skip or [])
+    result = RunnerResult()
+    for name, (run_fn, format_fn) in EXPERIMENTS.items():
+        if name in skip:
+            continue
+        if only and name not in only:
+            continue
+        experiment_result = run_fn()
+        result.results[name] = experiment_result
+        result.reports[name] = format_fn(experiment_result)
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip", nargs="*", default=[], choices=sorted(EXPERIMENTS))
+    parser.add_argument("--only", nargs="*", default=None, choices=sorted(EXPERIMENTS))
+    args = parser.parse_args(argv)
+    result = run_all(skip=args.skip, only=args.only)
+    print(result.combined_report())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""GPU timing / energy model (the paper's host processor and baseline).
+
+The paper characterizes CapsNet inference on NVIDIA GPUs (Sec. 3) and uses a
+Tesla P100 as the host processor of PIM-CapsNet (Table 4).  Physical GPUs and
+NVprofiler traces are not available offline, so this package provides an
+analytic model that reproduces the characterization from first principles:
+
+* :mod:`repro.gpu.devices` -- a catalog of the GPU configurations the paper
+  references (K40m, GTX 1080Ti, Tesla P100, RTX 2080Ti, Tesla V100) with
+  their compute throughput, on-chip storage and memory bandwidth.
+* :mod:`repro.gpu.kernels` -- the per-kernel cost model (compute, bandwidth,
+  latency-bound memory, synchronization, fixed overhead) and the resulting
+  stall attribution used for Fig. 5.
+* :mod:`repro.gpu.simulator` -- executes a :class:`repro.workloads.CapsNetWorkload`
+  on a device model and reports per-layer and per-iteration timings
+  (Figs. 4, 6b and 7).
+* :mod:`repro.gpu.energy` -- the energy model used for the baseline side of
+  Figs. 15 and 17.
+"""
+
+from repro.gpu.devices import (
+    GPU_DEVICES,
+    GPUDevice,
+    MemoryTechnology,
+    get_device,
+)
+from repro.gpu.kernels import GPUCostParameters, KernelTiming, StallBreakdown, StallClass
+from repro.gpu.simulator import GPUSimulator, InferenceTiming, LayerTiming, RoutingProfile
+from repro.gpu.energy import GPUEnergyModel, EnergyBreakdown
+
+__all__ = [
+    "GPU_DEVICES",
+    "GPUDevice",
+    "MemoryTechnology",
+    "get_device",
+    "GPUCostParameters",
+    "KernelTiming",
+    "StallBreakdown",
+    "StallClass",
+    "GPUSimulator",
+    "InferenceTiming",
+    "LayerTiming",
+    "RoutingProfile",
+    "GPUEnergyModel",
+    "EnergyBreakdown",
+]

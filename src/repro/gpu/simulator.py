@@ -1,0 +1,330 @@
+"""GPU inference simulator for CapsNet workloads.
+
+The simulator executes the analytic workload model
+(:class:`repro.workloads.CapsNetWorkload`) on a :class:`repro.gpu.GPUDevice`
+and produces per-layer timings plus a detailed profile of the routing
+procedure.  It reproduces the characterization results of Sec. 3:
+
+* Fig. 4  -- per-layer time breakdown and total inference time,
+* Fig. 5  -- pipeline-stall breakdown of the routing procedure,
+* Fig. 6b -- sensitivity of routing performance to on-chip storage,
+* Fig. 7  -- sensitivity of routing performance to off-chip bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.devices import GPUDevice, baseline_device
+from repro.gpu.kernels import GPUCostParameters, KernelTiming, StallBreakdown
+from repro.workloads.layers_model import CapsNetWorkload, LayerKind, LayerWorkload
+from repro.workloads.rp_model import RoutingWorkload
+
+#: Fraction of the on-chip storage that kernels can realistically dedicate to
+#: keeping routing intermediates resident (the rest holds code, indices,
+#: per-thread state and double buffers).
+ONCHIP_USABLE_FRACTION = 0.8
+
+
+@dataclass
+class LayerTiming:
+    """Timing of one network stage on the GPU."""
+
+    name: str
+    kind: LayerKind
+    timing: KernelTiming
+
+    @property
+    def total(self) -> float:
+        return self.timing.total
+
+
+@dataclass
+class RoutingProfile:
+    """Detailed execution profile of the routing procedure on the GPU.
+
+    Attributes:
+        timing: aggregated timing of the whole routing procedure.
+        per_iteration: timing of a single routing iteration (Eqs. 2-5).
+        prediction_timing: timing of Eq. 1 (executed once).
+        offchip_traffic_bytes: total off-chip traffic of the procedure.
+        resident_bytes: bytes of intermediates kept resident on-chip.
+        stalls: pipeline-stall attribution (Fig. 5).
+        alu_utilization: estimated ALU busy fraction.
+        ldst_utilization: estimated load/store unit busy fraction.
+    """
+
+    timing: KernelTiming
+    per_iteration: KernelTiming
+    prediction_timing: KernelTiming
+    offchip_traffic_bytes: int
+    resident_bytes: int
+    stalls: StallBreakdown
+    alu_utilization: float
+    ldst_utilization: float
+
+    @property
+    def total_time(self) -> float:
+        return self.timing.total
+
+
+@dataclass
+class InferenceTiming:
+    """End-to-end timing of one batched CapsNet inference on the GPU."""
+
+    benchmark: str
+    device: str
+    layers: List[LayerTiming]
+    routing_profile: RoutingProfile
+
+    @property
+    def total_time(self) -> float:
+        """Total inference latency in seconds."""
+        return sum(layer.total for layer in self.layers)
+
+    def time_by_kind(self) -> Dict[LayerKind, float]:
+        """Aggregate time per stage category (the Fig. 4 stacking)."""
+        totals: Dict[LayerKind, float] = {kind: 0.0 for kind in LayerKind}
+        for layer in self.layers:
+            totals[layer.kind] += layer.total
+        return totals
+
+    def fraction_by_kind(self) -> Dict[LayerKind, float]:
+        """Per-category share of the total inference time."""
+        total = self.total_time
+        if total <= 0:
+            return {kind: 0.0 for kind in LayerKind}
+        return {kind: value / total for kind, value in self.time_by_kind().items()}
+
+    @property
+    def routing_time(self) -> float:
+        """Time spent in the routing procedure."""
+        return self.time_by_kind()[LayerKind.ROUTING]
+
+    @property
+    def routing_fraction(self) -> float:
+        """Share of inference time spent in the routing procedure."""
+        return self.fraction_by_kind()[LayerKind.ROUTING]
+
+    @property
+    def host_time(self) -> float:
+        """Time spent in the non-routing (Conv / PrimaryCaps / FC) stages."""
+        return self.total_time - self.routing_time
+
+
+class GPUSimulator:
+    """Analytic GPU simulator for CapsNet inference.
+
+    Args:
+        device: GPU device model (defaults to the paper's P100 baseline).
+        params: calibration constants of the cost model.
+        ideal_cache: when True, models the "GPU-ICP" design point of Fig. 15
+            (an ideal cache replacement policy): the small routing
+            intermediates are always considered resident regardless of the
+            physical on-chip capacity.  The dominant, non-shareable
+            prediction vectors still spill, which is why GPU-ICP barely helps.
+    """
+
+    def __init__(
+        self,
+        device: Optional[GPUDevice] = None,
+        params: Optional[GPUCostParameters] = None,
+        ideal_cache: bool = False,
+    ) -> None:
+        self.device = device or baseline_device()
+        self.params = params or GPUCostParameters()
+        self.ideal_cache = ideal_cache
+
+    # -- dense (Conv / PrimaryCaps / FC) stages --------------------------------
+
+    def simulate_dense_layer(self, layer: LayerWorkload) -> KernelTiming:
+        """Roofline-style timing of a dense (Conv / FC) stage."""
+        params = self.params
+        device = self.device
+        compute = layer.flops / (device.peak_flops * params.dense_compute_efficiency)
+        bandwidth = layer.traffic_bytes / (
+            device.memory_bandwidth_bytes * params.dense_bandwidth_utilization
+        )
+        # Dense kernels overlap memory with compute well: only the part of the
+        # memory time exceeding the compute time is exposed.
+        exposed_bandwidth = max(0.0, bandwidth - compute)
+        overhead = params.kernel_launch_seconds
+        return KernelTiming(
+            name=layer.name,
+            compute=compute,
+            bandwidth=exposed_bandwidth,
+            latency=0.0,
+            sync=0.0,
+            overhead=overhead,
+        )
+
+    # -- routing procedure -------------------------------------------------------
+
+    def _resident_operands(self, workload: RoutingWorkload) -> Dict[str, int]:
+        """Routing intermediates that stay resident on-chip (name -> bytes).
+
+        Operands are considered in increasing size order; an operand stays
+        resident if it fits in the remaining usable on-chip capacity.  The
+        prediction vectors u_hat practically never fit, which is the paper's
+        core observation.
+        """
+        footprint = workload.footprint()
+        capacity = int(self.device.onchip_storage_bytes * ONCHIP_USABLE_FRACTION)
+        if self.ideal_cache:
+            # Ideal replacement keeps every *small* intermediate resident but
+            # cannot make the capacity larger than it is.
+            capacity = max(capacity, footprint.intermediate_bytes - footprint.predictions)
+        operands = {
+            "b": footprint.logits,
+            "c": footprint.coefficients,
+            "s": footprint.weighted_sums,
+            "v": footprint.high_capsules,
+            "u_hat": footprint.predictions,
+        }
+        resident: Dict[str, int] = {}
+        budget = capacity
+        for name, size in sorted(operands.items(), key=lambda item: item[1]):
+            if size <= budget:
+                resident[name] = size
+                budget -= size
+        return resident
+
+    def simulate_routing(self, workload: RoutingWorkload) -> RoutingProfile:
+        """Detailed timing and profiling of the routing procedure."""
+        params = self.params
+        device = self.device
+        footprint = workload.footprint()
+        resident_operands = self._resident_operands(workload)
+        resident = sum(resident_operands.values())
+
+        # On-chip capacity left after pinning the small intermediates can hold
+        # a *tile* of the prediction vectors, so a fraction of every u_hat
+        # re-read hits on-chip.  This is the (limited) benefit larger on-chip
+        # storage provides in Fig. 6(b): u_hat is 40x-300x larger than any
+        # GPU's storage, so the fraction stays small.
+        capacity = int(self.device.onchip_storage_bytes * ONCHIP_USABLE_FRACTION)
+        spare_capacity = max(0, capacity - resident)
+        uhat_hit_fraction = 0.0
+        if "u_hat" not in resident_operands and footprint.predictions > 0:
+            uhat_hit_fraction = min(1.0, spare_capacity / float(footprint.predictions))
+
+        def offchip(name: str, size: int) -> float:
+            """Traffic contributed by one operand access, 0 if it is resident."""
+            if name in resident_operands:
+                return 0.0
+            if name == "u_hat":
+                return size * (1.0 - uhat_hit_fraction)
+            return float(size)
+
+        # ---- Eq. 1 (prediction vectors), executed once.
+        eq1_traffic = footprint.low_capsules + footprint.weights + footprint.predictions
+        eq1_flops = workload.flops_prediction()
+
+        # ---- one routing iteration (Eqs. 2-5).
+        iter_traffic = 0
+        # Eq. 5: read b, write c.
+        iter_traffic += offchip("b", footprint.logits)
+        iter_traffic += offchip("c", footprint.coefficients)
+        # Eq. 2: read u_hat + c, write s.
+        iter_traffic += offchip("u_hat", footprint.predictions)
+        iter_traffic += offchip("c", footprint.coefficients)
+        iter_traffic += offchip("s", footprint.weighted_sums)
+        # Eq. 3: read s, write v.
+        iter_traffic += offchip("s", footprint.weighted_sums)
+        iter_traffic += offchip("v", footprint.high_capsules)
+        # Eq. 4: read u_hat + v + b, write b.
+        iter_traffic += offchip("u_hat", footprint.predictions)
+        iter_traffic += offchip("v", footprint.high_capsules)
+        iter_traffic += 2 * offchip("b", footprint.logits)
+        iter_flops = workload.iteration_flops()
+
+        iterations = workload.iterations
+        total_traffic = eq1_traffic + iterations * iter_traffic
+
+        routing_bw = device.memory_bandwidth_bytes * params.routing_bandwidth_utilization
+
+        def timing_for(name: str, flops: int, traffic: int, barriers: int, kernels: int) -> KernelTiming:
+            compute_full = flops / (device.peak_flops * params.routing_alu_efficiency)
+            bandwidth = traffic / routing_bw
+            latency = traffic * params.routing_latency_seconds_per_byte
+            memory = bandwidth + latency
+            exposed_compute = max(0.0, compute_full - memory)
+            sync = barriers * params.barrier_cost_seconds
+            busy = memory + sync + exposed_compute
+            overhead = busy * (
+                params.resource_stall_fraction
+                + params.fetch_stall_fraction
+                + params.other_stall_fraction
+            ) + kernels * params.kernel_launch_seconds
+            return KernelTiming(
+                name=name,
+                compute=exposed_compute,
+                bandwidth=bandwidth,
+                latency=latency,
+                sync=sync,
+                overhead=overhead,
+            )
+
+        barriers_per_iter = workload.total_synchronization_groups() // iterations
+        prediction_timing = timing_for(
+            "routing-eq1", eq1_flops, eq1_traffic, barriers=0, kernels=1
+        )
+        per_iteration = timing_for(
+            "routing-iteration",
+            iter_flops,
+            iter_traffic,
+            barriers=barriers_per_iter,
+            kernels=params.routing_kernels_per_iteration,
+        )
+        total = prediction_timing.merged_with(per_iteration.scaled(iterations), name="routing")
+
+        # Utilization estimates in the spirit of the NVprofiler counters the
+        # paper reports (ALU ~38.6%, LDST ~85.9%): the load/store units are
+        # busy during the memory phases and the shared-memory traffic of the
+        # synchronization phases; the ALUs are only busy for the arithmetic.
+        total_time = total.total
+        compute_full_total = (
+            eq1_flops + iterations * iter_flops
+        ) / (device.peak_flops * params.routing_alu_efficiency)
+        alu_util = min(1.0, compute_full_total / total_time) if total_time > 0 else 0.0
+        ldst_util = (
+            min(1.0, (total.memory + total.sync + 0.5 * total.overhead) / total_time)
+            if total_time > 0
+            else 0.0
+        )
+
+        return RoutingProfile(
+            timing=total,
+            per_iteration=per_iteration,
+            prediction_timing=prediction_timing,
+            offchip_traffic_bytes=int(total_traffic),
+            resident_bytes=resident,
+            stalls=StallBreakdown.from_timing(total, params),
+            alu_utilization=alu_util,
+            ldst_utilization=ldst_util,
+        )
+
+    # -- whole network -------------------------------------------------------------
+
+    def simulate(self, workload: CapsNetWorkload) -> InferenceTiming:
+        """Simulate one batched inference of the full CapsNet."""
+        layers: List[LayerTiming] = []
+        routing_profile: Optional[RoutingProfile] = None
+        for layer in workload.layers():
+            if layer.kind is LayerKind.ROUTING:
+                routing_profile = self.simulate_routing(workload.routing)
+                layers.append(LayerTiming(layer.name, layer.kind, routing_profile.timing))
+            else:
+                layers.append(LayerTiming(layer.name, layer.kind, self.simulate_dense_layer(layer)))
+        assert routing_profile is not None
+        return InferenceTiming(
+            benchmark=workload.config.name,
+            device=self.device.name,
+            layers=layers,
+            routing_profile=routing_profile,
+        )
+
+    def routing_time(self, workload: CapsNetWorkload) -> float:
+        """Convenience: routing-procedure time only."""
+        return self.simulate_routing(workload.routing).total_time

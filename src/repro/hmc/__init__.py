@@ -1,0 +1,60 @@
+"""Hybrid Memory Cube (HMC) simulator.
+
+The paper integrates its routing-procedure accelerators into the logic layer
+of an HMC (Gen3-class: 32 vaults x 16 banks, 320 GB/s external links,
+512 GB/s aggregate internal bandwidth).  This package models the pieces of
+that device that determine PIM-CapsNet's performance and energy:
+
+* :mod:`repro.hmc.config` -- device geometry, bandwidths, PE count/frequency.
+* :mod:`repro.hmc.pe` -- the customized processing element datapath
+  (MAC / add / multiply / bit-shift flows and the approximated special
+  functions) with per-operation cycle costs.
+* :mod:`repro.hmc.dram` -- vault DRAM timing and bank-conflict behaviour.
+* :mod:`repro.hmc.address` -- the default HMC address mapping and the
+  paper's customized mapping (Sec. 5.3.1).
+* :mod:`repro.hmc.crossbar` -- the logic-layer crossbar connecting vaults.
+* :mod:`repro.hmc.vault` -- a vault: sub-memory controller + 16 PEs + banks.
+* :mod:`repro.hmc.device` -- the full cube.
+* :mod:`repro.hmc.power` / :mod:`repro.hmc.thermal` -- energy, area and
+  thermal-headroom models (Sec. 6.5).
+"""
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.pe import PEDatapath, PEOperation, OperationMix
+from repro.hmc.dram import BankTimings, VaultMemoryModel
+from repro.hmc.address import (
+    AddressMapping,
+    CustomAddressMapping,
+    DefaultAddressMapping,
+    MappedAddress,
+)
+from repro.hmc.crossbar import Crossbar, TransferEstimate
+from repro.hmc.vault import Vault, VaultExecution, VaultWorkload
+from repro.hmc.device import HMCDevice, HMCExecution
+from repro.hmc.power import HMCPowerModel, HMCEnergyBreakdown, LogicAreaModel
+from repro.hmc.thermal import ThermalModel, ThermalReport
+
+__all__ = [
+    "HMCConfig",
+    "PEDatapath",
+    "PEOperation",
+    "OperationMix",
+    "BankTimings",
+    "VaultMemoryModel",
+    "AddressMapping",
+    "CustomAddressMapping",
+    "DefaultAddressMapping",
+    "MappedAddress",
+    "Crossbar",
+    "TransferEstimate",
+    "Vault",
+    "VaultExecution",
+    "VaultWorkload",
+    "HMCDevice",
+    "HMCExecution",
+    "HMCPowerModel",
+    "HMCEnergyBreakdown",
+    "LogicAreaModel",
+    "ThermalModel",
+    "ThermalReport",
+]

@@ -1,0 +1,115 @@
+"""Logic-layer crossbar model.
+
+The HMC logic layer routes traffic between the SerDes links and the vaults
+through a crossbar switch.  PIM-CapsNet's inter-vault design tries to keep
+the crossbar out of the critical path; the PIM-Intra design point (no
+inter-vault optimization) pushes *all* routing data through it, which is why
+the crossbar shows up as ~45% of PIM-Intra's execution time (Fig. 16a).
+
+Two cost components are modelled:
+
+* a per-byte cost limited by the crossbar's effective bandwidth (raw switch
+  bandwidth derated by payload efficiency and contention), and
+* a per-packet cost covering arbitration and serialization at the receiving
+  vault's port -- this is what penalizes distribution dimensions that
+  exchange many small packets and what makes the optimal dimension shift
+  with PE frequency in Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.config import HMCConfig
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Cost estimate of one inter-vault transfer pattern."""
+
+    payload_bytes: float
+    packet_count: float
+    bandwidth_time: float
+    packet_time: float
+
+    @property
+    def total_time(self) -> float:
+        return self.bandwidth_time + self.packet_time
+
+    @property
+    def wire_bytes(self) -> float:
+        """Bytes actually moved including packet overheads."""
+        return self.payload_bytes + self.packet_count * 0.0  # overhead folded into bandwidth_time
+
+
+@dataclass(frozen=True)
+class Crossbar:
+    """Crossbar switch of the HMC logic layer.
+
+    Attributes:
+        config: HMC configuration.
+        raw_bandwidth_gbs: switch bandwidth before derating (defaults to the
+            aggregate internal bandwidth).
+        contention_efficiency: fraction of the raw bandwidth achievable under
+            the many-to-many traffic the routing procedure generates.
+        packet_latency_ns: arbitration + serialization cost per packet at the
+            hot (receiving) port.
+    """
+
+    config: HMCConfig
+    raw_bandwidth_gbs: float = 0.0
+    contention_efficiency: float = 0.55
+    packet_latency_ns: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.raw_bandwidth_gbs <= 0:
+            object.__setattr__(self, "raw_bandwidth_gbs", self.config.internal_bandwidth_gbs)
+        if not 0.0 < self.contention_efficiency <= 1.0:
+            raise ValueError("contention_efficiency must be in (0, 1]")
+        if self.packet_latency_ns < 0:
+            raise ValueError("packet_latency_ns must be non-negative")
+
+    @property
+    def effective_bandwidth_bytes(self) -> float:
+        """Usable crossbar bandwidth (bytes/s) after payload and contention derating.
+
+        Every ``block_bytes`` payload carries ``packet_overhead_bytes`` of
+        head/tail flits, and the many-to-many pattern only sustains a
+        fraction of the switch bandwidth.
+        """
+        cfg = self.config
+        payload_efficiency = cfg.block_bytes / float(cfg.block_bytes + cfg.packet_overhead_bytes)
+        return (
+            self.raw_bandwidth_gbs * 1e9 * payload_efficiency * self.contention_efficiency
+        )
+
+    def transfer(
+        self, payload_bytes: float, packet_count: float, receiver_ports: int = 1
+    ) -> TransferEstimate:
+        """Estimate the cost of moving ``payload_bytes`` in ``packet_count`` packets.
+
+        Args:
+            payload_bytes: useful bytes transferred.
+            packet_count: number of packets carrying them.
+            receiver_ports: number of vault ports the packets are spread over.
+                Aggregation patterns (all-reduce into one vault) serialize at a
+                single hot port (``1``); all-to-all patterns spread across
+                every vault.
+        """
+        if payload_bytes < 0 or packet_count < 0:
+            raise ValueError("payload and packet counts must be non-negative")
+        if receiver_ports < 1:
+            raise ValueError("receiver_ports must be positive")
+        bandwidth_time = payload_bytes / self.effective_bandwidth_bytes
+        packet_time = packet_count * self.packet_latency_ns * 1e-9 / receiver_ports
+        return TransferEstimate(
+            payload_bytes=payload_bytes,
+            packet_count=packet_count,
+            bandwidth_time=bandwidth_time,
+            packet_time=packet_time,
+        )
+
+    def broadcast(self, payload_bytes_per_vault: float, packets_per_vault: float) -> TransferEstimate:
+        """Cost of broadcasting data from one vault to every other vault."""
+        other = self.config.num_vaults - 1
+        return self.transfer(payload_bytes_per_vault * other, packets_per_vault * other)

@@ -1,0 +1,162 @@
+"""The Hybrid Memory Cube device: vaults + crossbar + logic layer.
+
+:class:`HMCDevice` executes a *distributed* routing workload: every vault
+receives (approximately) the same per-vault workload produced by the
+inter-vault distributor, the crossbar carries the aggregation/broadcast
+traffic, and the device time is the slowest vault plus the exposed
+inter-vault communication.
+
+The device can also execute dense (Conv / FC) work for the All-in-PIM design
+point of Fig. 17, where the whole network runs in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hmc.address import AddressMapping, CustomAddressMapping
+from repro.hmc.config import HMCConfig
+from repro.hmc.crossbar import Crossbar, TransferEstimate
+from repro.hmc.pe import OperationMix, PEDatapath, PEOperation
+from repro.hmc.vault import Vault, VaultExecution, VaultWorkload
+
+
+@dataclass
+class HMCExecution:
+    """Timing decomposition of one distributed execution on the HMC.
+
+    Attributes:
+        vault: timing of the critical (slowest-loaded) vault.
+        crossbar: inter-vault communication estimate.
+        vaults_used: number of vaults that received work.
+    """
+
+    vault: VaultExecution
+    crossbar: TransferEstimate
+    vaults_used: int
+
+    @property
+    def compute_time(self) -> float:
+        return self.vault.compute_time
+
+    @property
+    def dram_time(self) -> float:
+        return self.vault.dram_time
+
+    @property
+    def execution_time(self) -> float:
+        """Compute/DRAM execution portion (the "Execution" bar of Fig. 16a)."""
+        return self.vault.execution_time
+
+    @property
+    def vrs_time(self) -> float:
+        """Vault request stall portion (the "VRS" bar of Fig. 16a)."""
+        return self.vault.vrs_time
+
+    @property
+    def crossbar_time(self) -> float:
+        """Inter-vault communication portion (the "X-bar" bar of Fig. 16a)."""
+        return self.crossbar.total_time
+
+    @property
+    def total_time(self) -> float:
+        return self.vault.total_time + self.crossbar_time
+
+
+class HMCDevice:
+    """The full cube.
+
+    Args:
+        config: device geometry and bandwidth parameters.
+        mapping: address mapping in effect (customized mapping by default).
+        crossbar: crossbar model.
+        datapath: PE datapath cost model.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HMCConfig] = None,
+        mapping: Optional[AddressMapping] = None,
+        crossbar: Optional[Crossbar] = None,
+        datapath: Optional[PEDatapath] = None,
+    ) -> None:
+        self.config = config or HMCConfig()
+        self.mapping = mapping or CustomAddressMapping(self.config)
+        self.crossbar = crossbar or Crossbar(self.config)
+        self.datapath = datapath or PEDatapath(frequency_hz=self.config.pe_frequency_hz)
+        self.vault = Vault(self.config, datapath=self.datapath, mapping=self.mapping)
+
+    # -- distributed routing execution ------------------------------------------
+
+    def execute_distributed(
+        self,
+        per_vault: VaultWorkload,
+        crossbar_payload_bytes: float,
+        crossbar_packets: float,
+        vaults_used: Optional[int] = None,
+        crossbar_receiver_ports: int = 1,
+    ) -> HMCExecution:
+        """Execute one distributed workload.
+
+        Args:
+            per_vault: workload of the most heavily loaded vault.
+            crossbar_payload_bytes: inter-vault payload bytes (the paper's ``M``).
+            crossbar_packets: number of inter-vault packets.
+            vaults_used: number of vaults that received work (defaults to all).
+            crossbar_receiver_ports: vault ports the inter-vault packets are
+                spread over (1 for aggregation into a single vault, the vault
+                count for all-to-all patterns).
+        """
+        vault_execution = self.vault.execute(per_vault)
+        transfer = self.crossbar.transfer(
+            crossbar_payload_bytes, crossbar_packets, receiver_ports=crossbar_receiver_ports
+        )
+        return HMCExecution(
+            vault=vault_execution,
+            crossbar=transfer,
+            vaults_used=vaults_used if vaults_used is not None else self.config.num_vaults,
+        )
+
+    # -- dense execution (All-in-PIM) ---------------------------------------------
+
+    def execute_dense(self, flops: float, dram_bytes: float) -> HMCExecution:
+        """Execute a dense (Conv / FC) stage across every vault's PEs.
+
+        Dense kernels stream operands with perfect locality, so the PEs run
+        fully pipelined MACs (``STREAMING_MAC_CYCLES`` per MAC) and the DRAM
+        traffic spreads evenly over the vaults.
+        """
+        from repro.hmc.pe import DEFAULT_CYCLES_PER_OPERATION, STREAMING_MAC_CYCLES
+
+        if flops < 0 or dram_bytes < 0:
+            raise ValueError("flops and dram_bytes must be non-negative")
+        macs = flops / 2.0
+        per_vault_mix = OperationMix().add(PEOperation.MAC, macs / self.config.num_vaults)
+        streaming_costs = dict(DEFAULT_CYCLES_PER_OPERATION)
+        streaming_costs[PEOperation.MAC] = STREAMING_MAC_CYCLES
+        streaming_vault = Vault(
+            self.config,
+            datapath=PEDatapath(
+                frequency_hz=self.datapath.frequency_hz, cycles_per_operation=streaming_costs
+            ),
+            mapping=self.mapping,
+        )
+        per_vault = VaultWorkload(
+            operations=per_vault_mix,
+            dram_bytes=dram_bytes / self.config.num_vaults,
+            concurrent_requesters=self.config.pes_per_vault,
+        )
+        vault_execution = streaming_vault.execute(per_vault)
+        transfer = self.crossbar.transfer(0.0, 0.0)
+        return HMCExecution(
+            vault=vault_execution, crossbar=transfer, vaults_used=self.config.num_vaults
+        )
+
+    # -- host transfers --------------------------------------------------------------
+
+    def host_transfer_time(self, payload_bytes: float) -> float:
+        """Time to move data between the host GPU and the cube over the external links."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return payload_bytes / self.config.external_bandwidth_bytes

@@ -1,0 +1,82 @@
+"""Thermal headroom check for the 3D-stacked PIM logic (Sec. 6.5).
+
+Adding compute logic under a DRAM stack raises the cube's power density;
+the paper cites a 10 W thermal-design-power headroom for logic added to an
+HMC-class stack and verifies its 2.24 W average logic power fits comfortably.
+This module reproduces that check and lets sensitivity studies explore how
+many PEs / what frequency would exhaust the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.config import HMCConfig
+
+
+@dataclass
+class ThermalReport:
+    """Outcome of a thermal-budget check."""
+
+    logic_power_watts: float
+    budget_watts: float
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the added logic power fits the thermal headroom."""
+        return self.logic_power_watts <= self.budget_watts
+
+    @property
+    def headroom_watts(self) -> float:
+        """Remaining budget (negative when exceeded)."""
+        return self.budget_watts - self.logic_power_watts
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the thermal budget consumed."""
+        return self.logic_power_watts / self.budget_watts if self.budget_watts > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Thermal budget model of the HMC logic layer.
+
+    Attributes:
+        config: device configuration.
+        logic_tdp_watts: power headroom available to added logic (10 W per
+            the paper's reference).
+        pe_dynamic_watts_at_base: average dynamic power of one PE at the base
+            312.5 MHz frequency; scaled linearly with frequency for sweeps.
+        base_frequency_mhz: the reference frequency of ``pe_dynamic_watts_at_base``.
+    """
+
+    config: HMCConfig
+    logic_tdp_watts: float = 10.0
+    pe_dynamic_watts_at_base: float = 0.004
+    base_frequency_mhz: float = 312.5
+
+    def logic_power(self, frequency_mhz: float | None = None) -> float:
+        """Average power of all PEs plus fixed controller/RMAS power at a frequency."""
+        frequency = frequency_mhz if frequency_mhz is not None else self.config.pe_frequency_mhz
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        scale = frequency / self.base_frequency_mhz
+        pe_power = self.config.total_pes * self.pe_dynamic_watts_at_base * scale
+        controller_power = 0.005 * self.config.num_vaults + 0.02  # controllers + RMAS
+        return pe_power + controller_power
+
+    def check(self, frequency_mhz: float | None = None) -> ThermalReport:
+        """Check the logic power at a PE frequency against the thermal budget."""
+        return ThermalReport(
+            logic_power_watts=self.logic_power(frequency_mhz),
+            budget_watts=self.logic_tdp_watts,
+        )
+
+    def max_frequency_mhz(self) -> float:
+        """Highest PE frequency that still fits the thermal budget."""
+        controller_power = 0.005 * self.config.num_vaults + 0.02
+        budget_for_pes = self.logic_tdp_watts - controller_power
+        if budget_for_pes <= 0:
+            return 0.0
+        per_pe_budget = budget_for_pes / self.config.total_pes
+        return self.base_frequency_mhz * per_pe_budget / self.pe_dynamic_watts_at_base

@@ -1,0 +1,52 @@
+"""Analytic workload models of CapsNet inference.
+
+The performance experiments of the paper never need the numerical values
+flowing through the network -- they depend on *how much* work and data
+movement each layer generates.  This package captures that:
+
+* :mod:`repro.workloads.benchmarks` -- the 12 benchmark configurations of
+  Table 1 (Caps-MN1..3, Caps-CF1..3, Caps-EN1..3, Caps-SV1..3).
+* :mod:`repro.workloads.parallelism` -- Table 2: along which of the B / L / H
+  dimensions each routing equation can be parallelized.
+* :mod:`repro.workloads.rp_model` -- per-equation FLOP counts, intermediate
+  variable footprints and memory traffic of the routing procedure.
+* :mod:`repro.workloads.layers_model` -- op/traffic models of the Conv,
+  PrimaryCaps and FC (decoder) layers plus the whole-network aggregation
+  consumed by the GPU and PIM simulators.
+"""
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    BenchmarkConfig,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.workloads.parallelism import (
+    Dimension,
+    EQUATION_PARALLELISM,
+    RoutingEquation,
+    parallelizable_dimensions,
+    supports_dimension,
+)
+from repro.workloads.rp_model import IntermediateFootprint, RoutingWorkload
+from repro.workloads.em_model import EMFootprint, EMRoutingWorkload
+from repro.workloads.layers_model import CapsNetWorkload, LayerKind, LayerWorkload
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkConfig",
+    "benchmark_names",
+    "get_benchmark",
+    "Dimension",
+    "EQUATION_PARALLELISM",
+    "RoutingEquation",
+    "parallelizable_dimensions",
+    "supports_dimension",
+    "IntermediateFootprint",
+    "RoutingWorkload",
+    "EMFootprint",
+    "EMRoutingWorkload",
+    "CapsNetWorkload",
+    "LayerKind",
+    "LayerWorkload",
+]

@@ -1,0 +1,131 @@
+"""Benchmark configurations of Table 1.
+
+The paper evaluates 12 CapsNets spanning four datasets, three batch sizes,
+three low-capsule counts, three high-capsule counts and three routing
+iteration counts.  All networks use the CapsNet-MNIST structure (Sec. 2.1):
+an 8-dimensional low-level capsule and a 16-dimensional high-level capsule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.capsnet.datasets import DATASET_SPECS, DatasetSpec
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """One row of Table 1.
+
+    Attributes:
+        name: benchmark name (e.g. ``"Caps-MN1"``).
+        dataset: dataset name (key into :data:`repro.capsnet.datasets.DATASET_SPECS`).
+        batch_size: batched input sets processed per inference (``NB``).
+        num_low_capsules: number of low-level capsules (``NL``).
+        num_high_capsules: number of high-level capsules (``NH``).
+        routing_iterations: dynamic routing iterations (``I``).
+        low_dim: scalars per low-level capsule (``CL``, 8 for all benchmarks).
+        high_dim: scalars per high-level capsule (``CH``, 16 for all benchmarks).
+    """
+
+    name: str
+    dataset: str
+    batch_size: int
+    num_low_capsules: int
+    num_high_capsules: int
+    routing_iterations: int
+    low_dim: int = 8
+    high_dim: int = 16
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "batch_size",
+            "num_low_capsules",
+            "num_high_capsules",
+            "routing_iterations",
+            "low_dim",
+            "high_dim",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.dataset not in DATASET_SPECS:
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def dataset_spec(self) -> DatasetSpec:
+        """Shape-level description of the benchmark's dataset."""
+        return DATASET_SPECS[self.dataset]
+
+    @property
+    def network_scale(self) -> float:
+        """A scalar proxy of the routing workload size.
+
+        The paper discusses "network size" as the combination of L capsules,
+        H capsules and routing iterations; this property provides a single
+        comparable number used for scalability plots.
+        """
+        return float(
+            self.num_low_capsules * self.num_high_capsules * self.routing_iterations
+        )
+
+    @property
+    def prediction_vector_count(self) -> int:
+        """Number of prediction vectors u_hat produced per inference batch."""
+        return self.batch_size * self.num_low_capsules * self.num_high_capsules
+
+    def describe(self) -> str:
+        """Human readable one-line description."""
+        return (
+            f"{self.name}: {self.dataset}, BS={self.batch_size}, "
+            f"L={self.num_low_capsules}, H={self.num_high_capsules}, "
+            f"iter={self.routing_iterations}"
+        )
+
+
+def _build_benchmarks() -> Dict[str, BenchmarkConfig]:
+    rows: List[Tuple[str, str, int, int, int, int]] = [
+        # name, dataset, batch, L caps, H caps, iterations (Table 1)
+        ("Caps-MN1", "MNIST", 100, 1152, 10, 3),
+        ("Caps-MN2", "MNIST", 200, 1152, 10, 3),
+        ("Caps-MN3", "MNIST", 300, 1152, 10, 3),
+        ("Caps-CF1", "CIFAR10", 100, 2304, 11, 3),
+        ("Caps-CF2", "CIFAR10", 100, 3456, 11, 3),
+        ("Caps-CF3", "CIFAR10", 100, 4608, 11, 3),
+        ("Caps-EN1", "EMNIST-LETTER", 100, 1152, 26, 3),
+        ("Caps-EN2", "EMNIST-BALANCED", 100, 1152, 47, 3),
+        ("Caps-EN3", "EMNIST-BYCLASS", 100, 1152, 62, 3),
+        ("Caps-SV1", "SVHN", 100, 576, 10, 3),
+        ("Caps-SV2", "SVHN", 100, 576, 10, 6),
+        ("Caps-SV3", "SVHN", 100, 576, 10, 9),
+    ]
+    return {
+        name: BenchmarkConfig(
+            name=name,
+            dataset=dataset,
+            batch_size=batch,
+            num_low_capsules=low,
+            num_high_capsules=high,
+            routing_iterations=iterations,
+        )
+        for name, dataset, batch, low, high, iterations in rows
+    }
+
+
+#: All 12 benchmarks of Table 1 keyed by name.
+BENCHMARKS: Dict[str, BenchmarkConfig] = _build_benchmarks()
+
+
+def benchmark_names() -> List[str]:
+    """Benchmark names in the paper's presentation order."""
+    return list(BENCHMARKS.keys())
+
+
+def get_benchmark(name: str) -> BenchmarkConfig:
+    """Look up a benchmark by (case-insensitive) name."""
+    for key, config in BENCHMARKS.items():
+        if key.lower() == name.strip().lower():
+            return config
+    raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}")

@@ -1,0 +1,91 @@
+"""Parallelizable dimensions of the routing equations (Table 2 of the paper).
+
+The routing procedure can be partitioned along three dimensions:
+
+* **B** -- the batch dimension (independent input sets),
+* **L** -- the low-level capsule dimension,
+* **H** -- the high-level capsule dimension.
+
+Table 2 records along which dimensions each of the five routing equations
+decomposes into independent sub-operations.  Equations that aggregate over a
+dimension cannot be split along it without a cross-vault reduction:
+
+* Eq. 2 aggregates over L (``sum_i``), so it is not parallelizable along L
+  (only the multiply half is; the reduction needs an aggregation step).
+* Eq. 4 aggregates over B (``sum_k``), so it is not parallelizable along B
+  (again, only the multiply half is).
+* Eq. 5 normalizes over H (softmax denominator), so it is only
+  parallelizable along L.
+
+The key observations of Sec. 5.1.1 follow directly:
+
+* *Observation I*: every equation is parallelizable along at least one dimension.
+* *Observation II*: no single dimension parallelizes all five equations.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, List
+
+
+class Dimension(str, Enum):
+    """A parallelization dimension of the routing procedure."""
+
+    BATCH = "B"
+    LOW = "L"
+    HIGH = "H"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RoutingEquation(str, Enum):
+    """The five equations of the dynamic routing procedure (Sec. 2.2)."""
+
+    PREDICTION = "eq1"       #: Eq. 1: u_hat = u x W
+    WEIGHTED_SUM = "eq2"     #: Eq. 2: s_j = sum_i u_hat * c_ij
+    SQUASH = "eq3"           #: Eq. 3: v_j = squash(s_j)
+    AGREEMENT = "eq4"        #: Eq. 4: b_ij += sum_k v_j . u_hat
+    SOFTMAX = "eq5"          #: Eq. 5: c_ij = softmax_j(b_ij)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Table 2: dimensions along which each equation fully parallelizes.
+EQUATION_PARALLELISM: Dict[RoutingEquation, FrozenSet[Dimension]] = {
+    RoutingEquation.PREDICTION: frozenset({Dimension.BATCH, Dimension.LOW, Dimension.HIGH}),
+    RoutingEquation.WEIGHTED_SUM: frozenset({Dimension.BATCH, Dimension.HIGH}),
+    RoutingEquation.SQUASH: frozenset({Dimension.BATCH, Dimension.HIGH}),
+    RoutingEquation.AGREEMENT: frozenset({Dimension.LOW, Dimension.HIGH}),
+    RoutingEquation.SOFTMAX: frozenset({Dimension.LOW}),
+}
+
+
+def parallelizable_dimensions(equation: RoutingEquation) -> FrozenSet[Dimension]:
+    """Dimensions along which ``equation`` splits into independent sub-operations."""
+    return EQUATION_PARALLELISM[equation]
+
+
+def supports_dimension(equation: RoutingEquation, dimension: Dimension) -> bool:
+    """Whether ``equation`` is fully parallelizable along ``dimension``."""
+    return dimension in EQUATION_PARALLELISM[equation]
+
+
+def equations_not_parallel_along(dimension: Dimension) -> List[RoutingEquation]:
+    """Equations that require aggregation when distributing along ``dimension``.
+
+    These are the "purple blocks" of Fig. 10 -- the operations that cannot be
+    split into snippets along the chosen distribution dimension and therefore
+    require inter-vault communication / pre-aggregation.
+    """
+    return [eq for eq, dims in EQUATION_PARALLELISM.items() if dimension not in dims]
+
+
+def common_dimensions() -> FrozenSet[Dimension]:
+    """Dimensions that parallelize *all* equations (empty set: Observation II)."""
+    result: FrozenSet[Dimension] = frozenset(Dimension)
+    for dims in EQUATION_PARALLELISM.values():
+        result = result & dims
+    return result

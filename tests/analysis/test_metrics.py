@@ -1,0 +1,73 @@
+"""Tests for the analysis metric helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    energy_saving,
+    geometric_mean,
+    normalize,
+    percentage,
+    speedup,
+)
+
+
+def test_speedup_basic():
+    assert speedup(10.0, 5.0) == pytest.approx(2.0)
+
+
+def test_speedup_of_zero_time_is_infinite():
+    assert speedup(1.0, 0.0) == float("inf")
+
+
+def test_speedup_rejects_negative_baseline():
+    with pytest.raises(ValueError):
+        speedup(-1.0, 1.0)
+
+
+def test_energy_saving():
+    assert energy_saving(10.0, 3.0) == pytest.approx(0.7)
+
+
+def test_energy_saving_negative_when_worse():
+    assert energy_saving(10.0, 12.0) == pytest.approx(-0.2)
+
+
+def test_energy_saving_rejects_non_positive_baseline():
+    with pytest.raises(ValueError):
+        energy_saving(0.0, 1.0)
+
+
+def test_normalize():
+    assert normalize([2.0, 4.0, 6.0], 2.0) == [1.0, 2.0, 3.0]
+
+
+def test_normalize_rejects_zero_reference():
+    with pytest.raises(ValueError):
+        normalize([1.0], 0.0)
+
+
+def test_percentage_formatting():
+    assert percentage(0.7462) == "74.62%"
+
+
+def test_geometric_mean_of_identical_values():
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_below_arithmetic_mean():
+    values = [1.0, 4.0]
+    assert geometric_mean(values) < arithmetic_mean(values)
+
+
+def test_geometric_mean_rejects_empty_and_non_positive():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        arithmetic_mean([])

@@ -1,0 +1,56 @@
+"""Tests for the plain-text table formatter."""
+
+import pytest
+
+from repro.analysis.tables import format_table, transpose_rows
+
+
+def test_format_table_contains_headers_and_cells():
+    table = format_table(["a", "b"], [[1, 2], [3, 4]])
+    assert "a" in table and "b" in table
+    assert "1" in table and "4" in table
+
+
+def test_format_table_title_on_first_line():
+    table = format_table(["x"], [[1]], title="My Title")
+    assert table.splitlines()[0] == "My Title"
+
+
+def test_format_table_columns_aligned():
+    table = format_table(["name", "v"], [["long-name", 1], ["x", 22]])
+    lines = table.splitlines()
+    # Separator row has the same width as the header row.
+    assert len(lines[1]) == len(lines[0])
+
+
+def test_format_table_float_formatting():
+    table = format_table(["v"], [[0.123456]])
+    assert "0.123" in table
+
+
+def test_format_table_large_float_uses_scientific():
+    table = format_table(["v"], [[1.5e9]])
+    assert "e+09" in table
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_empty_rows_ok():
+    table = format_table(["a"], [])
+    assert "a" in table
+
+
+def test_transpose_rows():
+    assert transpose_rows([[1, 2], [3, 4], [5, 6]]) == [[1, 3, 5], [2, 4, 6]]
+
+
+def test_transpose_rows_empty():
+    assert transpose_rows([]) == []
+
+
+def test_transpose_rows_rejects_ragged():
+    with pytest.raises(ValueError):
+        transpose_rows([[1, 2], [3]])

@@ -1,0 +1,81 @@
+"""Tests for the MathContext strategy object."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.context import MathContext
+
+
+def test_exact_context_matches_numpy_exp():
+    ctx = MathContext.exact()
+    x = np.linspace(-3, 3, 50, dtype=np.float32)
+    np.testing.assert_allclose(ctx.exp(x), np.exp(x), rtol=1e-6)
+
+
+def test_exact_context_divide():
+    ctx = MathContext.exact()
+    assert float(ctx.divide(np.float32(3.0), np.float32(4.0))) == pytest.approx(0.75)
+
+
+def test_approximate_context_exp_close_to_exact():
+    ctx = MathContext.approximate()
+    x = np.linspace(-5, 5, 100, dtype=np.float32)
+    np.testing.assert_allclose(ctx.exp(x), np.exp(x), rtol=0.04)
+
+
+def test_recovery_context_has_calibrated_scale():
+    ctx = MathContext.approximate_with_recovery(calibration_samples=2000)
+    assert ctx.exp_recovery is not None
+    assert ctx.exp_recovery.samples == 2000
+
+
+def test_recovery_context_bias_smaller_than_raw_approximation():
+    raw = MathContext.approximate()
+    recovered = MathContext.approximate_with_recovery(calibration_samples=5000)
+    x = np.random.default_rng(11).uniform(-6, 6, size=3000).astype(np.float32)
+    exact = np.exp(x.astype(np.float64))
+    raw_bias = abs(np.mean((exact - raw.exp(x).astype(np.float64)) / exact))
+    rec_bias = abs(np.mean((exact - recovered.exp(x).astype(np.float64)) / exact))
+    assert rec_bias < raw_bias
+
+
+def test_softmax_sums_to_one_exact():
+    ctx = MathContext.exact()
+    logits = np.random.default_rng(2).normal(size=(6, 9)).astype(np.float32)
+    sums = np.sum(ctx.softmax(logits, axis=-1), axis=-1)
+    np.testing.assert_allclose(sums, np.ones(6), atol=1e-5)
+
+
+def test_softmax_sums_close_to_one_approximate():
+    ctx = MathContext.approximate()
+    logits = np.random.default_rng(3).normal(size=(6, 9)).astype(np.float32)
+    sums = np.sum(ctx.softmax(logits, axis=-1), axis=-1)
+    np.testing.assert_allclose(sums, np.ones(6), atol=0.05)
+
+
+def test_squash_norm_bounded_both_contexts():
+    for ctx in (MathContext.exact(), MathContext.approximate()):
+        vectors = np.random.default_rng(4).normal(size=(20, 16)).astype(np.float32) * 3
+        norms = np.linalg.norm(ctx.squash(vectors), axis=-1)
+        assert np.all(norms <= 1.0 + 1e-3), ctx.name
+
+
+def test_squash_small_vector_shrinks_quadratically():
+    ctx = MathContext.exact()
+    small = np.full((1, 4), 0.01, dtype=np.float32)
+    out = ctx.squash(small)
+    # ||v|| = ||s||^2/(1+||s||^2) ~ ||s||^2 for small s.
+    assert np.linalg.norm(out) < np.linalg.norm(small)
+
+
+def test_context_names():
+    assert MathContext.exact().name == "exact"
+    assert MathContext.approximate().name == "approx"
+    assert MathContext.approximate_with_recovery(calibration_samples=100).name == "approx+recovery"
+
+
+def test_inv_sqrt_exact_and_approx_agree():
+    exact = MathContext.exact()
+    approx = MathContext.approximate()
+    x = np.logspace(-2, 2, 50, dtype=np.float32)
+    np.testing.assert_allclose(approx.inv_sqrt(x), exact.inv_sqrt(x), rtol=0.01)

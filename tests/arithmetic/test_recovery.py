@@ -1,0 +1,86 @@
+"""Tests for the accuracy-recovery calibration."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.approx import approx_exp, exact_exp
+from repro.arithmetic.recovery import (
+    AccuracyRecovery,
+    calibrate_exp_recovery,
+    calibrate_recovery,
+)
+
+
+def test_calibrate_exp_recovery_scale_close_to_one():
+    recovery = calibrate_exp_recovery(num_samples=2000)
+    assert 0.95 < recovery.scale < 1.05
+
+
+def test_calibrate_exp_recovery_keeps_bias_small():
+    recovery = calibrate_exp_recovery(num_samples=5000)
+    x = np.random.default_rng(9).uniform(-8, 8, size=4000).astype(np.float32)
+    exact = exact_exp(x).astype(np.float64)
+    corrected = recovery.apply(approx_exp(x)).astype(np.float64)
+    corrected_bias = abs(np.mean((exact - corrected) / exact))
+    assert corrected_bias < 0.005
+
+
+def test_recovery_corrects_a_one_sided_approximation():
+    # Dropping the Avg correction makes the exponential approximation
+    # systematically biased; the calibrated recovery must shrink that bias.
+    def biased_exp(x):
+        return approx_exp(x, correction=0.0)
+
+    samples = np.random.default_rng(10).uniform(-6, 6, size=5000).astype(np.float32)
+    recovery = calibrate_recovery(exact_exp, biased_exp, samples)
+    x = np.random.default_rng(11).uniform(-6, 6, size=3000).astype(np.float32)
+    exact = exact_exp(x).astype(np.float64)
+    raw_bias = abs(np.mean((exact - biased_exp(x).astype(np.float64)) / exact))
+    corrected_bias = abs(np.mean((exact - recovery.apply(biased_exp(x)).astype(np.float64)) / exact))
+    assert corrected_bias < raw_bias
+
+
+def test_calibrate_exp_recovery_deterministic_for_same_seed():
+    a = calibrate_exp_recovery(num_samples=1000, seed=7)
+    b = calibrate_exp_recovery(num_samples=1000, seed=7)
+    assert a.scale == b.scale
+
+
+def test_calibrate_exp_recovery_records_sample_count():
+    recovery = calibrate_exp_recovery(num_samples=1234)
+    assert recovery.samples == 1234
+
+
+def test_calibrate_exp_recovery_rejects_bad_range():
+    with pytest.raises(ValueError):
+        calibrate_exp_recovery(input_range=(5.0, -5.0))
+
+
+def test_calibrate_recovery_identity_for_exact_function():
+    samples = np.linspace(0.1, 5.0, 100, dtype=np.float32)
+    recovery = calibrate_recovery(exact_exp, exact_exp, samples)
+    assert recovery.scale == pytest.approx(1.0, abs=1e-7)
+    assert recovery.mean_relative_error == pytest.approx(0.0, abs=1e-7)
+
+
+def test_calibrate_recovery_known_bias():
+    samples = np.linspace(1.0, 2.0, 50, dtype=np.float32)
+
+    def biased(x):
+        return 0.9 * np.asarray(x, dtype=np.float32)
+
+    recovery = calibrate_recovery(lambda x: x, biased, samples)
+    # exact = x, approx = 0.9x -> relative error 0.1 -> scale 1.1.
+    assert recovery.scale == pytest.approx(1.1, rel=1e-5)
+
+
+def test_apply_scales_values():
+    recovery = AccuracyRecovery(scale=1.25, mean_relative_error=0.25, samples=10)
+    out = recovery.apply(np.array([4.0, 8.0], dtype=np.float32))
+    np.testing.assert_allclose(out, [5.0, 10.0], rtol=1e-6)
+
+
+def test_apply_preserves_dtype():
+    recovery = AccuracyRecovery(scale=1.0, mean_relative_error=0.0, samples=1)
+    out = recovery.apply(np.array([1.0, 2.0], dtype=np.float32))
+    assert out.dtype == np.float32

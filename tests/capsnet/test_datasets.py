@@ -1,0 +1,109 @@
+"""Tests for the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    SyntheticImageDataset,
+    dataset_for_benchmark,
+)
+
+
+def test_all_paper_datasets_present():
+    for name in ("MNIST", "CIFAR10", "EMNIST-LETTER", "EMNIST-BALANCED", "EMNIST-BYCLASS", "SVHN"):
+        assert name in DATASET_SPECS
+
+
+def test_dataset_spec_class_counts_match_paper():
+    assert DATASET_SPECS["MNIST"].num_classes == 10
+    assert DATASET_SPECS["EMNIST-LETTER"].num_classes == 26
+    assert DATASET_SPECS["EMNIST-BALANCED"].num_classes == 47
+    assert DATASET_SPECS["EMNIST-BYCLASS"].num_classes == 62
+    assert DATASET_SPECS["SVHN"].num_classes == 10
+
+
+def test_dataset_spec_pixel_counts():
+    assert DATASET_SPECS["MNIST"].pixels == 28 * 28
+    assert DATASET_SPECS["CIFAR10"].pixels == 3 * 32 * 32
+
+
+def test_split_shapes():
+    spec = DatasetSpec("TOY", (1, 12, 12), 3)
+    ds = SyntheticImageDataset(spec, num_train=30, num_test=12, seed=0)
+    assert ds.train_images.shape == (30, 1, 12, 12)
+    assert ds.test_images.shape == (12, 1, 12, 12)
+    assert ds.train_labels.shape == (30,)
+
+
+def test_pixel_range():
+    ds = dataset_for_benchmark("MNIST", num_train=40, num_test=20)
+    assert float(ds.train_images.min()) >= 0.0
+    assert float(ds.train_images.max()) <= 1.0
+
+
+def test_labels_cover_all_classes():
+    ds = dataset_for_benchmark("MNIST", num_train=50, num_test=20)
+    assert set(np.unique(ds.train_labels)) == set(range(10))
+
+
+def test_deterministic_for_same_seed():
+    a = dataset_for_benchmark("MNIST", num_train=30, num_test=10, seed=4)
+    b = dataset_for_benchmark("MNIST", num_train=30, num_test=10, seed=4)
+    np.testing.assert_array_equal(a.train_images, b.train_images)
+    np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+
+def test_different_seeds_differ():
+    a = dataset_for_benchmark("MNIST", num_train=30, num_test=10, seed=1)
+    b = dataset_for_benchmark("MNIST", num_train=30, num_test=10, seed=2)
+    assert not np.array_equal(a.train_images, b.train_images)
+
+
+def test_class_prototypes_are_distinguishable():
+    spec = DatasetSpec("TOY", (1, 20, 20), 4)
+    ds = SyntheticImageDataset(spec, num_train=40, num_test=16, noise_level=0.02, seed=3)
+    # Same-class samples should correlate better with each other than with
+    # other classes (nearest-prototype structure).
+    images, labels = ds.test_set()
+    flattened = images.reshape(images.shape[0], -1)
+    class_means = np.stack(
+        [flattened[labels == k].mean(axis=0) for k in range(spec.num_classes)]
+    )
+    correct = 0
+    for vector, label in zip(flattened, labels):
+        distances = np.linalg.norm(class_means - vector, axis=1)
+        correct += int(np.argmin(distances) == label)
+    assert correct / len(labels) > 0.9
+
+
+def test_train_batches_cover_all_samples():
+    ds = dataset_for_benchmark("MNIST", num_train=30, num_test=10)
+    seen = 0
+    for images, labels, onehot in ds.train_batches(8):
+        seen += images.shape[0]
+        assert onehot.shape == (images.shape[0], 10)
+    assert seen == 30
+
+
+def test_train_batches_rejects_bad_batch_size():
+    ds = dataset_for_benchmark("MNIST", num_train=20, num_test=10)
+    with pytest.raises(ValueError):
+        next(ds.train_batches(0))
+
+
+def test_requires_enough_samples_per_class():
+    spec = DatasetSpec("TOY", (1, 12, 12), 10)
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(spec, num_train=5, num_test=5)
+
+
+def test_unknown_dataset_name_raises():
+    with pytest.raises(KeyError):
+        dataset_for_benchmark("IMAGENET")
+
+
+def test_dataset_name_normalization():
+    ds = dataset_for_benchmark("emnist letter", num_train=30, num_test=30)
+    assert ds.spec.name == "EMNIST-LETTER"

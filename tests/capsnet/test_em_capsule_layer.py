@@ -1,0 +1,61 @@
+"""Tests for using EM routing inside the capsule layer and the CapsNet model."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.context import MathContext
+from repro.capsnet.layers import CapsuleLayer
+from repro.capsnet.routing import DynamicRouting, EMRouting
+
+
+@pytest.fixture
+def low_capsules():
+    return np.random.default_rng(3).normal(scale=0.3, size=(2, 12, 8)).astype(np.float32)
+
+
+def test_capsule_layer_accepts_em_routing(low_capsules):
+    layer = CapsuleLayer(num_low=12, num_high=4, low_dim=8, high_dim=16, routing=EMRouting(iterations=2))
+    out = layer.forward(low_capsules)
+    assert out.shape == (2, 4, 16)
+    assert np.all(np.isfinite(out))
+
+
+def test_em_capsule_layer_backward_runs(low_capsules):
+    layer = CapsuleLayer(num_low=12, num_high=4, low_dim=8, high_dim=16, routing=EMRouting(iterations=2))
+    out = layer.forward(low_capsules)
+    layer.zero_grads()
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == low_capsules.shape
+    assert np.all(np.isfinite(grad))
+    assert np.any(layer.grads["weight"] != 0)
+
+
+def test_em_and_dynamic_layers_share_weight_shape():
+    dynamic = CapsuleLayer(num_low=12, num_high=4, low_dim=8, high_dim=16, routing=DynamicRouting())
+    em = CapsuleLayer(num_low=12, num_high=4, low_dim=8, high_dim=16, routing=EMRouting())
+    assert dynamic.params["weight"].shape == em.params["weight"].shape
+
+
+def test_em_routing_with_approximate_context(low_capsules):
+    exact_layer = CapsuleLayer(
+        num_low=12, num_high=4, low_dim=8, high_dim=16,
+        routing=EMRouting(iterations=2, context=MathContext.exact()),
+        rng=np.random.default_rng(7),
+    )
+    approx_layer = CapsuleLayer(
+        num_low=12, num_high=4, low_dim=8, high_dim=16,
+        routing=EMRouting(iterations=2, context=MathContext.approximate()),
+        rng=np.random.default_rng(7),
+    )
+    exact_out = exact_layer.forward(low_capsules)
+    approx_out = approx_layer.forward(low_capsules)
+    assert np.max(np.abs(exact_out - approx_out)) < 0.1
+
+
+def test_em_routing_result_exposed_through_layer(low_capsules):
+    layer = CapsuleLayer(num_low=12, num_high=4, low_dim=8, high_dim=16, routing=EMRouting(iterations=2))
+    layer.forward(low_capsules)
+    result = layer.last_routing_result
+    assert result is not None
+    assert result.coefficients.shape == (2, 12, 4)
+    assert result.logits is None

@@ -1,0 +1,295 @@
+"""Tests for the CapsNet layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.layers import (
+    CapsuleLayer,
+    Conv2D,
+    Dense,
+    Flatten,
+    PrimaryCaps,
+    ReLU,
+    Sigmoid,
+    col2im,
+    conv_output_size,
+    im2col,
+)
+from repro.capsnet.routing import DynamicRouting
+
+
+def numerical_gradient(f, x, eps=1e-3):
+    """Central-difference gradient of a scalar function ``f`` wrt array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = f()
+        x[idx] = original - eps
+        minus = f()
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+# ---------------------------------------------------------------------------
+# geometry helpers
+# ---------------------------------------------------------------------------
+
+
+def test_conv_output_size():
+    assert conv_output_size(28, 9, 1, 0) == 20
+    assert conv_output_size(20, 9, 2, 0) == 6
+
+
+def test_conv_output_size_invalid():
+    with pytest.raises(ValueError):
+        conv_output_size(4, 9, 1, 0)
+
+
+def test_im2col_col2im_shapes():
+    x = np.random.default_rng(0).random((2, 3, 8, 8)).astype(np.float32)
+    cols, (oh, ow) = im2col(x, (3, 3), stride=1, padding=0)
+    assert (oh, ow) == (6, 6)
+    assert cols.shape == (2, 36, 27)
+    back = col2im(cols, x.shape, (3, 3), stride=1, padding=0)
+    assert back.shape == x.shape
+
+
+def test_im2col_values_match_naive_patch():
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    cols, _ = im2col(x, (2, 2), stride=2, padding=0)
+    # First patch is the top-left 2x2 block.
+    np.testing.assert_array_equal(cols[0, 0], [0, 1, 4, 5])
+
+
+# ---------------------------------------------------------------------------
+# Conv2D
+# ---------------------------------------------------------------------------
+
+
+def test_conv2d_forward_shape():
+    conv = Conv2D(3, 8, kernel_size=3, stride=1)
+    out = conv.forward(np.zeros((2, 3, 10, 10), dtype=np.float32))
+    assert out.shape == (2, 8, 8, 8)
+
+
+def test_conv2d_matches_naive_convolution():
+    rng = np.random.default_rng(1)
+    conv = Conv2D(2, 3, kernel_size=3, stride=1, rng=rng)
+    x = rng.random((1, 2, 5, 5)).astype(np.float32)
+    out = conv.forward(x)
+    weight, bias = conv.params["weight"], conv.params["bias"]
+    naive = np.zeros_like(out)
+    for f in range(3):
+        for i in range(3):
+            for j in range(3):
+                patch = x[0, :, i : i + 3, j : j + 3]
+                naive[0, f, i, j] = np.sum(patch * weight[f]) + bias[f]
+    np.testing.assert_allclose(out, naive, rtol=1e-4, atol=1e-5)
+
+
+def test_conv2d_rejects_wrong_channels():
+    conv = Conv2D(3, 4, kernel_size=3)
+    with pytest.raises(ValueError):
+        conv.forward(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+
+def test_conv2d_weight_gradient_matches_numerical():
+    rng = np.random.default_rng(2)
+    conv = Conv2D(1, 2, kernel_size=2, stride=1, rng=rng)
+    x = rng.random((1, 1, 4, 4)).astype(np.float32)
+    target = rng.random((1, 2, 3, 3)).astype(np.float32)
+
+    def loss():
+        out = conv.forward(x)
+        return float(np.sum((out - target) ** 2))
+
+    conv.zero_grads()
+    out = conv.forward(x)
+    conv.backward(2 * (out - target))
+    analytic = conv.grads["weight"].copy()
+    numerical = numerical_gradient(loss, conv.params["weight"])
+    np.testing.assert_allclose(analytic, numerical, rtol=1e-2, atol=1e-2)
+
+
+def test_conv2d_input_gradient_matches_numerical():
+    rng = np.random.default_rng(3)
+    conv = Conv2D(1, 1, kernel_size=2, stride=1, rng=rng)
+    x = rng.random((1, 1, 3, 3)).astype(np.float32)
+    target = rng.random((1, 1, 2, 2)).astype(np.float32)
+
+    def loss():
+        return float(np.sum((conv.forward(x) - target) ** 2))
+
+    out = conv.forward(x)
+    grad_input = conv.backward(2 * (out - target))
+    numerical = numerical_gradient(loss, x)
+    np.testing.assert_allclose(grad_input, numerical, rtol=1e-2, atol=1e-2)
+
+
+def test_conv2d_backward_before_forward_raises():
+    conv = Conv2D(1, 1, kernel_size=2)
+    with pytest.raises(RuntimeError):
+        conv.backward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+
+def test_conv2d_output_shape_helper():
+    conv = Conv2D(3, 16, kernel_size=5, stride=2)
+    assert conv.output_shape((13, 13)) == (16, 5, 5)
+
+
+# ---------------------------------------------------------------------------
+# simple layers
+# ---------------------------------------------------------------------------
+
+
+def test_relu_backward_masks_gradient():
+    relu = ReLU()
+    x = np.array([[-1.0, 2.0]], dtype=np.float32)
+    relu.forward(x)
+    grad = relu.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad, [[0.0, 1.0]])
+
+
+def test_sigmoid_backward_uses_output():
+    sigmoid = Sigmoid()
+    x = np.zeros((1, 3), dtype=np.float32)
+    out = sigmoid.forward(x)
+    grad = sigmoid.backward(np.ones_like(x))
+    np.testing.assert_allclose(grad, out * (1 - out), rtol=1e-6)
+
+
+def test_flatten_round_trip():
+    flatten = Flatten()
+    x = np.random.default_rng(0).random((2, 3, 4)).astype(np.float32)
+    flat = flatten.forward(x)
+    assert flat.shape == (2, 12)
+    back = flatten.backward(flat)
+    assert back.shape == x.shape
+
+
+def test_dense_forward_matches_matmul():
+    rng = np.random.default_rng(4)
+    dense = Dense(5, 3, rng=rng)
+    x = rng.random((2, 5)).astype(np.float32)
+    expected = x @ dense.params["weight"] + dense.params["bias"]
+    np.testing.assert_allclose(dense.forward(x), expected, rtol=1e-6)
+
+
+def test_dense_gradients_match_numerical():
+    rng = np.random.default_rng(5)
+    dense = Dense(4, 3, rng=rng)
+    x = rng.random((2, 4)).astype(np.float32)
+    target = rng.random((2, 3)).astype(np.float32)
+
+    def loss():
+        return float(np.sum((dense.forward(x) - target) ** 2))
+
+    dense.zero_grads()
+    out = dense.forward(x)
+    grad_in = dense.backward(2 * (out - target))
+    np.testing.assert_allclose(
+        dense.grads["weight"], numerical_gradient(loss, dense.params["weight"]), rtol=1e-2, atol=1e-2
+    )
+    np.testing.assert_allclose(grad_in, numerical_gradient(loss, x), rtol=1e-2, atol=1e-2)
+
+
+def test_dense_rejects_wrong_input_width():
+    dense = Dense(4, 2)
+    with pytest.raises(ValueError):
+        dense.forward(np.zeros((1, 5), dtype=np.float32))
+
+
+def test_parameter_count():
+    dense = Dense(4, 3)
+    assert dense.parameter_count == 4 * 3 + 3
+
+
+# ---------------------------------------------------------------------------
+# capsule layers
+# ---------------------------------------------------------------------------
+
+
+def test_primary_caps_output_shape():
+    primary = PrimaryCaps(4, capsule_channels=2, capsule_dim=8, kernel_size=3, stride=1)
+    out = primary.forward(np.random.default_rng(0).random((2, 4, 6, 6)).astype(np.float32))
+    # 4x4 spatial positions x 2 channels = 32 capsules of 8 dims.
+    assert out.shape == (2, 32, 8)
+
+
+def test_primary_caps_norm_bounded():
+    primary = PrimaryCaps(4, capsule_channels=2, capsule_dim=8, kernel_size=3, stride=1)
+    out = primary.forward(np.random.default_rng(1).random((1, 4, 6, 6)).astype(np.float32) * 4)
+    assert np.all(np.linalg.norm(out, axis=-1) < 1.0 + 1e-5)
+
+
+def test_primary_caps_num_capsules_helper():
+    primary = PrimaryCaps(4, capsule_channels=2, capsule_dim=8, kernel_size=3, stride=1)
+    assert primary.num_capsules((6, 6)) == 32
+
+
+def test_primary_caps_backward_shape():
+    primary = PrimaryCaps(4, capsule_channels=2, capsule_dim=4, kernel_size=3, stride=1)
+    x = np.random.default_rng(2).random((2, 4, 6, 6)).astype(np.float32)
+    out = primary.forward(x)
+    grad = primary.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_capsule_layer_forward_shape():
+    layer = CapsuleLayer(num_low=10, num_high=3, low_dim=4, high_dim=6)
+    out = layer.forward(np.random.default_rng(0).random((2, 10, 4)).astype(np.float32))
+    assert out.shape == (2, 3, 6)
+
+
+def test_capsule_layer_rejects_bad_shape():
+    layer = CapsuleLayer(num_low=10, num_high=3, low_dim=4, high_dim=6)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((2, 9, 4), dtype=np.float32))
+
+
+def test_capsule_layer_stores_routing_result():
+    layer = CapsuleLayer(num_low=6, num_high=2, low_dim=4, high_dim=4)
+    layer.forward(np.random.default_rng(1).random((1, 6, 4)).astype(np.float32))
+    assert layer.last_routing_result is not None
+    assert layer.last_routing_result.coefficients.shape == (6, 2)
+
+
+def test_capsule_layer_weight_gradient_direction_reduces_loss():
+    # A full numerical check through routing is expensive; instead verify the
+    # analytic gradient actually decreases a simple loss when followed.
+    rng = np.random.default_rng(3)
+    layer = CapsuleLayer(
+        num_low=8, num_high=2, low_dim=4, high_dim=4, routing=DynamicRouting(iterations=2), rng=rng
+    )
+    x = rng.random((2, 8, 4)).astype(np.float32)
+    target = rng.random((2, 2, 4)).astype(np.float32) * 0.5
+
+    def loss_value():
+        return float(np.sum((layer.forward(x) - target) ** 2))
+
+    before = loss_value()
+    out = layer.forward(x)
+    layer.zero_grads()
+    layer.backward(2 * (out - target))
+    layer.params["weight"] -= 0.05 * layer.grads["weight"]
+    after = loss_value()
+    assert after < before
+
+
+def test_capsule_layer_backward_returns_input_gradient_shape():
+    layer = CapsuleLayer(num_low=6, num_high=2, low_dim=4, high_dim=4)
+    x = np.random.default_rng(4).random((3, 6, 4)).astype(np.float32)
+    out = layer.forward(x)
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_capsule_layer_backward_before_forward_raises():
+    layer = CapsuleLayer(num_low=6, num_high=2, low_dim=4, high_dim=4)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((1, 2, 4), dtype=np.float32))

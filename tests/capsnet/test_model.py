@@ -1,0 +1,154 @@
+"""Tests for the full CapsNet model."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.context import MathContext
+from repro.capsnet.functions import one_hot
+from repro.capsnet.model import CapsNet, CapsNetConfig, DecoderConfig
+
+
+def test_mnist_config_matches_paper_structure():
+    config = CapsNetConfig.mnist()
+    assert config.conv_channels == 256
+    assert config.primary_channels == 32
+    assert config.primary_dim == 8
+    assert config.class_caps_dim == 16
+    assert config.num_low_capsules == 1152  # 6x6x32
+
+
+def test_mnist_config_geometry():
+    config = CapsNetConfig.mnist()
+    assert config.conv_output_hw() == (20, 20)
+    assert config.primary_output_hw() == (6, 6)
+
+
+def test_scaled_config_preserves_structure():
+    config = CapsNetConfig.scaled(num_classes=5)
+    assert config.num_classes == 5
+    assert config.primary_dim == 8
+    assert config.class_caps_dim == 16
+    assert config.num_low_capsules > 0
+
+
+def test_config_rejects_too_small_input():
+    config = CapsNetConfig(input_shape=(1, 10, 10))
+    with pytest.raises(ValueError):
+        config.primary_output_hw()
+
+
+def test_decoder_config_layer_sizes():
+    decoder = DecoderConfig(hidden_sizes=(32, 64))
+    assert decoder.layer_sizes(10, 100) == [(10, 32), (32, 64), (64, 100)]
+
+
+def test_forward_output_shapes(tiny_capsnet, tiny_capsnet_config):
+    batch = 3
+    images = np.random.default_rng(0).random((batch, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    result = tiny_capsnet.forward(images)
+    assert result.class_capsules.shape == (batch, tiny_capsnet_config.num_classes, 16)
+    assert result.lengths.shape == (batch, tiny_capsnet_config.num_classes)
+    assert result.predictions.shape == (batch,)
+    assert result.reconstruction is not None
+    assert result.reconstruction.shape == (batch, tiny_capsnet_config.num_pixels)
+
+
+def test_forward_without_decoder(tiny_capsnet, tiny_capsnet_config):
+    images = np.zeros((2, *tiny_capsnet_config.input_shape), dtype=np.float32)
+    result = tiny_capsnet.forward(images, run_decoder=False)
+    assert result.reconstruction is None
+
+
+def test_predictions_within_class_range(tiny_capsnet, tiny_capsnet_config):
+    images = np.random.default_rng(1).random((4, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    preds = tiny_capsnet.predict(images)
+    assert np.all(preds >= 0)
+    assert np.all(preds < tiny_capsnet_config.num_classes)
+
+
+def test_lengths_bounded_by_one(tiny_capsnet, tiny_capsnet_config):
+    images = np.random.default_rng(2).random((4, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    result = tiny_capsnet.forward(images, run_decoder=False)
+    assert np.all(result.lengths <= 1.0 + 1e-5)
+
+
+def test_reconstruction_range_is_sigmoid_bounded(tiny_capsnet, tiny_capsnet_config):
+    images = np.random.default_rng(3).random((2, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    result = tiny_capsnet.forward(images)
+    assert np.all(result.reconstruction >= 0.0)
+    assert np.all(result.reconstruction <= 1.0)
+
+
+def test_decoder_uses_true_label_mask_when_given(tiny_capsnet, tiny_capsnet_config):
+    images = np.random.default_rng(4).random((2, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    labels = one_hot(np.array([0, 1]), tiny_capsnet_config.num_classes)
+    with_labels = tiny_capsnet.forward(images, labels_onehot=labels)
+    without_labels = tiny_capsnet.forward(images)
+    # Reconstructions differ when the mask differs from the predicted class.
+    assert with_labels.reconstruction.shape == without_labels.reconstruction.shape
+
+
+def test_accuracy_perfect_on_own_predictions(tiny_capsnet, tiny_capsnet_config):
+    images = np.random.default_rng(5).random((6, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    preds = tiny_capsnet.predict(images)
+    assert tiny_capsnet.accuracy(images, preds) == pytest.approx(1.0)
+
+
+def test_parameter_count_positive_and_consistent(tiny_capsnet):
+    total = tiny_capsnet.parameter_count
+    assert total > 0
+    assert total == sum(layer.parameter_count for layer in tiny_capsnet.trainable_layers)
+
+
+def test_state_dict_round_trip(tiny_capsnet_config):
+    model_a = CapsNet(tiny_capsnet_config, seed=0)
+    model_b = CapsNet(tiny_capsnet_config, seed=99)
+    images = np.random.default_rng(6).random((2, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    before = model_b.forward(images, run_decoder=False).lengths
+    model_b.load_state_dict(model_a.state_dict())
+    after_a = model_a.forward(images, run_decoder=False).lengths
+    after_b = model_b.forward(images, run_decoder=False).lengths
+    np.testing.assert_allclose(after_a, after_b, rtol=1e-6)
+    assert not np.allclose(before, after_b)
+
+
+def test_load_state_dict_missing_key_raises(tiny_capsnet):
+    state = tiny_capsnet.state_dict()
+    state.pop(next(iter(state)))
+    with pytest.raises(KeyError):
+        tiny_capsnet.load_state_dict(state)
+
+
+def test_load_state_dict_shape_mismatch_raises(tiny_capsnet):
+    state = tiny_capsnet.state_dict()
+    key = next(iter(state))
+    state[key] = np.zeros((1, 1), dtype=np.float32)
+    with pytest.raises(ValueError):
+        tiny_capsnet.load_state_dict(state)
+
+
+def test_same_seed_gives_identical_models(tiny_capsnet_config):
+    images = np.random.default_rng(7).random((2, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    a = CapsNet(tiny_capsnet_config, seed=5).forward(images, run_decoder=False).lengths
+    b = CapsNet(tiny_capsnet_config, seed=5).forward(images, run_decoder=False).lengths
+    np.testing.assert_array_equal(a, b)
+
+
+def test_approximate_context_model_close_to_exact(tiny_capsnet_config):
+    images = np.random.default_rng(8).random((3, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    exact_model = CapsNet(tiny_capsnet_config, context=MathContext.exact(), seed=1)
+    approx_model = CapsNet(tiny_capsnet_config, context=MathContext.approximate(), seed=1)
+    approx_model.load_state_dict(exact_model.state_dict())
+    exact_lengths = exact_model.forward(images, run_decoder=False).lengths
+    approx_lengths = approx_model.forward(images, run_decoder=False).lengths
+    np.testing.assert_allclose(approx_lengths, exact_lengths, atol=0.05)
+
+
+def test_backward_from_losses_populates_gradients(tiny_capsnet, tiny_capsnet_config):
+    images = np.random.default_rng(9).random((2, *tiny_capsnet_config.input_shape)).astype(np.float32)
+    labels = one_hot(np.array([0, 1]), tiny_capsnet_config.num_classes)
+    tiny_capsnet.zero_grads()
+    result = tiny_capsnet.forward(images, labels_onehot=labels)
+    tiny_capsnet.backward_from_losses(result, labels, images)
+    grads = tiny_capsnet.class_caps.grads["weight"]
+    assert np.any(grads != 0.0)

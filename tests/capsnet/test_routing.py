@@ -1,0 +1,143 @@
+"""Tests for the dynamic and EM routing procedures."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.context import MathContext
+from repro.capsnet.routing import DynamicRouting, EMRouting
+
+
+def make_u_hat(batch=2, num_low=12, num_high=4, high_dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(scale=0.5, size=(batch, num_low, num_high, high_dim)).astype(np.float32)
+
+
+def test_dynamic_routing_output_shape():
+    routing = DynamicRouting(iterations=3)
+    result = routing(make_u_hat())
+    assert result.high_capsules.shape == (2, 4, 8)
+
+
+def test_dynamic_routing_coefficient_shape_shared():
+    routing = DynamicRouting(iterations=2, share_coefficients_across_batch=True)
+    result = routing(make_u_hat())
+    assert result.coefficients.shape == (12, 4)
+
+
+def test_dynamic_routing_coefficient_shape_per_batch():
+    routing = DynamicRouting(iterations=2, share_coefficients_across_batch=False)
+    result = routing(make_u_hat())
+    assert result.coefficients.shape == (2, 12, 4)
+
+
+def test_dynamic_routing_coefficients_normalized_over_high_capsules():
+    routing = DynamicRouting(iterations=3)
+    result = routing(make_u_hat())
+    np.testing.assert_allclose(np.sum(result.coefficients, axis=-1), 1.0, atol=1e-5)
+
+
+def test_dynamic_routing_output_norm_bounded():
+    routing = DynamicRouting(iterations=3)
+    result = routing(make_u_hat(seed=3))
+    norms = np.linalg.norm(result.high_capsules, axis=-1)
+    assert np.all(norms < 1.0 + 1e-5)
+
+
+def test_dynamic_routing_iterations_respected():
+    for iterations in (1, 2, 5):
+        result = DynamicRouting(iterations=iterations)(make_u_hat())
+        assert result.iterations == iterations
+
+
+def test_dynamic_routing_rejects_non_positive_iterations():
+    with pytest.raises(ValueError):
+        DynamicRouting(iterations=0)
+
+
+def test_dynamic_routing_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        DynamicRouting()(np.zeros((2, 3, 4), dtype=np.float32))
+
+
+def test_dynamic_routing_deterministic():
+    u_hat = make_u_hat(seed=7)
+    a = DynamicRouting(iterations=3)(u_hat)
+    b = DynamicRouting(iterations=3)(u_hat)
+    np.testing.assert_array_equal(a.high_capsules, b.high_capsules)
+
+
+def test_dynamic_routing_agreement_increases_coefficient():
+    # Build predictions where low capsule 0 strongly agrees with high capsule 0:
+    # its coefficient toward capsule 0 should exceed the uniform prior.
+    batch, num_low, num_high, dim = 1, 6, 3, 4
+    u_hat = np.zeros((batch, num_low, num_high, dim), dtype=np.float32)
+    u_hat[0, 0, 0] = [1.0, 0.0, 0.0, 0.0]
+    u_hat[0, 1, 0] = [1.0, 0.0, 0.0, 0.0]
+    rng = np.random.default_rng(0)
+    u_hat[0, 2:, :, :] = rng.normal(scale=0.05, size=(num_low - 2, num_high, dim))
+    result = DynamicRouting(iterations=3)(u_hat)
+    assert result.coefficients[0, 0] > 1.0 / num_high
+
+
+def test_dynamic_routing_more_iterations_sharpen_agreeing_coefficients():
+    u_hat = np.zeros((1, 4, 2, 4), dtype=np.float32)
+    u_hat[0, :, 0, :] = [0.8, 0.0, 0.0, 0.0]
+    u_hat[0, :, 1, :] = [-0.2, 0.1, 0.0, 0.0]
+    c1 = DynamicRouting(iterations=1)(u_hat).coefficients
+    c5 = DynamicRouting(iterations=5)(u_hat).coefficients
+    assert np.all(c5[:, 0] >= c1[:, 0] - 1e-6)
+
+
+def test_dynamic_routing_exact_vs_approx_context_close():
+    u_hat = make_u_hat(seed=11)
+    exact = DynamicRouting(iterations=3, context=MathContext.exact())(u_hat)
+    approx = DynamicRouting(iterations=3, context=MathContext.approximate())(u_hat)
+    np.testing.assert_allclose(
+        approx.high_capsules, exact.high_capsules, atol=0.05
+    )
+
+
+def test_dynamic_routing_logits_shape_matches_coefficients():
+    result = DynamicRouting(iterations=2)(make_u_hat())
+    assert result.logits is not None
+    assert result.logits.shape == result.coefficients.shape
+
+
+def test_em_routing_output_shape():
+    result = EMRouting(iterations=3)(make_u_hat())
+    assert result.high_capsules.shape == (2, 4, 8)
+
+
+def test_em_routing_responsibilities_normalized():
+    result = EMRouting(iterations=3)(make_u_hat(seed=5))
+    np.testing.assert_allclose(np.sum(result.coefficients, axis=-1), 1.0, atol=1e-4)
+
+
+def test_em_routing_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        EMRouting()(np.zeros((3, 4), dtype=np.float32))
+
+
+def test_em_routing_rejects_non_positive_iterations():
+    with pytest.raises(ValueError):
+        EMRouting(iterations=0)
+
+
+def test_em_routing_clusters_agreeing_votes():
+    # All low capsules vote identically for one vector; the EM means for each
+    # high capsule should land near that vector.
+    u_hat = np.tile(
+        np.array([1.0, -1.0, 0.5, 0.0], dtype=np.float32), (1, 10, 2, 1)
+    )
+    result = EMRouting(iterations=3)(u_hat)
+    # Means scaled by activations keep the direction of the common vote.
+    direction = result.high_capsules[0, 0] / (np.linalg.norm(result.high_capsules[0, 0]) + 1e-9)
+    expected = np.array([1.0, -1.0, 0.5, 0.0]) / np.linalg.norm([1.0, -1.0, 0.5, 0.0])
+    assert float(np.dot(direction, expected)) > 0.99
+
+
+def test_em_routing_deterministic():
+    u_hat = make_u_hat(seed=13)
+    a = EMRouting(iterations=2)(u_hat)
+    b = EMRouting(iterations=2)(u_hat)
+    np.testing.assert_array_equal(a.high_capsules, b.high_capsules)

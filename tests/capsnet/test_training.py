@@ -1,0 +1,93 @@
+"""Tests for the CapsNet trainer."""
+
+import numpy as np
+import pytest
+
+from repro.capsnet.model import CapsNet, CapsNetConfig
+from repro.capsnet.training import Trainer
+
+
+def build_model(num_classes=3, seed=0, use_decoder=False):
+    config = CapsNetConfig.scaled(input_shape=(1, 16, 16), num_classes=num_classes, scale=0.05)
+    if not use_decoder:
+        config = CapsNetConfig(
+            **{**config.__dict__, "use_decoder": False}
+        )
+    return CapsNet(config, seed=seed)
+
+
+def test_trainer_rejects_bad_learning_rate(toy_dataset):
+    with pytest.raises(ValueError):
+        Trainer(build_model(), learning_rate=0.0)
+
+
+def test_trainer_rejects_bad_momentum():
+    with pytest.raises(ValueError):
+        Trainer(build_model(), momentum=1.5)
+
+
+def test_trainer_rejects_unknown_optimizer():
+    with pytest.raises(ValueError):
+        Trainer(build_model(), optimizer="rmsprop")
+
+
+def test_train_step_returns_finite_loss(toy_dataset):
+    model = build_model()
+    trainer = Trainer(model, reconstruction_weight=0.0)
+    images, _, onehot = next(toy_dataset.train_batches(8))
+    loss = trainer.train_step(images, onehot)
+    assert np.isfinite(loss)
+    assert loss > 0
+
+
+def test_train_step_changes_parameters(toy_dataset):
+    model = build_model()
+    trainer = Trainer(model, reconstruction_weight=0.0)
+    before = model.class_caps.params["weight"].copy()
+    images, _, onehot = next(toy_dataset.train_batches(8))
+    trainer.train_step(images, onehot)
+    assert not np.allclose(before, model.class_caps.params["weight"])
+
+
+def test_sgd_training_reduces_loss(toy_dataset):
+    model = build_model(seed=1)
+    trainer = Trainer(model, learning_rate=0.05, reconstruction_weight=0.0, seed=2)
+    result = trainer.fit(toy_dataset, epochs=3, batch_size=8)
+    assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+
+def test_sgd_training_learns_toy_dataset(toy_dataset):
+    model = build_model(seed=1)
+    trainer = Trainer(model, learning_rate=0.05, reconstruction_weight=0.0, seed=2)
+    result = trainer.fit(toy_dataset, epochs=4, batch_size=8)
+    assert result.test_accuracy > 0.8
+
+
+def test_adam_training_learns_toy_dataset(toy_dataset):
+    model = build_model(seed=3)
+    trainer = Trainer(model, learning_rate=0.003, optimizer="adam", reconstruction_weight=0.0, seed=2)
+    result = trainer.fit(toy_dataset, epochs=3, batch_size=8)
+    assert result.test_accuracy > 0.8
+
+
+def test_training_with_decoder_runs(toy_dataset):
+    model = build_model(seed=4, use_decoder=True)
+    trainer = Trainer(model, learning_rate=0.03, reconstruction_weight=0.001, seed=2)
+    result = trainer.fit(toy_dataset, epochs=1, batch_size=8)
+    assert len(result.epoch_losses) == 1
+    assert np.isfinite(result.epoch_losses[0])
+
+
+def test_fit_rejects_zero_epochs(toy_dataset):
+    trainer = Trainer(build_model())
+    with pytest.raises(ValueError):
+        trainer.fit(toy_dataset, epochs=0)
+
+
+def test_training_result_fields(toy_dataset):
+    trainer = Trainer(build_model(seed=5), reconstruction_weight=0.0)
+    result = trainer.fit(toy_dataset, epochs=2, batch_size=8)
+    assert result.epochs == 2
+    assert len(result.epoch_losses) == 2
+    assert 0.0 <= result.train_accuracy <= 1.0
+    assert 0.0 <= result.test_accuracy <= 1.0

@@ -1,0 +1,76 @@
+"""Shared fixtures for the PIM-CapsNet reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capsnet.datasets import DatasetSpec, SyntheticImageDataset
+from repro.capsnet.model import CapsNet, CapsNetConfig
+from repro.hmc.config import HMCConfig
+from repro.workloads.benchmarks import BenchmarkConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_benchmark() -> BenchmarkConfig:
+    """A very small benchmark configuration for fast analytic-model tests."""
+    return BenchmarkConfig(
+        name="Caps-Tiny",
+        dataset="MNIST",
+        batch_size=4,
+        num_low_capsules=36,
+        num_high_capsules=5,
+        routing_iterations=2,
+    )
+
+
+@pytest.fixture
+def small_benchmark() -> BenchmarkConfig:
+    """A moderately sized benchmark (still far smaller than Table 1)."""
+    return BenchmarkConfig(
+        name="Caps-Small",
+        dataset="MNIST",
+        batch_size=8,
+        num_low_capsules=72,
+        num_high_capsules=10,
+        routing_iterations=3,
+    )
+
+
+@pytest.fixture
+def hmc_config() -> HMCConfig:
+    """The default HMC configuration (32 vaults, 16 PEs/vault, 312.5 MHz)."""
+    return HMCConfig()
+
+
+@pytest.fixture
+def small_hmc_config() -> HMCConfig:
+    """A reduced HMC (fewer vaults/PEs) for combinatorial tests."""
+    return HMCConfig(num_vaults=4, banks_per_vault=4, pes_per_vault=4)
+
+
+@pytest.fixture
+def tiny_capsnet_config() -> CapsNetConfig:
+    """A tiny functional CapsNet configuration (fast to run)."""
+    return CapsNetConfig.scaled(input_shape=(1, 16, 16), num_classes=3, scale=0.05)
+
+
+@pytest.fixture
+def tiny_capsnet(tiny_capsnet_config: CapsNetConfig) -> CapsNet:
+    """A tiny functional CapsNet instance."""
+    return CapsNet(tiny_capsnet_config, seed=0)
+
+
+@pytest.fixture
+def toy_dataset() -> SyntheticImageDataset:
+    """A small, easy synthetic dataset for training tests."""
+    spec = DatasetSpec("TOY", (1, 16, 16), 3)
+    return SyntheticImageDataset(
+        spec, num_train=48, num_test=24, noise_level=0.05, max_shift=1, seed=5
+    )

@@ -1,0 +1,194 @@
+"""Tests for the top-level PIM-CapsNet accelerator model."""
+
+import pytest
+
+from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.hmc.config import HMCConfig
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.parallelism import Dimension
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return PIMCapsNet("Caps-MN1")
+
+
+@pytest.fixture(scope="module")
+def routing_results(accelerator):
+    return accelerator.compare_routing()
+
+
+@pytest.fixture(scope="module")
+def end_to_end_results(accelerator):
+    return accelerator.compare_end_to_end()
+
+
+def test_accepts_benchmark_by_name_or_config():
+    by_name = PIMCapsNet("Caps-SV1")
+    by_config = PIMCapsNet(BENCHMARKS["Caps-SV1"])
+    assert by_name.benchmark is by_config.benchmark
+
+
+def test_routing_comparison_fields(routing_results):
+    baseline = routing_results[DesignPoint.BASELINE_GPU]
+    assert baseline.benchmark == "Caps-MN1"
+    assert baseline.time_seconds > 0
+    assert baseline.energy_joules > 0
+    assert set(baseline.time_components) == {"compute", "memory", "sync", "overhead"}
+
+
+def test_pim_routing_components(routing_results):
+    pim = routing_results[DesignPoint.PIM_CAPSNET]
+    assert set(pim.time_components) == {"execution", "xbar", "vrs"}
+    assert pim.dimension in set(Dimension)
+    assert set(pim.energy_components) == {"execution", "dram", "crossbar", "vault"}
+
+
+def test_rp_speedup_in_paper_range(routing_results):
+    baseline = routing_results[DesignPoint.BASELINE_GPU]
+    pim = routing_results[DesignPoint.PIM_CAPSNET]
+    speedup = pim.speedup_over(baseline)
+    # Paper: ~2.17x on average (up to ~2.3x per benchmark).
+    assert 1.5 < speedup < 3.5
+
+
+def test_rp_energy_saving_in_paper_range(routing_results):
+    baseline = routing_results[DesignPoint.BASELINE_GPU]
+    pim = routing_results[DesignPoint.PIM_CAPSNET]
+    saving = pim.energy_saving_over(baseline)
+    # Paper: 92.18% on average.
+    assert 0.85 < saving < 0.99
+
+
+def test_gpu_icp_barely_helps(routing_results):
+    baseline = routing_results[DesignPoint.BASELINE_GPU]
+    icp = routing_results[DesignPoint.GPU_ICP]
+    assert 0.99 <= icp.speedup_over(baseline) < 1.10
+
+
+def test_pim_intra_dominated_by_crossbar(routing_results):
+    intra = routing_results[DesignPoint.PIM_INTRA]
+    assert intra.time_components["xbar"] > 0.3 * intra.time_seconds
+
+
+def test_pim_inter_dominated_by_vault_request_stalls(routing_results):
+    inter = routing_results[DesignPoint.PIM_INTER]
+    assert inter.time_components["vrs"] > 0.4 * inter.time_seconds
+
+
+def test_pim_capsnet_beats_partial_designs(routing_results):
+    pim = routing_results[DesignPoint.PIM_CAPSNET]
+    assert pim.time_seconds < routing_results[DesignPoint.PIM_INTRA].time_seconds
+    assert pim.time_seconds < routing_results[DesignPoint.PIM_INTER].time_seconds
+
+
+def test_pim_inter_close_to_or_below_baseline(routing_results):
+    baseline = routing_results[DesignPoint.BASELINE_GPU]
+    inter = routing_results[DesignPoint.PIM_INTER]
+    # Paper: PIM-Inter is ~5% slower than the GPU baseline.
+    assert 0.5 < inter.speedup_over(baseline) < 1.2
+
+
+def test_forced_dimension_is_respected():
+    forced = PIMCapsNet("Caps-MN1", force_dimension=Dimension.HIGH)
+    result = forced.simulate_routing(DesignPoint.PIM_CAPSNET)
+    assert result.dimension is Dimension.HIGH
+
+
+def test_forced_dimension_never_beats_best_choice():
+    best = PIMCapsNet("Caps-MN1").simulate_routing(DesignPoint.PIM_CAPSNET)
+    for dimension in Dimension:
+        forced = PIMCapsNet("Caps-MN1", force_dimension=dimension)
+        result = forced.simulate_routing(DesignPoint.PIM_CAPSNET)
+        assert result.time_seconds >= best.time_seconds * 0.999
+
+
+def test_higher_pe_frequency_speeds_up_routing():
+    slow = PIMCapsNet("Caps-MN1", hmc_config=HMCConfig().with_pe_frequency(312.5))
+    fast = PIMCapsNet("Caps-MN1", hmc_config=HMCConfig().with_pe_frequency(937.5))
+    assert (
+        fast.simulate_routing(DesignPoint.PIM_CAPSNET).time_seconds
+        < slow.simulate_routing(DesignPoint.PIM_CAPSNET).time_seconds
+    )
+
+
+def test_end_to_end_baseline_is_serial(end_to_end_results):
+    baseline = end_to_end_results[DesignPoint.BASELINE_GPU]
+    assert not baseline.timing.pipelined
+    assert baseline.host_stage_seconds > 0
+    assert baseline.routing_stage_seconds > 0
+
+
+def test_end_to_end_pim_is_pipelined(end_to_end_results):
+    pim = end_to_end_results[DesignPoint.PIM_CAPSNET]
+    assert pim.timing.pipelined
+
+
+def test_overall_speedup_in_paper_range(end_to_end_results):
+    baseline = end_to_end_results[DesignPoint.BASELINE_GPU]
+    pim = end_to_end_results[DesignPoint.PIM_CAPSNET]
+    # Paper: ~2.44x average overall speedup.
+    assert 1.8 < pim.speedup_over(baseline) < 3.2
+
+
+def test_overall_energy_saving_in_paper_range(end_to_end_results):
+    baseline = end_to_end_results[DesignPoint.BASELINE_GPU]
+    pim = end_to_end_results[DesignPoint.PIM_CAPSNET]
+    # Paper: ~64.9% average energy saving.
+    assert 0.4 < pim.energy_saving_over(baseline) < 0.8
+
+
+def test_all_in_pim_slower_but_draws_far_less_power(end_to_end_results):
+    # The paper's All-in-PIM halves performance but saves 71% energy; our GPU
+    # host-stage model is considerably more compute-efficient than the paper's
+    # measured PyTorch execution, so All-in-PIM is slower still (see
+    # EXPERIMENTS.md).  The robust part of the claim -- the HMC draws a small
+    # fraction of the GPU's power -- must hold.
+    baseline = end_to_end_results[DesignPoint.BASELINE_GPU]
+    all_in = end_to_end_results[DesignPoint.ALL_IN_PIM]
+    assert all_in.speedup_over(baseline) < 1.0
+    baseline_power = baseline.energy_joules / baseline.time_seconds
+    all_in_power = all_in.energy_joules / all_in.time_seconds
+    assert all_in_power < 0.3 * baseline_power
+
+
+def test_naive_schedulers_not_better_than_rmas(end_to_end_results):
+    pim = end_to_end_results[DesignPoint.PIM_CAPSNET]
+    rmas_pim = end_to_end_results[DesignPoint.RMAS_PIM]
+    rmas_gpu = end_to_end_results[DesignPoint.RMAS_GPU]
+    assert pim.time_seconds <= rmas_pim.time_seconds * 1.001
+    assert pim.time_seconds <= rmas_gpu.time_seconds * 1.001
+
+
+def test_scalability_with_network_size():
+    # The paper: the speedup improves (or at least holds) as the routing
+    # workload grows (e.g. Caps-EN3 vs Caps-SV1).
+    small = PIMCapsNet("Caps-SV1")
+    large = PIMCapsNet("Caps-EN3")
+    small_speedup = small.simulate_routing(DesignPoint.PIM_CAPSNET).speedup_over(
+        small.simulate_routing(DesignPoint.BASELINE_GPU)
+    )
+    large_speedup = large.simulate_routing(DesignPoint.PIM_CAPSNET).speedup_over(
+        large.simulate_routing(DesignPoint.BASELINE_GPU)
+    )
+    assert large_speedup > small_speedup
+
+
+def test_compare_routing_default_designs(routing_results):
+    assert set(routing_results) == {
+        DesignPoint.BASELINE_GPU,
+        DesignPoint.GPU_ICP,
+        DesignPoint.PIM_INTRA,
+        DesignPoint.PIM_INTER,
+        DesignPoint.PIM_CAPSNET,
+    }
+
+
+def test_compare_end_to_end_default_designs(end_to_end_results):
+    assert set(end_to_end_results) == {
+        DesignPoint.BASELINE_GPU,
+        DesignPoint.ALL_IN_PIM,
+        DesignPoint.RMAS_PIM,
+        DesignPoint.RMAS_GPU,
+        DesignPoint.PIM_CAPSNET,
+    }

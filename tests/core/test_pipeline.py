@@ -1,0 +1,84 @@
+"""Tests for the host/HMC batch pipeline model."""
+
+import pytest
+
+from repro.core.pipeline import PipelineModel, PipelineTiming
+
+
+def test_serial_total_time():
+    model = PipelineModel(num_batches=4)
+    timing = model.serial(host_time=2.0, routing_time=3.0)
+    assert timing.total_time == pytest.approx(4 * 5.0)
+    assert timing.steady_state_time == pytest.approx(5.0)
+
+
+def test_pipelined_total_time_fill_and_drain():
+    model = PipelineModel(num_batches=4)
+    timing = model.pipelined(host_time=2.0, routing_time=3.0)
+    # host + 3 * max + routing = 2 + 9 + 3.
+    assert timing.total_time == pytest.approx(14.0)
+
+
+def test_pipelined_single_batch_has_no_overlap():
+    model = PipelineModel(num_batches=1)
+    timing = model.pipelined(host_time=2.0, routing_time=3.0)
+    assert timing.total_time == pytest.approx(5.0)
+
+
+def test_pipelined_faster_than_serial():
+    model = PipelineModel(num_batches=8)
+    serial = model.serial(2.0, 3.0)
+    pipelined = model.pipelined(2.0, 3.0)
+    assert pipelined.total_time < serial.total_time
+    assert PipelineModel.speedup(serial, pipelined) > 1.0
+
+
+def test_pipelined_speedup_bounded_by_stage_ratio():
+    model = PipelineModel(num_batches=100)
+    serial = model.serial(2.0, 3.0)
+    pipelined = model.pipelined(2.0, 3.0)
+    # The ideal bound is (2+3)/3; fill/drain keeps us strictly below it.
+    assert PipelineModel.speedup(serial, pipelined) < 5.0 / 3.0
+    assert PipelineModel.speedup(serial, pipelined) > 1.5
+
+
+def test_bubble_time():
+    model = PipelineModel(num_batches=4)
+    assert model.pipelined(2.0, 3.0).bubble_time == pytest.approx(1.0)
+    assert model.serial(2.0, 3.0).bubble_time == 0.0
+
+
+def test_average_batch_time():
+    model = PipelineModel(num_batches=4)
+    timing = model.pipelined(2.0, 2.0)
+    assert timing.average_batch_time == pytest.approx(timing.total_time / 4)
+
+
+def test_balanced_stages_maximize_pipeline_benefit():
+    model = PipelineModel(num_batches=16)
+    balanced = model.pipelined(2.5, 2.5)
+    skewed = model.pipelined(1.0, 4.0)
+    assert balanced.total_time < skewed.total_time
+
+
+def test_zero_batches_rejected():
+    with pytest.raises(ValueError):
+        PipelineModel(num_batches=0)
+
+
+def test_negative_stage_time_rejected():
+    model = PipelineModel()
+    with pytest.raises(ValueError):
+        model.pipelined(-1.0, 1.0)
+
+
+def test_speedup_of_identical_timings_is_one():
+    model = PipelineModel(num_batches=3)
+    timing = model.serial(1.0, 1.0)
+    assert PipelineModel.speedup(timing, timing) == pytest.approx(1.0)
+
+
+def test_zero_time_timing_gives_infinite_speedup():
+    baseline = PipelineTiming(host_stage_time=1.0, routing_stage_time=1.0, num_batches=1, pipelined=False)
+    zero = PipelineTiming(host_stage_time=0.0, routing_stage_time=0.0, num_batches=1, pipelined=False)
+    assert PipelineModel.speedup(baseline, zero) == float("inf")

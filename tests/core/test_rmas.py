@@ -1,0 +1,104 @@
+"""Tests for the runtime memory access scheduler (Eq. 15)."""
+
+import pytest
+
+from repro.core.rmas import (
+    ContentionModel,
+    RMASDecision,
+    RuntimeMemoryAccessScheduler,
+    SchedulerPolicy,
+)
+
+
+def test_decision_minimizes_overhead_over_all_candidates():
+    scheduler = RuntimeMemoryAccessScheduler()
+    decision = scheduler.decide(targeted_vaults=16, queue_depth=4.0)
+    best = decision.host_priority_vaults
+    for candidate in range(1, 17):
+        assert scheduler.overhead(best, 16, 4.0) <= scheduler.overhead(candidate, 16, 4.0) + 1e-9
+
+
+def test_decision_matches_analytic_optimum():
+    # n_h* = sqrt(n_max * gamma_h / (Q * gamma_v)) = sqrt(32/8) = 2.
+    scheduler = RuntimeMemoryAccessScheduler(gamma_vault=1.0, gamma_host=1.0)
+    decision = scheduler.decide(targeted_vaults=32, queue_depth=8.0)
+    assert decision.host_priority_vaults == 2
+
+
+def test_deeper_queues_shift_priority_to_pims():
+    scheduler = RuntimeMemoryAccessScheduler()
+    shallow = scheduler.decide(targeted_vaults=32, queue_depth=1.0)
+    deep = scheduler.decide(targeted_vaults=32, queue_depth=64.0)
+    assert deep.host_priority_vaults <= shallow.host_priority_vaults
+
+
+def test_memory_sensitive_host_gets_more_vaults():
+    neutral = RuntimeMemoryAccessScheduler(gamma_vault=1.0, gamma_host=1.0)
+    host_heavy = RuntimeMemoryAccessScheduler(gamma_vault=1.0, gamma_host=8.0)
+    assert (
+        host_heavy.decide(32, 8.0).host_priority_vaults
+        >= neutral.decide(32, 8.0).host_priority_vaults
+    )
+
+
+def test_empty_queue_grants_everything_to_host():
+    scheduler = RuntimeMemoryAccessScheduler()
+    decision = scheduler.decide(targeted_vaults=8, queue_depth=0.0)
+    assert decision.host_priority_vaults == 8
+    assert decision.host_share == 1.0
+
+
+def test_host_share_fraction():
+    decision = RMASDecision(host_priority_vaults=4, targeted_vaults=16, overhead=1.0)
+    assert decision.host_share == pytest.approx(0.25)
+
+
+def test_overhead_validation():
+    scheduler = RuntimeMemoryAccessScheduler()
+    with pytest.raises(ValueError):
+        scheduler.overhead(5, 4, 1.0)
+    with pytest.raises(ValueError):
+        scheduler.overhead(1, 0, 1.0)
+    with pytest.raises(ValueError):
+        scheduler.overhead(1, 4, -1.0)
+
+
+def test_decide_validation():
+    scheduler = RuntimeMemoryAccessScheduler()
+    with pytest.raises(ValueError):
+        scheduler.decide(0, 1.0)
+
+
+def test_invalid_impact_factors_rejected():
+    with pytest.raises(ValueError):
+        RuntimeMemoryAccessScheduler(gamma_vault=0.0)
+
+
+def test_contention_slowdowns_at_least_one():
+    model = ContentionModel()
+    decision = RuntimeMemoryAccessScheduler().decide(32, 8.0)
+    for policy in SchedulerPolicy:
+        host, pim = model.slowdowns(policy, decision)
+        assert host >= 1.0
+        assert pim >= 1.0
+
+
+def test_gpu_priority_penalizes_pim_more():
+    model = ContentionModel()
+    decision = RuntimeMemoryAccessScheduler().decide(32, 8.0)
+    host_g, pim_g = model.slowdowns(SchedulerPolicy.GPU_PRIORITY, decision)
+    host_p, pim_p = model.slowdowns(SchedulerPolicy.PIM_PRIORITY, decision)
+    assert pim_g > pim_p  # GPU priority stalls the PEs
+    assert host_p > host_g  # PIM priority stalls the host
+
+
+def test_rmas_policy_balances_better_than_naive_policies():
+    model = ContentionModel()
+    decision = RuntimeMemoryAccessScheduler().decide(32, 8.0)
+    slowdowns = {
+        policy: model.slowdowns(policy, decision) for policy in SchedulerPolicy
+    }
+    worst_rmas = max(slowdowns[SchedulerPolicy.RMAS])
+    worst_gpu = max(slowdowns[SchedulerPolicy.GPU_PRIORITY])
+    worst_pim = max(slowdowns[SchedulerPolicy.PIM_PRIORITY])
+    assert worst_rmas <= max(worst_gpu, worst_pim)

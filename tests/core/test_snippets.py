@@ -1,0 +1,105 @@
+"""Tests for workload snippets and the snippet scheduler."""
+
+import pytest
+
+from repro.core.distribution import WorkloadDistributor
+from repro.core.snippets import (
+    SnippetScheduler,
+    build_snippets,
+    load_imbalance,
+    snippet_count_for,
+)
+from repro.hmc.config import HMCConfig
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.parallelism import Dimension
+
+
+@pytest.fixture
+def plan():
+    return WorkloadDistributor(BENCHMARKS["Caps-MN1"]).best_plan()
+
+
+def test_build_snippets_count(plan):
+    hmc = HMCConfig()
+    snippets = build_snippets(plan, hmc.num_vaults)
+    assert len(snippets) == plan.per_vault_parallel_suboperations * plan.vaults_used
+    assert len(snippets) >= hmc.num_vaults  # many more snippets than vaults
+
+
+def test_snippets_conserve_per_vault_work(plan):
+    hmc = HMCConfig()
+    snippets = build_snippets(plan, hmc.num_vaults)
+    per_vault = plan.per_vault_parallel_suboperations
+    vault_ops = sum(s.operations.total_operations for s in snippets[:per_vault])
+    assert vault_ops == pytest.approx(plan.per_vault_operations.total_operations, rel=1e-9)
+    vault_bytes = sum(s.dram_bytes for s in snippets[:per_vault])
+    assert vault_bytes == pytest.approx(plan.per_vault_dram_bytes, rel=1e-9)
+
+
+def test_snippets_carry_dimension(plan):
+    snippets = build_snippets(plan, 32)
+    assert all(s.dimension is plan.dimension for s in snippets)
+
+
+def test_build_snippets_rejects_bad_vault_count(plan):
+    with pytest.raises(ValueError):
+        build_snippets(plan, 0)
+
+
+def test_snippet_count_helper(plan):
+    assert snippet_count_for(plan, 32) >= plan.vaults_used
+
+
+def test_round_robin_assignment_uses_all_vaults(plan):
+    hmc = HMCConfig()
+    snippets = build_snippets(plan, hmc.num_vaults)
+    assignment = SnippetScheduler(hmc.num_vaults).assign(snippets, vaults_used=plan.vaults_used)
+    assert assignment.vaults_used == plan.vaults_used
+    assert assignment.total_snippets == len(snippets)
+
+
+def test_round_robin_assignment_is_balanced(plan):
+    hmc = HMCConfig()
+    snippets = build_snippets(plan, hmc.num_vaults)
+    assignment = SnippetScheduler(hmc.num_vaults).assign(snippets, vaults_used=plan.vaults_used)
+    assert load_imbalance(assignment) < 1.5
+
+
+def test_assignment_vault_loads_match_plan(plan):
+    hmc = HMCConfig()
+    snippets = build_snippets(plan, hmc.num_vaults)
+    assignment = SnippetScheduler(hmc.num_vaults).assign(snippets, vaults_used=plan.vaults_used)
+    # Each vault's assigned work should be close to the plan's per-vault workload.
+    load = assignment.operations_for(0).total_operations
+    assert load == pytest.approx(plan.per_vault_operations.total_operations, rel=0.25)
+
+
+def test_scheduler_respects_vaults_used_restriction(plan):
+    scheduler = SnippetScheduler(32)
+    snippets = build_snippets(plan, 32)
+    assignment = scheduler.assign(snippets, vaults_used=10)
+    assert assignment.vaults_used == 10
+    assert all(vault < 10 for vault in assignment.vault_snippets)
+
+
+def test_scheduler_validation(plan):
+    with pytest.raises(ValueError):
+        SnippetScheduler(0)
+    scheduler = SnippetScheduler(8)
+    snippets = build_snippets(plan, 8)
+    with pytest.raises(ValueError):
+        scheduler.assign(snippets, vaults_used=9)
+
+
+def test_high_dimension_plan_produces_snippets_for_used_vaults_only():
+    distributor = WorkloadDistributor(BENCHMARKS["Caps-MN1"])
+    plan = distributor.plan_for_dimension(Dimension.HIGH)
+    snippets = build_snippets(plan, 32)
+    assignment = SnippetScheduler(32).assign(snippets, vaults_used=plan.vaults_used)
+    assert assignment.vaults_used == plan.vaults_used == 10
+
+
+def test_empty_assignment_imbalance_is_one():
+    from repro.core.snippets import SnippetAssignment
+
+    assert load_imbalance(SnippetAssignment()) == 1.0

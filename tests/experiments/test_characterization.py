@@ -1,0 +1,91 @@
+"""Tests for the characterization experiments (Figs. 4-7)."""
+
+import pytest
+
+from repro.experiments import (
+    fig04_layer_breakdown,
+    fig05_stall_breakdown,
+    fig06_onchip_storage,
+    fig07_bandwidth,
+)
+from repro.gpu.kernels import StallClass
+
+SUBSET = ["Caps-MN1", "Caps-SV1", "Caps-EN1"]
+
+
+def test_fig04_rows_and_fractions():
+    result = fig04_layer_breakdown.run(benchmarks=SUBSET)
+    assert [row.benchmark for row in result.rows] == SUBSET
+    for row in result.rows:
+        total = (
+            row.fraction_conv + row.fraction_primary_caps + row.fraction_routing + row.fraction_fc
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert row.total_time_s > 0
+
+
+def test_fig04_routing_dominates():
+    result = fig04_layer_breakdown.run(benchmarks=SUBSET)
+    assert 0.6 < result.average_routing_fraction < 0.95
+    for row in result.rows:
+        assert row.fraction_routing > max(row.fraction_conv, row.fraction_fc)
+
+
+def test_fig04_report_mentions_paper_number():
+    result = fig04_layer_breakdown.run(benchmarks=["Caps-MN1"])
+    report = fig04_layer_breakdown.format_report(result)
+    assert "74.62%" in report
+    assert "Caps-MN1" in report
+
+
+def test_fig05_fractions_sum_to_one():
+    result = fig05_stall_breakdown.run(benchmarks=SUBSET)
+    for row in result.rows:
+        assert sum(row.fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_fig05_memory_and_sync_dominate():
+    result = fig05_stall_breakdown.run(benchmarks=SUBSET)
+    assert 0.35 < result.average_memory_fraction < 0.6
+    assert 0.25 < result.average_sync_fraction < 0.45
+    assert result.average_ldst_utilization > result.average_alu_utilization
+
+
+def test_fig05_report_contains_stall_classes():
+    result = fig05_stall_breakdown.run(benchmarks=["Caps-MN1"])
+    report = fig05_stall_breakdown.format_report(result)
+    for cls in StallClass:
+        assert cls.value in report
+
+
+def test_fig06_ratios_match_paper_scale():
+    result = fig06_onchip_storage.run(benchmarks=SUBSET)
+    # Fig. 6(a): ratios in the tens to hundreds.
+    for row in result.rows:
+        assert row.ratio_by_device["K40m"] > row.ratio_by_device["V100"]
+        assert row.ratio_by_device["K40m"] > 20
+    assert result.average_ratio_by_device["K40m"] > result.average_ratio_by_device["V100"]
+
+
+def test_fig06_performance_improves_modestly_with_storage():
+    result = fig06_onchip_storage.run(benchmarks=SUBSET)
+    for row in result.rows:
+        perf = row.normalized_performance_by_device
+        assert perf["K40m"] == pytest.approx(1.0)
+        assert 1.0 <= perf["V100"] < 1.3
+
+
+def test_fig07_bandwidth_improvement_in_paper_range():
+    result = fig07_bandwidth.run(benchmarks=SUBSET)
+    for row in result.rows:
+        perf = row.normalized_performance
+        assert perf["GDDR5"] == pytest.approx(1.0)
+        assert perf["HBM2"] > perf["GDDR6"] > perf["GDDR5X"] > 1.0
+    assert 1.1 < result.average_by_technology["HBM2"] < 1.6
+
+
+def test_fig07_report_contains_bandwidths():
+    result = fig07_bandwidth.run(benchmarks=["Caps-MN1"])
+    report = fig07_bandwidth.format_report(result)
+    assert "288" in report
+    assert "897" in report

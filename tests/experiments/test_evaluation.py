@@ -1,0 +1,111 @@
+"""Tests for the evaluation experiments (Figs. 15-18, overhead)."""
+
+import pytest
+
+from repro.core.accelerator import DesignPoint
+from repro.experiments import (
+    fig15_rp_acceleration,
+    fig16_pim_breakdown,
+    fig17_end_to_end,
+    fig18_frequency_sweep,
+    overhead,
+)
+from repro.workloads.parallelism import Dimension
+
+SUBSET = ["Caps-MN1", "Caps-SV1"]
+
+
+def test_fig15_speedups_and_energy():
+    result = fig15_rp_acceleration.run(benchmarks=SUBSET)
+    for row in result.rows:
+        assert row.speedup[DesignPoint.BASELINE_GPU] == pytest.approx(1.0)
+        assert row.speedup[DesignPoint.PIM_CAPSNET] > 1.5
+        assert row.normalized_energy[DesignPoint.PIM_CAPSNET] < 0.2
+        assert row.chosen_dimension in {d.value for d in Dimension}
+    assert result.average_speedup > 1.5
+    assert result.average_energy_saving > 0.8
+
+
+def test_fig15_report_mentions_paper_targets():
+    result = fig15_rp_acceleration.run(benchmarks=["Caps-MN1"])
+    report = fig15_rp_acceleration.format_report(result)
+    assert "2.17x" in report
+    assert "92.18%" in report
+
+
+def test_fig16_breakdown_structure():
+    result = fig16_pim_breakdown.run(benchmarks=SUBSET)
+    assert 0.2 < result.average_intra_crossbar_share < 0.9
+    assert 0.3 < result.average_inter_vrs_share < 0.9
+    assert result.average_speedup_over_intra > 1.0
+    assert result.average_speedup_over_inter > 1.0
+
+
+def test_fig16_normalized_times_relative_to_baseline():
+    result = fig16_pim_breakdown.run(benchmarks=["Caps-MN1"])
+    row = result.rows[0]
+    pim_total = sum(row.normalized_time[DesignPoint.PIM_CAPSNET].values())
+    inter_total = sum(row.normalized_time[DesignPoint.PIM_INTER].values())
+    assert pim_total < 1.0  # faster than the GPU baseline
+    assert inter_total > pim_total
+
+
+def test_fig17_speedups_and_energy():
+    result = fig17_end_to_end.run(benchmarks=SUBSET)
+    for row in result.rows:
+        assert row.speedup[DesignPoint.BASELINE_GPU] == pytest.approx(1.0)
+        assert row.speedup[DesignPoint.PIM_CAPSNET] > 1.5
+        assert row.speedup[DesignPoint.ALL_IN_PIM] < 1.0
+        assert row.normalized_energy[DesignPoint.PIM_CAPSNET] < 0.7
+    assert result.average_speedup > 1.8
+
+
+def test_fig17_rmas_beats_naive_schedulers():
+    result = fig17_end_to_end.run(benchmarks=["Caps-MN1"])
+    row = result.rows[0]
+    assert row.speedup[DesignPoint.PIM_CAPSNET] >= row.speedup[DesignPoint.RMAS_PIM] - 1e-9
+    assert row.speedup[DesignPoint.PIM_CAPSNET] >= row.speedup[DesignPoint.RMAS_GPU] - 1e-9
+
+
+def test_fig18_sweep_structure():
+    result = fig18_frequency_sweep.run(benchmarks=SUBSET, frequencies_mhz=(312.5, 937.5))
+    assert set(result.frequencies_mhz) == {312.5, 937.5}
+    # Every (benchmark, frequency, dimension) cell exists.
+    for benchmark in SUBSET:
+        for frequency in result.frequencies_mhz:
+            for dimension in Dimension:
+                assert result.speedup(benchmark, frequency, dimension) > 0
+
+
+def test_fig18_higher_frequency_is_faster():
+    result = fig18_frequency_sweep.run(benchmarks=["Caps-MN1"], frequencies_mhz=(312.5, 937.5))
+    for dimension in Dimension:
+        slow = result.speedup("Caps-MN1", 312.5, dimension)
+        fast = result.speedup("Caps-MN1", 937.5, dimension)
+        assert fast > slow
+
+
+def test_fig18_best_dimension_recorded():
+    result = fig18_frequency_sweep.run(benchmarks=["Caps-SV1"], frequencies_mhz=(312.5,))
+    assert ("Caps-SV1", 312.5) in result.best_dimension
+
+
+def test_fig18_missing_cell_raises():
+    result = fig18_frequency_sweep.run(benchmarks=["Caps-SV1"], frequencies_mhz=(312.5,))
+    with pytest.raises(KeyError):
+        result.speedup("Caps-MN1", 312.5, Dimension.LOW)
+
+
+def test_overhead_matches_paper():
+    result = overhead.run()
+    assert result.total_area_mm2 == pytest.approx(3.11, abs=0.2)
+    assert 0.002 < result.area_fraction < 0.005
+    assert 1.0 < result.average_logic_power_watts < 4.0
+    assert all(report.within_budget for _, report in result.thermal_reports)
+    assert result.max_frequency_mhz > 937.5
+
+
+def test_overhead_report_mentions_budget():
+    report = overhead.format_report(overhead.run())
+    assert "mm^2" in report
+    assert "Thermal" in report

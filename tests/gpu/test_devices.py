@@ -1,0 +1,88 @@
+"""Tests for the GPU device catalog."""
+
+import pytest
+
+from repro.gpu.devices import (
+    BANDWIDTH_SWEEP,
+    GPU_DEVICES,
+    ONCHIP_STORAGE_SWEEP,
+    MemoryTechnology,
+    baseline_device,
+    get_device,
+)
+
+
+def test_all_paper_devices_present():
+    for name in ("K40m", "GTX1080Ti", "P100", "RTX2080Ti", "V100"):
+        assert name in GPU_DEVICES
+
+
+def test_onchip_storage_matches_fig6_caption():
+    assert GPU_DEVICES["K40m"].onchip_storage_bytes == pytest.approx(1.73 * 1024 * 1024, rel=1e-6)
+    assert GPU_DEVICES["P100"].onchip_storage_bytes == pytest.approx(5.31 * 1024 * 1024, rel=1e-6)
+    assert GPU_DEVICES["RTX2080Ti"].onchip_storage_bytes == pytest.approx(9.75 * 1024 * 1024, rel=1e-6)
+    assert GPU_DEVICES["V100"].onchip_storage_bytes == pytest.approx(16 * 1024 * 1024, rel=1e-6)
+
+
+def test_bandwidths_match_fig7_caption():
+    assert GPU_DEVICES["K40m"].memory_bandwidth_gbs == 288.0
+    assert GPU_DEVICES["GTX1080Ti"].memory_bandwidth_gbs == 484.0
+    assert GPU_DEVICES["RTX2080Ti"].memory_bandwidth_gbs == 616.0
+    assert GPU_DEVICES["V100"].memory_bandwidth_gbs == 897.0
+
+
+def test_baseline_is_p100_with_table4_parameters():
+    device = baseline_device()
+    assert device.name == "P100"
+    assert device.shading_units == 3584
+    assert device.core_clock_mhz == 1190.0
+    assert device.memory_bandwidth_gbs == 320.0
+    assert device.memory_technology is MemoryTechnology.HBM
+
+
+def test_peak_flops_formula():
+    device = baseline_device()
+    assert device.peak_flops == pytest.approx(2 * 3584 * 1190e6)
+
+
+def test_memory_bandwidth_bytes():
+    assert baseline_device().memory_bandwidth_bytes == pytest.approx(320e9)
+
+
+def test_with_memory_bandwidth_returns_modified_copy():
+    device = baseline_device()
+    modified = device.with_memory_bandwidth(500.0)
+    assert modified.memory_bandwidth_gbs == 500.0
+    assert device.memory_bandwidth_gbs == 320.0
+    assert modified.shading_units == device.shading_units
+
+
+def test_with_onchip_storage_returns_modified_copy():
+    device = baseline_device()
+    modified = device.with_onchip_storage(1024)
+    assert modified.onchip_storage_bytes == 1024
+    assert device.onchip_storage_bytes != 1024
+
+
+def test_with_invalid_values_rejected():
+    device = baseline_device()
+    with pytest.raises(ValueError):
+        device.with_memory_bandwidth(0)
+    with pytest.raises(ValueError):
+        device.with_onchip_storage(0)
+
+
+def test_sweep_lists_are_ordered():
+    storages = [GPU_DEVICES[d].onchip_storage_bytes for d in ONCHIP_STORAGE_SWEEP]
+    assert storages == sorted(storages)
+    bandwidths = [GPU_DEVICES[d].memory_bandwidth_gbs for d in BANDWIDTH_SWEEP]
+    assert bandwidths == sorted(bandwidths)
+
+
+def test_get_device_case_insensitive():
+    assert get_device("v100").name == "V100"
+
+
+def test_get_device_unknown_raises():
+    with pytest.raises(KeyError):
+        get_device("A100")

@@ -1,0 +1,82 @@
+"""Tests for the GPU energy model."""
+
+import pytest
+
+from repro.gpu.devices import GPU_DEVICES, baseline_device
+from repro.gpu.energy import EnergyBreakdown, GPUEnergyModel
+
+
+def test_default_model_uses_baseline_device():
+    model = GPUEnergyModel()
+    assert model.device.name == "P100"
+
+
+def test_phase_energy_components_positive():
+    model = GPUEnergyModel()
+    energy = model.phase_energy(duration_s=0.01, flops=1e9, dram_bytes=1e8)
+    assert energy.static > 0
+    assert energy.compute > 0
+    assert energy.dram > 0
+    assert energy.total == pytest.approx(energy.static + energy.compute + energy.dram)
+
+
+def test_phase_energy_scales_linearly_with_duration():
+    model = GPUEnergyModel()
+    short = model.phase_energy(0.01, 0, 0)
+    long = model.phase_energy(0.02, 0, 0)
+    assert long.static == pytest.approx(2 * short.static)
+
+
+def test_phase_energy_scales_with_flops_and_bytes():
+    model = GPUEnergyModel()
+    a = model.phase_energy(0.0, 1e9, 1e9)
+    b = model.phase_energy(0.0, 2e9, 3e9)
+    assert b.compute == pytest.approx(2 * a.compute)
+    assert b.dram == pytest.approx(3 * a.dram)
+
+
+def test_phase_energy_rejects_negative_inputs():
+    model = GPUEnergyModel()
+    with pytest.raises(ValueError):
+        model.phase_energy(-1.0, 0, 0)
+    with pytest.raises(ValueError):
+        model.phase_energy(0.0, -1, 0)
+
+
+def test_idle_energy_uses_idle_power():
+    model = GPUEnergyModel()
+    energy = model.idle_energy(1.0)
+    assert energy.total == pytest.approx(model.device.idle_watts)
+
+
+def test_idle_cheaper_than_busy():
+    model = GPUEnergyModel()
+    busy = model.phase_energy(1.0, 0, 0)
+    idle = model.idle_energy(1.0)
+    assert idle.total < busy.total
+
+
+def test_invalid_coefficients_rejected():
+    with pytest.raises(ValueError):
+        GPUEnergyModel(energy_per_flop=-1.0)
+    with pytest.raises(ValueError):
+        GPUEnergyModel(busy_power_fraction=1.5)
+
+
+def test_breakdown_merge():
+    a = EnergyBreakdown(static=1.0, compute=2.0, dram=3.0)
+    b = EnergyBreakdown(static=0.5, compute=0.5, dram=0.5)
+    merged = a.merged_with(b)
+    assert merged.total == pytest.approx(7.5)
+    assert merged.as_dict() == {"static": 1.5, "compute": 2.5, "dram": 3.5}
+
+
+def test_bigger_gpu_draws_more_background_power():
+    small = GPUEnergyModel(device=GPU_DEVICES["K40m"])
+    big = GPUEnergyModel(device=GPU_DEVICES["V100"])
+    assert big.phase_energy(1.0, 0, 0).static > small.phase_energy(1.0, 0, 0).static
+
+
+def test_explicit_device_respected():
+    model = GPUEnergyModel(device=baseline_device().with_memory_bandwidth(500))
+    assert model.device.memory_bandwidth_gbs == 500

@@ -1,0 +1,80 @@
+"""Tests for the GPU kernel cost model and stall attribution."""
+
+import pytest
+
+from repro.gpu.kernels import GPUCostParameters, KernelTiming, StallBreakdown, StallClass
+
+
+def test_default_parameters_valid():
+    params = GPUCostParameters()
+    assert 0 < params.routing_alu_efficiency <= 1
+    assert params.barrier_cost_seconds > 0
+
+
+def test_invalid_efficiency_rejected():
+    with pytest.raises(ValueError):
+        GPUCostParameters(dense_compute_efficiency=0.0)
+    with pytest.raises(ValueError):
+        GPUCostParameters(routing_bandwidth_utilization=1.5)
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ValueError):
+        GPUCostParameters(barrier_cost_seconds=-1.0)
+
+
+def test_kernel_timing_total_is_sum_of_components():
+    timing = KernelTiming(name="k", compute=1.0, bandwidth=2.0, latency=0.5, sync=0.25, overhead=0.25)
+    assert timing.total == pytest.approx(4.0)
+    assert timing.memory == pytest.approx(2.5)
+
+
+def test_kernel_timing_scaled():
+    timing = KernelTiming(name="k", compute=1.0, bandwidth=2.0, latency=1.0, sync=1.0, overhead=1.0)
+    scaled = timing.scaled(2.0)
+    assert scaled.total == pytest.approx(2 * timing.total)
+    assert scaled.name == "k"
+
+
+def test_kernel_timing_merged():
+    a = KernelTiming(name="a", compute=1.0, sync=1.0)
+    b = KernelTiming(name="b", bandwidth=2.0, overhead=0.5)
+    merged = a.merged_with(b, name="ab")
+    assert merged.name == "ab"
+    assert merged.total == pytest.approx(4.5)
+
+
+def test_stall_breakdown_fractions_sum_to_one():
+    params = GPUCostParameters()
+    timing = KernelTiming(name="rp", compute=0.1, bandwidth=3.0, latency=1.0, sync=2.0, overhead=1.0)
+    breakdown = StallBreakdown.from_timing(timing, params)
+    assert sum(breakdown.fractions.values()) == pytest.approx(1.0)
+
+
+def test_stall_breakdown_memory_dominates_when_memory_dominates():
+    params = GPUCostParameters()
+    timing = KernelTiming(name="rp", compute=0.0, bandwidth=5.0, latency=2.0, sync=1.0, overhead=0.5)
+    breakdown = StallBreakdown.from_timing(timing, params)
+    assert breakdown.fraction(StallClass.MEMORY_ACCESS) > breakdown.fraction(StallClass.SYNCHRONIZATION)
+
+
+def test_stall_breakdown_overhead_split_follows_parameters():
+    params = GPUCostParameters(
+        resource_stall_fraction=0.2, fetch_stall_fraction=0.1, other_stall_fraction=0.1
+    )
+    timing = KernelTiming(name="rp", overhead=4.0)
+    breakdown = StallBreakdown.from_timing(timing, params)
+    assert breakdown.fraction(StallClass.LACK_OF_RESOURCE) == pytest.approx(0.5)
+    assert breakdown.fraction(StallClass.INSTRUCTION_FETCH) == pytest.approx(0.25)
+
+
+def test_stall_breakdown_zero_timing_gives_zero_fractions():
+    breakdown = StallBreakdown.from_timing(KernelTiming(name="empty"), GPUCostParameters())
+    assert all(value == 0.0 for value in breakdown.fractions.values())
+
+
+def test_stall_breakdown_as_dict_keys():
+    breakdown = StallBreakdown.from_timing(
+        KernelTiming(name="rp", bandwidth=1.0), GPUCostParameters()
+    )
+    assert set(breakdown.as_dict()) == {cls.value for cls in StallClass}

@@ -1,0 +1,135 @@
+"""Tests for the GPU inference simulator."""
+
+import pytest
+
+from repro.gpu.devices import baseline_device
+from repro.gpu.kernels import StallClass
+from repro.gpu.simulator import GPUSimulator
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.layers_model import CapsNetWorkload, LayerKind
+from repro.workloads.rp_model import RoutingWorkload
+
+
+@pytest.fixture
+def simulator():
+    return GPUSimulator()
+
+
+@pytest.fixture
+def mn1():
+    return CapsNetWorkload(BENCHMARKS["Caps-MN1"])
+
+
+def test_dense_layer_timing_positive(simulator, mn1):
+    timing = simulator.simulate_dense_layer(mn1.conv_layer())
+    assert timing.total > 0
+    assert timing.compute > 0
+
+
+def test_dense_layer_is_mostly_compute_bound(simulator, mn1):
+    timing = simulator.simulate_dense_layer(mn1.conv_layer())
+    assert timing.compute > timing.bandwidth
+
+
+def test_routing_profile_total_positive(simulator, mn1):
+    profile = simulator.simulate_routing(mn1.routing)
+    assert profile.total_time > 0
+    assert profile.offchip_traffic_bytes > 0
+
+
+def test_routing_memory_dominates_compute(simulator, mn1):
+    profile = simulator.simulate_routing(mn1.routing)
+    assert profile.timing.memory > profile.timing.compute
+
+
+def test_routing_stall_mix_matches_paper_shape(simulator, mn1):
+    profile = simulator.simulate_routing(mn1.routing)
+    memory = profile.stalls.fraction(StallClass.MEMORY_ACCESS)
+    sync = profile.stalls.fraction(StallClass.SYNCHRONIZATION)
+    # Paper: memory ~44.6%, synchronization ~34.5%.
+    assert 0.35 <= memory <= 0.60
+    assert 0.25 <= sync <= 0.45
+    assert memory > sync
+
+
+def test_routing_ldst_utilization_exceeds_alu(simulator, mn1):
+    profile = simulator.simulate_routing(mn1.routing)
+    assert profile.ldst_utilization > profile.alu_utilization
+    assert profile.alu_utilization < 0.5
+
+
+def test_routing_resident_bytes_bounded_by_onchip(simulator, mn1):
+    profile = simulator.simulate_routing(mn1.routing)
+    assert profile.resident_bytes <= baseline_device().onchip_storage_bytes
+
+
+def test_simulate_full_network_has_all_stages(simulator, mn1):
+    timing = simulator.simulate(mn1)
+    kinds = {layer.kind for layer in timing.layers}
+    assert kinds == set(LayerKind)
+
+
+def test_routing_dominates_inference_time(simulator, mn1):
+    # The paper's headline characterization: ~74.6% of the inference time.
+    timing = simulator.simulate(mn1)
+    assert 0.6 <= timing.routing_fraction <= 0.9
+
+
+def test_fraction_by_kind_sums_to_one(simulator, mn1):
+    fractions = simulator.simulate(mn1).fraction_by_kind()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_host_time_plus_routing_time_equals_total(simulator, mn1):
+    timing = simulator.simulate(mn1)
+    assert timing.host_time + timing.routing_time == pytest.approx(timing.total_time)
+
+
+def test_batching_does_not_reduce_routing_share():
+    # Observation 1 of the paper: larger batches do not help the RP.
+    sim = GPUSimulator()
+    mn1 = sim.simulate(CapsNetWorkload(BENCHMARKS["Caps-MN1"]))
+    mn3 = sim.simulate(CapsNetWorkload(BENCHMARKS["Caps-MN3"]))
+    assert mn3.total_time > mn1.total_time
+    assert mn3.routing_fraction > 0.6
+
+
+def test_routing_time_scales_with_network_size():
+    # Observation 2: the RP time grows with the network scale.
+    sim = GPUSimulator()
+    cf1 = sim.routing_time(CapsNetWorkload(BENCHMARKS["Caps-CF1"]))
+    cf3 = sim.routing_time(CapsNetWorkload(BENCHMARKS["Caps-CF3"]))
+    assert cf3 > cf1
+
+
+def test_higher_bandwidth_helps_only_modestly():
+    # Fig. 7: 288 -> 897 GB/s gives only ~1.26x.
+    routing = RoutingWorkload(BENCHMARKS["Caps-MN1"])
+    slow = GPUSimulator(baseline_device().with_memory_bandwidth(288.0)).simulate_routing(routing)
+    fast = GPUSimulator(baseline_device().with_memory_bandwidth(897.0)).simulate_routing(routing)
+    improvement = slow.total_time / fast.total_time
+    assert 1.05 < improvement < 1.6
+
+
+def test_larger_onchip_storage_helps_only_modestly():
+    # Fig. 6(b): 1.73 MB -> 16 MB gives at most ~1.14x.
+    routing = RoutingWorkload(BENCHMARKS["Caps-MN1"])
+    small = GPUSimulator(baseline_device().with_onchip_storage(int(1.73 * 2**20))).simulate_routing(routing)
+    large = GPUSimulator(baseline_device().with_onchip_storage(16 * 2**20)).simulate_routing(routing)
+    improvement = small.total_time / large.total_time
+    assert 1.0 <= improvement < 1.3
+
+
+def test_ideal_cache_barely_helps():
+    # Fig. 15: GPU-ICP only improves the RP by ~1%.
+    routing = RoutingWorkload(BENCHMARKS["Caps-MN1"])
+    baseline = GPUSimulator().simulate_routing(routing)
+    icp = GPUSimulator(ideal_cache=True).simulate_routing(routing)
+    assert icp.total_time <= baseline.total_time
+    assert baseline.total_time / icp.total_time < 1.1
+
+
+def test_benchmark_and_device_recorded(simulator, mn1):
+    timing = simulator.simulate(mn1)
+    assert timing.benchmark == "Caps-MN1"
+    assert timing.device == "P100"

@@ -1,0 +1,80 @@
+"""Tests for the logic-layer crossbar model."""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.crossbar import Crossbar
+
+
+@pytest.fixture
+def crossbar():
+    return Crossbar(HMCConfig())
+
+
+def test_default_raw_bandwidth_is_internal_bandwidth(crossbar):
+    assert crossbar.raw_bandwidth_gbs == 512.0
+
+
+def test_effective_bandwidth_below_raw(crossbar):
+    assert crossbar.effective_bandwidth_bytes < 512e9
+
+
+def test_effective_bandwidth_accounts_for_packet_overhead():
+    config = HMCConfig()
+    crossbar = Crossbar(config, contention_efficiency=1.0)
+    payload_efficiency = config.block_bytes / (config.block_bytes + config.packet_overhead_bytes)
+    assert crossbar.effective_bandwidth_bytes == pytest.approx(512e9 * payload_efficiency)
+
+
+def test_transfer_time_components(crossbar):
+    estimate = crossbar.transfer(payload_bytes=1e6, packet_count=1000)
+    assert estimate.bandwidth_time > 0
+    assert estimate.packet_time == pytest.approx(1000 * crossbar.packet_latency_ns * 1e-9)
+    assert estimate.total_time == pytest.approx(estimate.bandwidth_time + estimate.packet_time)
+
+
+def test_transfer_scales_linearly(crossbar):
+    one = crossbar.transfer(1e6, 100)
+    two = crossbar.transfer(2e6, 200)
+    assert two.total_time == pytest.approx(2 * one.total_time)
+
+
+def test_receiver_ports_spread_packet_cost(crossbar):
+    hot_port = crossbar.transfer(1e6, 32_000, receiver_ports=1)
+    spread = crossbar.transfer(1e6, 32_000, receiver_ports=32)
+    assert spread.packet_time == pytest.approx(hot_port.packet_time / 32)
+    assert spread.bandwidth_time == pytest.approx(hot_port.bandwidth_time)
+
+
+def test_zero_transfer_costs_nothing(crossbar):
+    estimate = crossbar.transfer(0.0, 0.0)
+    assert estimate.total_time == 0.0
+
+
+def test_transfer_rejects_negative_inputs(crossbar):
+    with pytest.raises(ValueError):
+        crossbar.transfer(-1.0, 0.0)
+    with pytest.raises(ValueError):
+        crossbar.transfer(0.0, -1.0)
+    with pytest.raises(ValueError):
+        crossbar.transfer(1.0, 1.0, receiver_ports=0)
+
+
+def test_broadcast_multiplies_by_other_vaults():
+    config = HMCConfig()
+    crossbar = Crossbar(config)
+    single = crossbar.transfer(1e3, 10)
+    broadcast = crossbar.broadcast(1e3, 10)
+    assert broadcast.payload_bytes == pytest.approx((config.num_vaults - 1) * single.payload_bytes)
+
+
+def test_invalid_contention_efficiency_rejected():
+    with pytest.raises(ValueError):
+        Crossbar(HMCConfig(), contention_efficiency=0.0)
+    with pytest.raises(ValueError):
+        Crossbar(HMCConfig(), contention_efficiency=1.5)
+
+
+def test_invalid_packet_latency_rejected():
+    with pytest.raises(ValueError):
+        Crossbar(HMCConfig(), packet_latency_ns=-1.0)

@@ -1,0 +1,85 @@
+"""Tests for the full HMC device model."""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import HMCDevice
+from repro.hmc.pe import OperationMix, PEOperation
+from repro.hmc.vault import VaultWorkload
+
+
+@pytest.fixture
+def device():
+    return HMCDevice()
+
+
+def make_per_vault(macs=1e6, dram_bytes=1e6):
+    return VaultWorkload(
+        operations=OperationMix().add(PEOperation.MAC, macs),
+        dram_bytes=dram_bytes,
+    )
+
+
+def test_execute_distributed_components(device):
+    execution = device.execute_distributed(
+        make_per_vault(), crossbar_payload_bytes=1e6, crossbar_packets=1e4
+    )
+    assert execution.execution_time > 0
+    assert execution.crossbar_time > 0
+    assert execution.total_time >= execution.execution_time + execution.crossbar_time - 1e-12
+    assert execution.vaults_used == 32
+
+
+def test_execute_distributed_respects_vaults_used(device):
+    execution = device.execute_distributed(
+        make_per_vault(), crossbar_payload_bytes=0.0, crossbar_packets=0.0, vaults_used=10
+    )
+    assert execution.vaults_used == 10
+
+
+def test_crossbar_receiver_ports_reduce_time(device):
+    hot = device.execute_distributed(make_per_vault(), 1e6, 1e6, crossbar_receiver_ports=1)
+    spread = device.execute_distributed(make_per_vault(), 1e6, 1e6, crossbar_receiver_ports=32)
+    assert spread.crossbar_time < hot.crossbar_time
+
+
+def test_execute_dense_uses_streaming_macs(device):
+    flops = 1e9
+    dense = device.execute_dense(flops, dram_bytes=1e6)
+    # Streaming MACs take 1 cycle: 0.5e9 MACs / (512 PEs * 312.5 MHz).
+    expected_compute = (flops / 2) / (512 * 312.5e6)
+    assert dense.compute_time == pytest.approx(expected_compute, rel=1e-6)
+
+
+def test_execute_dense_rejects_negative(device):
+    with pytest.raises(ValueError):
+        device.execute_dense(-1.0, 0.0)
+
+
+def test_dense_time_scales_with_flops(device):
+    small = device.execute_dense(1e9, 0.0)
+    large = device.execute_dense(4e9, 0.0)
+    assert large.total_time == pytest.approx(4 * small.total_time, rel=1e-3)
+
+
+def test_host_transfer_time(device):
+    assert device.host_transfer_time(320e9) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        device.host_transfer_time(-1.0)
+
+
+def test_custom_configuration_respected():
+    config = HMCConfig(num_vaults=8, pes_per_vault=4)
+    device = HMCDevice(config=config)
+    execution = device.execute_distributed(make_per_vault(), 0.0, 0.0)
+    assert execution.vaults_used == 8
+
+
+def test_higher_frequency_device_is_faster():
+    slow = HMCDevice(config=HMCConfig())
+    fast = HMCDevice(config=HMCConfig().with_pe_frequency(937.5))
+    workload = make_per_vault(macs=1e7, dram_bytes=0.0)
+    assert (
+        fast.execute_distributed(workload, 0, 0).compute_time
+        < slow.execute_distributed(workload, 0, 0).compute_time
+    )

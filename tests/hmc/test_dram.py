@@ -1,0 +1,70 @@
+"""Tests for the vault DRAM timing model."""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.dram import BankTimings, VaultMemoryModel
+
+
+def test_default_bank_timings_valid():
+    timings = BankTimings()
+    assert timings.row_hit_ns < timings.row_miss_ns
+    assert 0 < timings.row_hit_rate <= 1
+
+
+def test_average_access_latency_between_hit_and_miss():
+    timings = BankTimings(row_hit_ns=10, row_miss_ns=50, row_hit_rate=0.5)
+    assert timings.average_access_ns == pytest.approx(30.0)
+
+
+def test_invalid_bank_timings_rejected():
+    with pytest.raises(ValueError):
+        BankTimings(row_hit_ns=0)
+    with pytest.raises(ValueError):
+        BankTimings(row_hit_rate=1.5)
+    with pytest.raises(ValueError):
+        BankTimings(row_buffer_bytes=0)
+
+
+def test_effective_bandwidth_below_peak():
+    model = VaultMemoryModel(HMCConfig())
+    assert model.effective_bandwidth_bytes < model.peak_bandwidth_bytes
+    assert model.effective_bandwidth_bytes > 0.3 * model.peak_bandwidth_bytes
+
+
+def test_service_time_linear_in_bytes():
+    model = VaultMemoryModel(HMCConfig())
+    assert model.service_time(2e6) == pytest.approx(2 * model.service_time(1e6))
+
+
+def test_service_time_scales_with_conflict_factor():
+    model = VaultMemoryModel(HMCConfig())
+    assert model.service_time(1e6, conflict_factor=4.0) == pytest.approx(
+        4 * model.service_time(1e6, conflict_factor=1.0)
+    )
+
+
+def test_stall_time_is_extra_service_time():
+    model = VaultMemoryModel(HMCConfig())
+    base = model.base_service_time(1e6)
+    stall = model.stall_time(1e6, conflict_factor=3.0)
+    assert stall == pytest.approx(2 * base)
+
+
+def test_stall_time_zero_without_conflicts():
+    model = VaultMemoryModel(HMCConfig())
+    assert model.stall_time(1e6, conflict_factor=1.0) == pytest.approx(0.0)
+
+
+def test_service_time_rejects_invalid_inputs():
+    model = VaultMemoryModel(HMCConfig())
+    with pytest.raises(ValueError):
+        model.service_time(-1.0)
+    with pytest.raises(ValueError):
+        model.service_time(1.0, conflict_factor=0.5)
+
+
+def test_higher_row_hit_rate_improves_bandwidth():
+    good = VaultMemoryModel(HMCConfig(), BankTimings(row_hit_rate=0.95))
+    bad = VaultMemoryModel(HMCConfig(), BankTimings(row_hit_rate=0.50))
+    assert good.effective_bandwidth_bytes > bad.effective_bandwidth_bytes

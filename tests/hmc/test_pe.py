@@ -1,0 +1,110 @@
+"""Tests for the PE datapath cost model."""
+
+import pytest
+
+from repro.hmc.pe import (
+    DEFAULT_CYCLES_PER_OPERATION,
+    STREAMING_MAC_CYCLES,
+    OperationMix,
+    PEDatapath,
+    PEOperation,
+)
+
+
+def test_all_operations_have_default_costs():
+    assert set(DEFAULT_CYCLES_PER_OPERATION) == set(PEOperation)
+    assert all(v > 0 for v in DEFAULT_CYCLES_PER_OPERATION.values())
+
+
+def test_special_functions_cost_more_than_mac():
+    assert DEFAULT_CYCLES_PER_OPERATION[PEOperation.EXP] > DEFAULT_CYCLES_PER_OPERATION[PEOperation.MAC]
+    assert DEFAULT_CYCLES_PER_OPERATION[PEOperation.INV_SQRT] > DEFAULT_CYCLES_PER_OPERATION[PEOperation.DIV] / 2
+
+
+def test_streaming_mac_cheaper_than_routing_mac():
+    assert STREAMING_MAC_CYCLES < DEFAULT_CYCLES_PER_OPERATION[PEOperation.MAC]
+
+
+def test_operation_mix_add_and_total():
+    mix = OperationMix().add(PEOperation.MAC, 10).add(PEOperation.EXP, 2)
+    assert mix.total_operations == 12
+    assert mix.counts[PEOperation.MAC] == 10
+
+
+def test_operation_mix_add_accumulates():
+    mix = OperationMix().add(PEOperation.ADD, 5).add(PEOperation.ADD, 3)
+    assert mix.counts[PEOperation.ADD] == 8
+
+
+def test_operation_mix_rejects_negative():
+    with pytest.raises(ValueError):
+        OperationMix().add(PEOperation.MAC, -1)
+
+
+def test_operation_mix_merge():
+    a = OperationMix().add(PEOperation.MAC, 4)
+    b = OperationMix().add(PEOperation.MAC, 6).add(PEOperation.DIV, 1)
+    merged = a.merged_with(b)
+    assert merged.counts[PEOperation.MAC] == 10
+    assert merged.counts[PEOperation.DIV] == 1
+    # Originals unchanged.
+    assert a.counts[PEOperation.MAC] == 4
+
+
+def test_operation_mix_scaled():
+    mix = OperationMix().add(PEOperation.MUL, 3).scaled(2.0)
+    assert mix.counts[PEOperation.MUL] == 6
+    with pytest.raises(ValueError):
+        mix.scaled(-1)
+
+
+def test_operation_mix_total_flops_counts_mac_as_two():
+    mix = OperationMix().add(PEOperation.MAC, 5).add(PEOperation.ADD, 3)
+    assert mix.total_flops == pytest.approx(13)
+
+
+def test_operation_mix_from_counts_and_as_dict():
+    mix = OperationMix.from_counts({PEOperation.EXP: 2, PEOperation.SHIFT: 4})
+    assert mix.as_dict() == {"exp": 2, "shift": 4}
+
+
+def test_datapath_cycles_for_mix():
+    datapath = PEDatapath(frequency_hz=1e6)
+    mix = OperationMix().add(PEOperation.MAC, 10)
+    expected = 10 * DEFAULT_CYCLES_PER_OPERATION[PEOperation.MAC]
+    assert datapath.cycles_for(mix) == pytest.approx(expected)
+
+
+def test_datapath_time_divides_across_pes():
+    datapath = PEDatapath(frequency_hz=1e6)
+    mix = OperationMix().add(PEOperation.MAC, 100)
+    assert datapath.time_for(mix, num_pes=4) == pytest.approx(datapath.time_for(mix, num_pes=1) / 4)
+
+
+def test_datapath_time_scales_inverse_with_frequency():
+    mix = OperationMix().add(PEOperation.MAC, 1000)
+    slow = PEDatapath(frequency_hz=312.5e6).time_for(mix)
+    fast = PEDatapath(frequency_hz=937.5e6).time_for(mix)
+    assert slow / fast == pytest.approx(3.0)
+
+
+def test_datapath_throughput_ops():
+    datapath = PEDatapath(frequency_hz=312.5e6)
+    expected = 312.5e6 / DEFAULT_CYCLES_PER_OPERATION[PEOperation.MAC]
+    assert datapath.throughput_ops(PEOperation.MAC) == pytest.approx(expected)
+
+
+def test_datapath_rejects_invalid_frequency():
+    with pytest.raises(ValueError):
+        PEDatapath(frequency_hz=0)
+
+
+def test_datapath_rejects_missing_operation_cost():
+    with pytest.raises(ValueError):
+        PEDatapath(frequency_hz=1e6, cycles_per_operation={PEOperation.MAC: 1.0})
+
+
+def test_datapath_rejects_invalid_num_pes():
+    datapath = PEDatapath(frequency_hz=1e6)
+    with pytest.raises(ValueError):
+        datapath.time_for(OperationMix(), num_pes=0)

@@ -1,0 +1,87 @@
+"""Tests for the HMC power, energy and area models."""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import HMCDevice
+from repro.hmc.pe import OperationMix, PEOperation
+from repro.hmc.power import HMCEnergyBreakdown, HMCPowerModel, LogicAreaModel
+from repro.hmc.vault import VaultWorkload
+
+
+@pytest.fixture
+def config():
+    return HMCConfig()
+
+
+@pytest.fixture
+def execution(config):
+    device = HMCDevice(config=config)
+    per_vault = VaultWorkload(
+        operations=OperationMix().add(PEOperation.MAC, 1e6), dram_bytes=1e6
+    )
+    return device.execute_distributed(per_vault, crossbar_payload_bytes=1e5, crossbar_packets=1e3)
+
+
+def test_energy_components_positive(config, execution):
+    model = HMCPowerModel(config=config)
+    mix = OperationMix().add(PEOperation.MAC, 32e6)
+    energy = model.energy(execution, mix, total_dram_bytes=32e6, crossbar_payload_bytes=1e5)
+    assert energy.execution > 0
+    assert energy.dram > 0
+    assert energy.crossbar > 0
+    assert energy.vault > 0
+    assert energy.total == pytest.approx(
+        energy.execution + energy.dram + energy.crossbar + energy.vault
+    )
+
+
+def test_energy_scales_with_operations(config, execution):
+    model = HMCPowerModel(config=config)
+    small = model.energy(execution, OperationMix().add(PEOperation.MAC, 1e6), 0.0, 0.0)
+    large = model.energy(execution, OperationMix().add(PEOperation.MAC, 3e6), 0.0, 0.0)
+    assert large.execution == pytest.approx(3 * small.execution)
+
+
+def test_vault_energy_scales_with_duration(config, execution):
+    model = HMCPowerModel(config=config)
+    mix = OperationMix()
+    energy = model.energy(execution, mix, 0.0, 0.0)
+    expected = (model.static_power_watts + model.logic_power_watts) * execution.total_time
+    assert energy.vault == pytest.approx(expected)
+
+
+def test_logic_power_matches_paper_scale(config):
+    model = HMCPowerModel(config=config)
+    assert 1.0 <= model.total_logic_power <= 5.0
+
+
+def test_invalid_coefficients_rejected(config):
+    with pytest.raises(ValueError):
+        HMCPowerModel(config=config, pe_energy_per_op=-1.0)
+
+
+def test_energy_breakdown_merge():
+    a = HMCEnergyBreakdown(execution=1, dram=2, crossbar=3, vault=4)
+    b = HMCEnergyBreakdown(execution=1, dram=1, crossbar=1, vault=1)
+    merged = a.merged_with(b)
+    assert merged.total == pytest.approx(14)
+    assert set(merged.as_dict()) == {"execution", "dram", "crossbar", "vault"}
+
+
+def test_area_model_matches_paper(config):
+    area = LogicAreaModel(config=config)
+    assert area.total_area_mm2 == pytest.approx(3.11, abs=0.15)
+    assert area.area_fraction == pytest.approx(0.0032, abs=0.0005)
+
+
+def test_area_scales_with_pes(config):
+    base = LogicAreaModel(config=config)
+    more_pes = LogicAreaModel(config=config.with_pes_per_vault(32))
+    assert more_pes.total_area_mm2 > base.total_area_mm2
+
+
+def test_per_vault_area_positive(config):
+    area = LogicAreaModel(config=config)
+    assert area.per_vault_area_mm2 > 0
+    assert area.total_area_mm2 > config.num_vaults * area.pe_area_mm2

@@ -1,0 +1,62 @@
+"""Tests for the thermal headroom model."""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.thermal import ThermalModel
+
+
+@pytest.fixture
+def thermal():
+    return ThermalModel(config=HMCConfig())
+
+
+def test_base_frequency_within_budget(thermal):
+    report = thermal.check()
+    assert report.within_budget
+    assert report.headroom_watts > 0
+
+
+def test_logic_power_matches_paper_scale(thermal):
+    # The paper reports ~2.24 W of average logic power at 312.5 MHz.
+    assert 1.0 <= thermal.logic_power(312.5) <= 4.0
+
+
+def test_logic_power_scales_with_frequency(thermal):
+    assert thermal.logic_power(937.5) == pytest.approx(
+        3 * thermal.logic_power(312.5) - 2 * (0.005 * 32 + 0.02), rel=1e-6
+    )
+
+
+def test_all_fig18_frequencies_within_budget(thermal):
+    for frequency in (312.5, 625.0, 937.5):
+        assert thermal.check(frequency).within_budget
+
+
+def test_extreme_frequency_exceeds_budget(thermal):
+    report = thermal.check(10_000.0)
+    assert not report.within_budget
+    assert report.headroom_watts < 0
+
+
+def test_max_frequency_is_consistent_with_check(thermal):
+    max_freq = thermal.max_frequency_mhz()
+    assert thermal.check(max_freq * 0.99).within_budget
+    assert not thermal.check(max_freq * 1.01).within_budget
+
+
+def test_utilization_fraction(thermal):
+    report = thermal.check(312.5)
+    assert 0 < report.utilization < 1
+
+
+def test_invalid_frequency_rejected(thermal):
+    with pytest.raises(ValueError):
+        thermal.logic_power(0)
+
+
+def test_more_pes_consume_more_power():
+    base = ThermalModel(config=HMCConfig())
+    doubled = ThermalModel(config=HMCConfig().with_pes_per_vault(32))
+    assert doubled.logic_power(312.5) > base.logic_power(312.5)
+    assert doubled.max_frequency_mhz() < base.max_frequency_mhz()

@@ -1,0 +1,95 @@
+"""Tests for the vault execution model."""
+
+import pytest
+
+from repro.hmc.address import CustomAddressMapping, DefaultAddressMapping
+from repro.hmc.config import HMCConfig
+from repro.hmc.pe import OperationMix, PEOperation
+from repro.hmc.vault import Vault, VaultWorkload
+
+
+@pytest.fixture
+def config():
+    return HMCConfig()
+
+
+def make_workload(macs=1e6, dram_bytes=1e6, pe_utilization=1.0):
+    return VaultWorkload(
+        operations=OperationMix().add(PEOperation.MAC, macs),
+        dram_bytes=dram_bytes,
+        concurrent_requesters=16,
+        pe_utilization=pe_utilization,
+    )
+
+
+def test_vault_execution_components_positive(config):
+    vault = Vault(config)
+    execution = vault.execute(make_workload())
+    assert execution.compute_time > 0
+    assert execution.dram_time > 0
+    assert execution.vrs_time >= 0
+
+
+def test_execution_time_is_max_of_compute_and_dram(config):
+    vault = Vault(config)
+    execution = vault.execute(make_workload())
+    assert execution.execution_time == pytest.approx(
+        max(execution.compute_time, execution.dram_time)
+    )
+    assert execution.total_time == pytest.approx(execution.execution_time + execution.vrs_time)
+
+
+def test_compute_time_scales_with_operations(config):
+    vault = Vault(config)
+    small = vault.execute(make_workload(macs=1e5, dram_bytes=0.0))
+    large = vault.execute(make_workload(macs=1e6, dram_bytes=0.0))
+    assert large.compute_time == pytest.approx(10 * small.compute_time)
+
+
+def test_low_pe_utilization_slows_compute(config):
+    vault = Vault(config)
+    full = vault.execute(make_workload(pe_utilization=1.0))
+    quarter = vault.execute(make_workload(pe_utilization=0.25))
+    assert quarter.compute_time > full.compute_time
+
+
+def test_custom_mapping_has_small_vrs(config):
+    vault = Vault(config, mapping=CustomAddressMapping(config))
+    execution = vault.execute(make_workload())
+    assert execution.vrs_time < 0.5 * execution.dram_time
+
+
+def test_default_mapping_has_large_vrs(config):
+    vault = Vault(config, mapping=DefaultAddressMapping(config))
+    execution = vault.execute(make_workload())
+    assert execution.vrs_time > execution.dram_time
+
+
+def test_custom_mapping_beats_default_mapping(config):
+    workload = make_workload(macs=1e5, dram_bytes=4e6)
+    custom = Vault(config, mapping=CustomAddressMapping(config)).execute(workload)
+    default = Vault(config, mapping=DefaultAddressMapping(config)).execute(workload)
+    assert custom.total_time < default.total_time
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        VaultWorkload(operations=OperationMix(), dram_bytes=-1.0)
+    with pytest.raises(ValueError):
+        VaultWorkload(operations=OperationMix(), dram_bytes=0.0, concurrent_requesters=0)
+    with pytest.raises(ValueError):
+        VaultWorkload(operations=OperationMix(), dram_bytes=0.0, pe_utilization=0.0)
+
+
+def test_compute_throughput_positive(config):
+    vault = Vault(config)
+    assert vault.compute_throughput_ops() > 0
+
+
+def test_higher_frequency_vault_is_faster(config):
+    from repro.hmc.pe import PEDatapath
+
+    workload = make_workload(macs=1e7, dram_bytes=0.0)
+    slow = Vault(config, datapath=PEDatapath(frequency_hz=312.5e6)).execute(workload)
+    fast = Vault(config, datapath=PEDatapath(frequency_hz=937.5e6)).execute(workload)
+    assert fast.compute_time < slow.compute_time

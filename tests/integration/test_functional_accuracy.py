@@ -1,0 +1,70 @@
+"""Integration test: functional CapsNet + approximate arithmetic (Table 5 path).
+
+Trains a small CapsNet on an easy synthetic dataset and verifies that running
+inference with the PIM-CapsNet PE approximations (with and without accuracy
+recovery) preserves the classification behaviour -- the functional side of
+the paper's "almost zero accuracy loss" claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.context import MathContext
+from repro.capsnet.datasets import DatasetSpec, SyntheticImageDataset
+from repro.capsnet.model import CapsNet, CapsNetConfig
+from repro.capsnet.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    spec = DatasetSpec("TOY-ACC", (1, 16, 16), 4)
+    dataset = SyntheticImageDataset(
+        spec, num_train=64, num_test=32, noise_level=0.05, max_shift=1, seed=13
+    )
+    config = CapsNetConfig.scaled(input_shape=(1, 16, 16), num_classes=4, scale=0.05)
+    model = CapsNet(config, context=MathContext.exact(), seed=2)
+    trainer = Trainer(model, learning_rate=0.003, optimizer="adam", reconstruction_weight=0.0, seed=2)
+    trainer.fit(dataset, epochs=3, batch_size=8)
+    return model, dataset
+
+
+def _evaluate(model, dataset, context):
+    clone = CapsNet(model.config, context=context, seed=0)
+    clone.load_state_dict(model.state_dict())
+    images, labels = dataset.test_set()
+    return clone.accuracy(images, labels), clone.predict(images)
+
+
+def test_exact_model_learns_the_task(trained_setup):
+    model, dataset = trained_setup
+    accuracy, _ = _evaluate(model, dataset, MathContext.exact())
+    assert accuracy > 0.85
+
+
+def test_approximation_without_recovery_loses_little_accuracy(trained_setup):
+    model, dataset = trained_setup
+    exact_accuracy, _ = _evaluate(model, dataset, MathContext.exact())
+    approx_accuracy, _ = _evaluate(model, dataset, MathContext.approximate())
+    assert abs(exact_accuracy - approx_accuracy) <= 0.05
+
+
+def test_approximation_with_recovery_matches_exact_predictions(trained_setup):
+    model, dataset = trained_setup
+    _, exact_predictions = _evaluate(model, dataset, MathContext.exact())
+    _, recovered_predictions = _evaluate(
+        model, dataset, MathContext.approximate_with_recovery(calibration_samples=2000)
+    )
+    agreement = float(np.mean(exact_predictions == recovered_predictions))
+    assert agreement >= 0.95
+
+
+def test_capsule_lengths_stay_close_under_approximation(trained_setup):
+    model, dataset = trained_setup
+    images, _ = dataset.test_set()
+    exact_model = CapsNet(model.config, context=MathContext.exact(), seed=0)
+    exact_model.load_state_dict(model.state_dict())
+    approx_model = CapsNet(model.config, context=MathContext.approximate(), seed=0)
+    approx_model.load_state_dict(model.state_dict())
+    exact_lengths = exact_model.forward(images[:16], run_decoder=False).lengths
+    approx_lengths = approx_model.forward(images[:16], run_decoder=False).lengths
+    assert float(np.max(np.abs(exact_lengths - approx_lengths))) < 0.05

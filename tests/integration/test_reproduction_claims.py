@@ -1,0 +1,114 @@
+"""Integration tests: the paper's headline claims hold end-to-end.
+
+These tests exercise the whole stack (workload models -> GPU simulator ->
+distributor -> HMC simulator -> accelerator) on the real Table-1 benchmarks
+and check the claims the paper's abstract and evaluation highlight.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.gpu.simulator import GPUSimulator
+from repro.hmc.config import HMCConfig
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.layers_model import CapsNetWorkload
+
+ALL_BENCHMARKS = list(BENCHMARKS)
+
+
+@pytest.fixture(scope="module")
+def routing_comparisons():
+    results = {}
+    for name in ALL_BENCHMARKS:
+        accelerator = PIMCapsNet(name)
+        results[name] = {
+            DesignPoint.BASELINE_GPU: accelerator.simulate_routing(DesignPoint.BASELINE_GPU),
+            DesignPoint.PIM_CAPSNET: accelerator.simulate_routing(DesignPoint.PIM_CAPSNET),
+        }
+    return results
+
+
+def test_routing_procedure_dominates_every_benchmark():
+    simulator = GPUSimulator()
+    fractions = [
+        simulator.simulate(CapsNetWorkload(BENCHMARKS[name])).routing_fraction
+        for name in ALL_BENCHMARKS
+    ]
+    assert all(fraction > 0.55 for fraction in fractions)
+    # Paper: 74.62% on average.
+    assert 0.65 < float(np.mean(fractions)) < 0.90
+
+
+def test_rp_speedup_average_close_to_paper(routing_comparisons):
+    speedups = [
+        results[DesignPoint.PIM_CAPSNET].speedup_over(results[DesignPoint.BASELINE_GPU])
+        for results in routing_comparisons.values()
+    ]
+    mean_speedup = float(np.mean(speedups))
+    # Paper: 2.17x average, up to 2.27x.
+    assert 1.7 < mean_speedup < 2.7
+    assert max(speedups) < 3.5
+    assert min(speedups) > 1.3
+
+
+def test_rp_energy_saving_average_close_to_paper(routing_comparisons):
+    savings = [
+        results[DesignPoint.PIM_CAPSNET].energy_saving_over(results[DesignPoint.BASELINE_GPU])
+        for results in routing_comparisons.values()
+    ]
+    # Paper: 92.18% on average.
+    assert 0.85 < float(np.mean(savings)) < 0.99
+
+
+def test_overall_speedup_and_energy_close_to_paper():
+    speedups = []
+    savings = []
+    for name in ("Caps-MN1", "Caps-CF1", "Caps-EN1", "Caps-SV1"):
+        accelerator = PIMCapsNet(name)
+        baseline = accelerator.simulate_end_to_end(DesignPoint.BASELINE_GPU)
+        pim = accelerator.simulate_end_to_end(DesignPoint.PIM_CAPSNET)
+        speedups.append(pim.speedup_over(baseline))
+        savings.append(pim.energy_saving_over(baseline))
+    # Paper: 2.44x / 64.91% on average.
+    assert 1.9 < float(np.mean(speedups)) < 3.0
+    assert 0.45 < float(np.mean(savings)) < 0.80
+
+
+def test_performance_scales_with_network_size(routing_comparisons):
+    # Paper: "good performance scalability in optimizing the routing
+    # procedure with increasing network size" -- the biggest EMNIST network
+    # must see a speedup at least as good as the smallest SVHN network.
+    def speedup(name):
+        results = routing_comparisons[name]
+        return results[DesignPoint.PIM_CAPSNET].speedup_over(results[DesignPoint.BASELINE_GPU])
+
+    assert speedup("Caps-EN3") > speedup("Caps-SV1")
+    assert speedup("Caps-CF3") > speedup("Caps-CF1")
+
+
+def test_different_benchmarks_pick_different_dimensions(routing_comparisons):
+    dimensions = {
+        results[DesignPoint.PIM_CAPSNET].dimension for results in routing_comparisons.values()
+    }
+    assert len(dimensions) >= 2
+
+
+def test_higher_pe_frequency_improves_every_benchmark():
+    for name in ("Caps-MN1", "Caps-EN3", "Caps-SV3"):
+        slow = PIMCapsNet(name, hmc_config=HMCConfig().with_pe_frequency(312.5))
+        fast = PIMCapsNet(name, hmc_config=HMCConfig().with_pe_frequency(937.5))
+        assert (
+            fast.simulate_routing(DesignPoint.PIM_CAPSNET).time_seconds
+            < slow.simulate_routing(DesignPoint.PIM_CAPSNET).time_seconds
+        )
+
+
+def test_design_point_ordering_matches_fig16():
+    # PIM-CapsNet < PIM-Intra < baseline-equivalent PIM-Inter ordering on time.
+    accelerator = PIMCapsNet("Caps-CF1")
+    pim = accelerator.simulate_routing(DesignPoint.PIM_CAPSNET).time_seconds
+    intra = accelerator.simulate_routing(DesignPoint.PIM_INTRA).time_seconds
+    inter = accelerator.simulate_routing(DesignPoint.PIM_INTER).time_seconds
+    assert pim < intra
+    assert pim < inter

@@ -1,0 +1,73 @@
+"""Property-based tests for the HMC address mappings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmc.address import CustomAddressMapping, DefaultAddressMapping
+from repro.hmc.config import HMCConfig
+
+addresses = st.integers(min_value=0, max_value=(1 << 33) - 16)
+request_sizes = st.sampled_from([16, 32, 64, 128, 256])
+
+
+@settings(max_examples=80, deadline=None)
+@given(addresses, request_sizes)
+def test_custom_mapping_fields_in_range(address, request_bytes):
+    config = HMCConfig()
+    mapped = CustomAddressMapping(config).map(address, request_bytes)
+    assert 0 <= mapped.vault < config.num_vaults
+    assert 0 <= mapped.bank < config.banks_per_vault
+    assert mapped.subpage >= 0
+    assert 0 <= mapped.block_offset < config.max_block_bytes // config.block_bytes
+
+
+@settings(max_examples=80, deadline=None)
+@given(addresses)
+def test_default_mapping_fields_in_range(address):
+    config = HMCConfig()
+    mapped = DefaultAddressMapping(config).map(address)
+    assert 0 <= mapped.vault < config.num_vaults
+    assert 0 <= mapped.bank < config.banks_per_vault
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses, request_sizes)
+def test_custom_mapping_deterministic(address, request_bytes):
+    config = HMCConfig()
+    mapping = CustomAddressMapping(config)
+    assert mapping.map(address, request_bytes) == mapping.map(address, request_bytes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses, request_sizes)
+def test_custom_mapping_blocks_of_one_request_share_vault_and_bank(address, request_bytes):
+    # All blocks belonging to a single PE request (one sub-page) must live in
+    # the same vault and bank so the request is served by one bank burst.
+    config = HMCConfig()
+    mapping = CustomAddressMapping(config)
+    aligned = (address // request_bytes) * request_bytes
+    mapped = [mapping.map(aligned + offset, request_bytes) for offset in range(0, request_bytes, 16)]
+    assert len({m.vault for m in mapped}) == 1
+    assert len({m.bank for m in mapped}) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 20))
+def test_custom_mapping_consecutive_blocks_stay_in_one_vault(block_index):
+    config = HMCConfig()
+    mapping = CustomAddressMapping(config)
+    base = block_index * config.block_bytes
+    vaults = {mapping.map(base + i * config.block_bytes).vault for i in range(64)}
+    assert len(vaults) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=64))
+def test_conflict_factors_ordering(requesters):
+    config = HMCConfig()
+    custom = CustomAddressMapping(config).bank_conflict_factor(requesters)
+    default = DefaultAddressMapping(config).bank_conflict_factor(requesters)
+    assert custom >= 1.0
+    assert default >= 1.0
+    if requesters > 2:
+        assert custom < default

@@ -1,0 +1,88 @@
+"""Property-based tests for the approximate arithmetic (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic.approx import (
+    approx_div,
+    approx_exp,
+    approx_inv_sqrt,
+    approx_reciprocal,
+)
+from repro.arithmetic.context import MathContext
+from repro.arithmetic.fp32 import compose, decompose
+
+finite_floats = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False, allow_infinity=False)
+positive_floats = st.floats(min_value=0.001, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_floats)
+def test_exp_relative_error_bounded(x):
+    approx = float(approx_exp(np.float32(x)))
+    exact = float(np.exp(np.float32(x)))
+    assert abs(approx - exact) <= 0.05 * abs(exact) + 1e-30
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_floats, finite_floats)
+def test_exp_monotonicity(a, b):
+    lo, hi = sorted((a, b))
+    assert float(approx_exp(np.float32(lo))) <= float(approx_exp(np.float32(hi))) * (1 + 1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(positive_floats)
+def test_inv_sqrt_relative_error_bounded(x):
+    approx = float(approx_inv_sqrt(np.float32(x)))
+    exact = 1.0 / np.sqrt(np.float64(x))
+    assert abs(approx - exact) <= 0.005 * exact
+
+
+@settings(max_examples=60, deadline=None)
+@given(positive_floats)
+def test_reciprocal_times_value_close_to_one(x):
+    product = float(np.float32(x) * approx_reciprocal(np.float32(x)))
+    assert abs(product - 1.0) < 0.01
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_floats, positive_floats)
+def test_division_consistent_with_reciprocal(numerator, denominator):
+    direct = float(approx_div(np.float32(numerator), np.float32(denominator)))
+    exact = numerator / denominator
+    assert abs(direct - exact) <= 0.02 * abs(exact) + 1e-4
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.floats(min_value=-1e30, max_value=1e30, allow_nan=False))
+def test_fp32_decompose_compose_round_trip(x):
+    fields = decompose(np.float32(x))
+    rebuilt = compose(fields.sign, fields.exponent, fields.fraction)
+    assert float(rebuilt) == float(np.float32(x)) or (np.isnan(rebuilt) and np.isnan(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-5.0, max_value=5.0, allow_nan=False), min_size=2, max_size=16)
+)
+def test_softmax_is_distribution_under_both_contexts(logits):
+    arr = np.array(logits, dtype=np.float32)
+    for ctx in (MathContext.exact(), MathContext.approximate()):
+        out = ctx.softmax(arr, axis=-1)
+        assert np.all(out >= 0)
+        assert abs(float(np.sum(out)) - 1.0) < 0.05
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), min_size=2, max_size=16
+    )
+)
+def test_squash_never_exceeds_unit_norm(vector):
+    arr = np.array(vector, dtype=np.float32).reshape(1, -1)
+    for ctx in (MathContext.exact(), MathContext.approximate()):
+        norm = float(np.linalg.norm(ctx.squash(arr, axis=-1)))
+        assert norm <= 1.0 + 5e-3

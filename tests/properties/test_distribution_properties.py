@@ -1,0 +1,97 @@
+"""Property-based tests for the inter-vault workload distributor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import WorkloadDistributor
+from repro.hmc.config import HMCConfig
+from repro.workloads.benchmarks import BenchmarkConfig
+from repro.workloads.parallelism import Dimension
+from repro.workloads.rp_model import RoutingWorkload
+
+
+@st.composite
+def benchmark_configs(draw):
+    return BenchmarkConfig(
+        name="Caps-Prop",
+        dataset="MNIST",
+        batch_size=draw(st.integers(min_value=1, max_value=64)),
+        num_low_capsules=draw(st.integers(min_value=4, max_value=512)),
+        num_high_capsules=draw(st.integers(min_value=2, max_value=64)),
+        routing_iterations=draw(st.integers(min_value=1, max_value=6)),
+    )
+
+
+@st.composite
+def hmc_configs(draw):
+    return HMCConfig(
+        num_vaults=draw(st.sampled_from([4, 8, 16, 32])),
+        banks_per_vault=draw(st.sampled_from([4, 8, 16])),
+        pes_per_vault=draw(st.sampled_from([4, 8, 16])),
+        pe_frequency_mhz=draw(st.sampled_from([312.5, 625.0, 937.5])),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(benchmark_configs(), hmc_configs())
+def test_plans_are_internally_consistent(benchmark, hmc):
+    distributor = WorkloadDistributor(benchmark, hmc)
+    for dimension, plan in distributor.all_plans().items():
+        assert plan.dimension is dimension
+        assert plan.vaults_used >= 1
+        assert plan.vaults_used <= hmc.num_vaults
+        assert plan.per_vault_operations.total_operations > 0
+        # Distribution adds a small amount of cross-vault reduction work and
+        # replicates the non-parallelizable remainder onto the critical vault,
+        # so the per-vault workload may slightly exceed an exact 1/N share of
+        # the total for degenerate (tiny) configurations -- but it must never
+        # exceed the total by more than that overhead.
+        reduction_overhead = (
+            benchmark.routing_iterations
+            * benchmark.num_low_capsules
+            * benchmark.num_high_capsules
+            * hmc.num_vaults
+        )
+        assert (
+            plan.per_vault_operations.total_operations
+            <= plan.total_operations.total_operations + reduction_overhead
+        )
+        assert plan.per_vault_dram_bytes > 0
+        assert plan.per_vault_dram_bytes <= plan.total_dram_bytes
+        assert plan.crossbar_payload_bytes >= 0
+        assert plan.crossbar_packets >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(benchmark_configs(), hmc_configs())
+def test_best_plan_has_maximal_score(benchmark, hmc):
+    distributor = WorkloadDistributor(benchmark, hmc)
+    scores = distributor.scores()
+    best = distributor.best_plan()
+    assert scores[best.dimension] >= max(scores.values()) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(benchmark_configs())
+def test_total_dram_bytes_exceed_intermediates(benchmark):
+    distributor = WorkloadDistributor(benchmark)
+    footprint = RoutingWorkload(benchmark).footprint()
+    plan = distributor.plan_for_dimension(Dimension.LOW)
+    assert plan.total_dram_bytes >= footprint.predictions
+
+
+@settings(max_examples=30, deadline=None)
+@given(benchmark_configs())
+def test_workload_model_flop_counts_positive_and_monotone_in_iterations(benchmark):
+    workload = RoutingWorkload(benchmark)
+    assert workload.total_flops() > 0
+    assert workload.total_flops() >= workload.flops_prediction()
+    more_iterations = BenchmarkConfig(
+        name=benchmark.name,
+        dataset=benchmark.dataset,
+        batch_size=benchmark.batch_size,
+        num_low_capsules=benchmark.num_low_capsules,
+        num_high_capsules=benchmark.num_high_capsules,
+        routing_iterations=benchmark.routing_iterations + 1,
+    )
+    assert RoutingWorkload(more_iterations).total_flops() > workload.total_flops()

@@ -1,0 +1,65 @@
+"""Property-based tests for the routing procedure invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capsnet.routing import DynamicRouting
+
+
+@st.composite
+def prediction_vectors(draw):
+    batch = draw(st.integers(min_value=1, max_value=3))
+    num_low = draw(st.integers(min_value=2, max_value=8))
+    num_high = draw(st.integers(min_value=2, max_value=5))
+    dim = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    scale = draw(st.floats(min_value=0.01, max_value=2.0))
+    return rng.normal(scale=scale, size=(batch, num_low, num_high, dim)).astype(np.float32)
+
+
+@settings(max_examples=25, deadline=None)
+@given(prediction_vectors(), st.integers(min_value=1, max_value=4))
+def test_routing_output_shape_and_norm(u_hat, iterations):
+    result = DynamicRouting(iterations=iterations)(u_hat)
+    batch, _, num_high, dim = u_hat.shape
+    assert result.high_capsules.shape == (batch, num_high, dim)
+    norms = np.linalg.norm(result.high_capsules, axis=-1)
+    assert np.all(norms <= 1.0 + 1e-4)
+    assert np.all(np.isfinite(result.high_capsules))
+
+
+@settings(max_examples=25, deadline=None)
+@given(prediction_vectors(), st.integers(min_value=1, max_value=4))
+def test_routing_coefficients_are_distributions(u_hat, iterations):
+    result = DynamicRouting(iterations=iterations)(u_hat)
+    sums = np.sum(result.coefficients, axis=-1)
+    np.testing.assert_allclose(sums, 1.0, atol=1e-4)
+    assert np.all(result.coefficients >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(prediction_vectors())
+def test_routing_is_deterministic(u_hat):
+    a = DynamicRouting(iterations=2)(u_hat)
+    b = DynamicRouting(iterations=2)(u_hat)
+    np.testing.assert_array_equal(a.high_capsules, b.high_capsules)
+
+
+@settings(max_examples=20, deadline=None)
+@given(prediction_vectors(), st.integers(min_value=0, max_value=2**16))
+def test_routing_invariant_to_low_capsule_permutation(u_hat, seed):
+    # The weighted sum aggregates over the low-capsule axis and the routing
+    # coefficients are indexed per low capsule, so permuting the low capsules
+    # must leave the routed high-level capsules unchanged.
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(u_hat.shape[1])
+    base = DynamicRouting(iterations=2)(u_hat)
+    permuted = DynamicRouting(iterations=2)(u_hat[:, permutation, :, :])
+    np.testing.assert_allclose(
+        permuted.high_capsules, base.high_capsules, rtol=1e-4, atol=1e-5
+    )
+    np.testing.assert_allclose(
+        permuted.coefficients, base.coefficients[permutation], rtol=1e-4, atol=1e-5
+    )

@@ -1,0 +1,49 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_characterize_subset(capsys):
+    assert main(["characterize", "--benchmarks", "Caps-MN1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 4" in out
+    assert "Fig. 7" in out
+    assert "Caps-MN1" in out
+
+
+def test_evaluate_subset(capsys):
+    assert main(["evaluate", "--benchmarks", "Caps-SV1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 15" in out
+    assert "Fig. 17" in out
+
+
+def test_sweep_single_benchmark(capsys):
+    assert main(["sweep", "--benchmark", "Caps-SV1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 18" in out
+    assert "312" in out
+
+
+def test_reproduce_only_overhead(capsys):
+    assert main(["reproduce", "--only", "overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "mm^2" in out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["characterize", "--benchmarks", "Caps-XYZ"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["reproduce", "--only", "fig99"])

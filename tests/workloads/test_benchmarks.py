@@ -1,0 +1,94 @@
+"""Tests for the Table 1 benchmark configurations."""
+
+import pytest
+
+from repro.workloads.benchmarks import BENCHMARKS, BenchmarkConfig, benchmark_names, get_benchmark
+
+
+def test_twelve_benchmarks_defined():
+    assert len(BENCHMARKS) == 12
+
+
+def test_benchmark_names_order_matches_paper():
+    names = benchmark_names()
+    assert names[0] == "Caps-MN1"
+    assert names[-1] == "Caps-SV3"
+    assert names.index("Caps-CF1") < names.index("Caps-EN1") < names.index("Caps-SV1")
+
+
+def test_mnist_rows_match_table1():
+    for name, batch in (("Caps-MN1", 100), ("Caps-MN2", 200), ("Caps-MN3", 300)):
+        config = BENCHMARKS[name]
+        assert config.batch_size == batch
+        assert config.num_low_capsules == 1152
+        assert config.num_high_capsules == 10
+        assert config.routing_iterations == 3
+        assert config.dataset == "MNIST"
+
+
+def test_cifar_rows_match_table1():
+    assert BENCHMARKS["Caps-CF1"].num_low_capsules == 2304
+    assert BENCHMARKS["Caps-CF2"].num_low_capsules == 3456
+    assert BENCHMARKS["Caps-CF3"].num_low_capsules == 4608
+    for name in ("Caps-CF1", "Caps-CF2", "Caps-CF3"):
+        assert BENCHMARKS[name].num_high_capsules == 11
+
+
+def test_emnist_rows_match_table1():
+    assert BENCHMARKS["Caps-EN1"].num_high_capsules == 26
+    assert BENCHMARKS["Caps-EN2"].num_high_capsules == 47
+    assert BENCHMARKS["Caps-EN3"].num_high_capsules == 62
+
+
+def test_svhn_rows_match_table1():
+    assert BENCHMARKS["Caps-SV1"].routing_iterations == 3
+    assert BENCHMARKS["Caps-SV2"].routing_iterations == 6
+    assert BENCHMARKS["Caps-SV3"].routing_iterations == 9
+    for name in ("Caps-SV1", "Caps-SV2", "Caps-SV3"):
+        assert BENCHMARKS[name].num_low_capsules == 576
+
+
+def test_all_benchmarks_use_8d_and_16d_capsules():
+    for config in BENCHMARKS.values():
+        assert config.low_dim == 8
+        assert config.high_dim == 16
+
+
+def test_get_benchmark_case_insensitive():
+    assert get_benchmark("caps-mn1") is BENCHMARKS["Caps-MN1"]
+
+
+def test_get_benchmark_unknown_raises():
+    with pytest.raises(KeyError):
+        get_benchmark("Caps-XYZ")
+
+
+def test_network_scale_increases_with_iterations():
+    assert BENCHMARKS["Caps-SV3"].network_scale > BENCHMARKS["Caps-SV1"].network_scale
+
+
+def test_prediction_vector_count():
+    config = BENCHMARKS["Caps-MN1"]
+    assert config.prediction_vector_count == 100 * 1152 * 10
+
+
+def test_describe_mentions_key_parameters():
+    text = BENCHMARKS["Caps-EN2"].describe()
+    assert "Caps-EN2" in text
+    assert "47" in text
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        BenchmarkConfig(
+            name="bad", dataset="MNIST", batch_size=0, num_low_capsules=1,
+            num_high_capsules=1, routing_iterations=1,
+        )
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError):
+        BenchmarkConfig(
+            name="bad", dataset="NOT-A-DATASET", batch_size=1, num_low_capsules=1,
+            num_high_capsules=1, routing_iterations=1,
+        )

@@ -1,0 +1,105 @@
+"""Tests for the whole-network analytic workload model."""
+
+import pytest
+
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.layers_model import CapsNetWorkload, ConvGeometry, LayerKind
+
+
+@pytest.fixture
+def mn1_workload():
+    return CapsNetWorkload(BENCHMARKS["Caps-MN1"])
+
+
+def test_conv_geometry_output_size():
+    geo = ConvGeometry(in_channels=1, out_channels=256, kernel=9, stride=1, in_h=28, in_w=28)
+    assert (geo.out_h, geo.out_w) == (20, 20)
+
+
+def test_conv_geometry_flops_formula():
+    geo = ConvGeometry(in_channels=2, out_channels=4, kernel=3, stride=1, in_h=6, in_w=6)
+    # 4x4 outputs x 4 channels x 2*2*3*3 flops per output x batch.
+    assert geo.flops(batch=2) == 2 * 4 * 4 * 4 * (2 * 2 * 3 * 3)
+
+
+def test_conv_geometry_invalid_collapse():
+    geo = ConvGeometry(in_channels=1, out_channels=1, kernel=9, stride=1, in_h=4, in_w=4)
+    with pytest.raises(ValueError):
+        _ = geo.out_h
+
+
+def test_mn1_primary_caps_count_matches_table1(mn1_workload):
+    # 6x6 spatial positions; the channel count is chosen to produce 1152 L capsules.
+    assert mn1_workload.primary_spatial == (6, 6)
+    assert mn1_workload.primary_capsule_channels == 32
+
+
+def test_layers_in_order(mn1_workload):
+    kinds = [layer.kind for layer in mn1_workload.layers()]
+    assert kinds[0] is LayerKind.CONV
+    assert kinds[1] is LayerKind.PRIMARY_CAPS
+    assert kinds[2] is LayerKind.ROUTING
+    assert all(k is LayerKind.FULLY_CONNECTED for k in kinds[3:])
+
+
+def test_fc_decoder_has_three_stages(mn1_workload):
+    assert len(mn1_workload.fc_layers()) == 3
+
+
+def test_fc_decoder_sizes_match_paper(mn1_workload):
+    fc = mn1_workload.fc_layers()
+    # 10 classes x 16 dims -> 512 -> 1024 -> 784 pixels.
+    assert fc[0].flops == 2 * 100 * 160 * 512
+    assert fc[2].flops == 2 * 100 * 1024 * 784
+
+
+def test_total_flops_is_sum_of_layers(mn1_workload):
+    assert mn1_workload.total_flops() == sum(l.flops for l in mn1_workload.layers())
+
+
+def test_flops_by_kind_totals(mn1_workload):
+    by_kind = mn1_workload.flops_by_kind()
+    assert sum(by_kind.values()) == mn1_workload.total_flops()
+    assert by_kind[LayerKind.CONV] > 0
+
+
+def test_host_layers_exclude_routing(mn1_workload):
+    assert all(layer.kind is not LayerKind.ROUTING for layer in mn1_workload.host_layers())
+    assert len(mn1_workload.host_layers()) == len(mn1_workload.layers()) - 1
+
+
+def test_routing_layer_working_set_matches_rp_model(mn1_workload):
+    routing_layer = mn1_workload.routing_layer()
+    assert routing_layer.working_set_bytes == mn1_workload.routing.footprint().intermediate_bytes
+
+
+def test_routing_working_set_dwarfs_conv_working_set(mn1_workload):
+    # The routing stage's non-shareable intermediates are orders of magnitude
+    # larger than the per-image working set of the convolution.
+    conv = mn1_workload.conv_layer()
+    routing = mn1_workload.routing_layer()
+    assert routing.working_set_bytes > 50 * conv.working_set_bytes
+
+
+def test_traffic_bytes_positive_for_all_layers(mn1_workload):
+    for layer in mn1_workload.layers():
+        assert layer.traffic_bytes > 0
+        assert layer.flops > 0
+
+
+def test_larger_cifar_benchmarks_have_more_primary_flops():
+    cf1 = CapsNetWorkload(BENCHMARKS["Caps-CF1"]).primary_caps_layer().flops
+    cf3 = CapsNetWorkload(BENCHMARKS["Caps-CF3"]).primary_caps_layer().flops
+    assert cf3 > cf1
+
+
+def test_describe_contains_layer_names(mn1_workload):
+    text = mn1_workload.describe()
+    assert "Conv" in text
+    assert "Routing" in text
+
+
+def test_batch_scaling_scales_conv_flops():
+    mn1 = CapsNetWorkload(BENCHMARKS["Caps-MN1"]).conv_layer().flops
+    mn3 = CapsNetWorkload(BENCHMARKS["Caps-MN3"]).conv_layer().flops
+    assert mn3 == 3 * mn1

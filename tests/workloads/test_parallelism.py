@@ -1,0 +1,76 @@
+"""Tests for the Table 2 parallelizable-dimension model."""
+
+from repro.workloads.parallelism import (
+    Dimension,
+    EQUATION_PARALLELISM,
+    RoutingEquation,
+    common_dimensions,
+    equations_not_parallel_along,
+    parallelizable_dimensions,
+    supports_dimension,
+)
+
+
+def test_table2_eq1_parallel_on_all_dimensions():
+    assert parallelizable_dimensions(RoutingEquation.PREDICTION) == {
+        Dimension.BATCH,
+        Dimension.LOW,
+        Dimension.HIGH,
+    }
+
+
+def test_table2_eq2_not_parallel_on_low():
+    assert not supports_dimension(RoutingEquation.WEIGHTED_SUM, Dimension.LOW)
+    assert supports_dimension(RoutingEquation.WEIGHTED_SUM, Dimension.BATCH)
+    assert supports_dimension(RoutingEquation.WEIGHTED_SUM, Dimension.HIGH)
+
+
+def test_table2_eq3_not_parallel_on_low():
+    assert parallelizable_dimensions(RoutingEquation.SQUASH) == {Dimension.BATCH, Dimension.HIGH}
+
+
+def test_table2_eq4_not_parallel_on_batch():
+    assert not supports_dimension(RoutingEquation.AGREEMENT, Dimension.BATCH)
+    assert supports_dimension(RoutingEquation.AGREEMENT, Dimension.LOW)
+    assert supports_dimension(RoutingEquation.AGREEMENT, Dimension.HIGH)
+
+
+def test_table2_eq5_only_parallel_on_low():
+    assert parallelizable_dimensions(RoutingEquation.SOFTMAX) == {Dimension.LOW}
+
+
+def test_observation_one_every_equation_parallelizable_somewhere():
+    for equation in RoutingEquation:
+        assert len(parallelizable_dimensions(equation)) >= 1
+
+
+def test_observation_two_no_dimension_covers_all_equations():
+    assert common_dimensions() == frozenset()
+
+
+def test_equations_not_parallel_along_batch():
+    blocked = equations_not_parallel_along(Dimension.BATCH)
+    assert RoutingEquation.AGREEMENT in blocked
+    assert RoutingEquation.SOFTMAX in blocked
+    assert RoutingEquation.PREDICTION not in blocked
+
+
+def test_equations_not_parallel_along_low():
+    blocked = equations_not_parallel_along(Dimension.LOW)
+    assert RoutingEquation.WEIGHTED_SUM in blocked
+    assert RoutingEquation.SQUASH in blocked
+
+
+def test_equations_not_parallel_along_high():
+    blocked = equations_not_parallel_along(Dimension.HIGH)
+    assert blocked == [RoutingEquation.SOFTMAX]
+
+
+def test_every_equation_has_an_entry():
+    assert set(EQUATION_PARALLELISM) == set(RoutingEquation)
+
+
+def test_dimension_string_values():
+    assert str(Dimension.BATCH) == "B"
+    assert str(Dimension.LOW) == "L"
+    assert str(Dimension.HIGH) == "H"
