@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` in minimal environments that lack the
+``wheel`` package (PEP 660 editable installs need it).
+"""
+
+from setuptools import setup
+
+setup()

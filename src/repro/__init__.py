@@ -14,6 +14,8 @@ Networks Processing Through A PIM-Based Architecture Design"* (HPCA 2020):
   crossbar, PEs, power, thermal).
 * :mod:`repro.core`       -- the PIM-CapsNet accelerator: inter-/intra-vault
   workload distribution, RMAS, pipelining and design-point comparisons.
+* :mod:`repro.engine`     -- the experiment engine: pluggable design-point
+  strategies, the memoizing simulation context and the concurrent runner.
 * :mod:`repro.experiments`-- drivers reproducing every evaluation figure and
   table of the paper.
 """

@@ -1,34 +1,35 @@
 """Command line interface for the PIM-CapsNet reproduction.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
-    python -m repro characterize [--benchmarks ...]     # Figs. 4-7 (GPU bottleneck)
+    python -m repro characterize [--benchmarks ...]      # Figs. 4-7 (GPU bottleneck)
     python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
     python -m repro sweep [--benchmark NAME]             # Fig. 18 (frequency sweep)
-    python -m repro reproduce [--skip ...] [--only ...]  # everything via the runner
+    python -m repro reproduce [--skip ...] [--only ...]  # everything via the engine
 
-The CLI is a thin veneer over :mod:`repro.experiments`; every command prints
-the same plain-text tables the benchmark harness writes to
-``benchmarks/reports/``.
+Every command prints the same plain-text tables the benchmark harness writes
+to ``benchmarks/reports/`` by default; ``--format json`` emits the
+experiments' structured ``to_dict()`` output instead, and ``--output PATH``
+writes either format to a file.  ``reproduce`` shares one simulation context
+across all experiments (identical simulations run once) and executes
+independent experiments concurrently; ``--jobs 1`` forces a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments import (
-    fig04_layer_breakdown,
-    fig05_stall_breakdown,
-    fig06_onchip_storage,
-    fig07_bandwidth,
-    fig15_rp_acceleration,
-    fig16_pim_breakdown,
-    fig17_end_to_end,
-    fig18_frequency_sweep,
-    runner,
-)
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import experiment_names
+from repro.engine.runner import run_experiments
 from repro.workloads.benchmarks import benchmark_names
+
+#: Experiments run by the `characterize` / `evaluate` groups, in report order.
+CHARACTERIZE_EXPERIMENTS = ("fig04", "fig05", "fig06", "fig07")
+EVALUATE_EXPERIMENTS = ("fig15", "fig16", "fig17")
 
 
 def _validate_benchmarks(names: Optional[List[str]]) -> Optional[List[str]]:
@@ -41,39 +42,83 @@ def _validate_benchmarks(names: Optional[List[str]]) -> Optional[List[str]]:
     return names
 
 
+def _emit(text: str, output: Optional[str]) -> None:
+    """Print the rendered output, or write it to ``--output PATH``."""
+    if output:
+        path = Path(output)
+        try:
+            path.write_text(text + "\n", encoding="utf-8")
+        except OSError as error:
+            raise SystemExit(f"cannot write {path}: {error}")
+        print(f"wrote {path}")
+    else:
+        print(text)
+
+
+def _run_and_emit(
+    args: argparse.Namespace,
+    only: Optional[List[str]],
+    skip: Optional[List[str]] = None,
+    benchmarks: Optional[List[str]] = None,
+    combined: bool = False,
+) -> int:
+    """Run a selection of experiments and emit text or JSON output.
+
+    ``combined`` picks the `reproduce`-style report (sections with ``===``
+    separators); otherwise reports are joined with a blank line, preserving
+    the classic `characterize`/`evaluate` layout byte-for-byte.
+    """
+    context = SimulationContext(max_workers=args.jobs)
+    result = run_experiments(only=only, skip=skip, benchmarks=benchmarks, context=context)
+    if args.format == "json":
+        text = json.dumps(result.to_dict(), indent=2)
+    elif combined:
+        text = result.combined_report()
+    else:
+        text = "\n\n".join(result.reports.values())
+    _emit(text, args.output)
+    return 0
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     benchmarks = _validate_benchmarks(args.benchmarks)
-    print(fig04_layer_breakdown.format_report(fig04_layer_breakdown.run(benchmarks=benchmarks)))
-    print()
-    print(fig05_stall_breakdown.format_report(fig05_stall_breakdown.run(benchmarks=benchmarks)))
-    print()
-    print(fig06_onchip_storage.format_report(fig06_onchip_storage.run(benchmarks=benchmarks)))
-    print()
-    print(fig07_bandwidth.format_report(fig07_bandwidth.run(benchmarks=benchmarks)))
-    return 0
+    return _run_and_emit(args, only=list(CHARACTERIZE_EXPERIMENTS), benchmarks=benchmarks)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     benchmarks = _validate_benchmarks(args.benchmarks)
-    print(fig15_rp_acceleration.format_report(fig15_rp_acceleration.run(benchmarks=benchmarks)))
-    print()
-    print(fig16_pim_breakdown.format_report(fig16_pim_breakdown.run(benchmarks=benchmarks)))
-    print()
-    print(fig17_end_to_end.format_report(fig17_end_to_end.run(benchmarks=benchmarks)))
-    return 0
+    return _run_and_emit(args, only=list(EVALUATE_EXPERIMENTS), benchmarks=benchmarks)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     benchmarks = _validate_benchmarks([args.benchmark] if args.benchmark else None)
-    result = fig18_frequency_sweep.run(benchmarks=benchmarks)
-    print(fig18_frequency_sweep.format_report(result))
-    return 0
+    return _run_and_emit(args, only=["fig18"], benchmarks=benchmarks)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    result = runner.run_all(skip=args.skip, only=args.only)
-    print(result.combined_report())
-    return 0
+    return _run_and_emit(args, only=args.only, skip=args.skip, combined=True)
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: plain-text tables (default) or structured JSON",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the output to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool width (1 = serial; default: bounded CPU count)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,19 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="GPU characterization (Figs. 4-7)"
     )
     characterize.add_argument("--benchmarks", nargs="*", default=None)
+    _add_output_options(characterize)
     characterize.set_defaults(func=_cmd_characterize)
 
     evaluate = subparsers.add_parser("evaluate", help="PIM-CapsNet evaluation (Figs. 15-17)")
     evaluate.add_argument("--benchmarks", nargs="*", default=None)
+    _add_output_options(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     sweep = subparsers.add_parser("sweep", help="PE frequency sweep (Fig. 18)")
     sweep.add_argument("--benchmark", default=None)
+    _add_output_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     reproduce = subparsers.add_parser("reproduce", help="run every experiment")
-    reproduce.add_argument("--skip", nargs="*", default=[], choices=sorted(runner.EXPERIMENTS))
-    reproduce.add_argument("--only", nargs="*", default=None, choices=sorted(runner.EXPERIMENTS))
+    reproduce.add_argument("--skip", nargs="*", default=[], choices=experiment_names())
+    reproduce.add_argument("--only", nargs="*", default=None, choices=experiment_names())
+    _add_output_options(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser

@@ -26,6 +26,8 @@ Figs. 15-17 of the paper:
 
 from __future__ import annotations
 
+import copy
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Optional, Union
@@ -33,7 +35,7 @@ from typing import Dict, Optional, Union
 from repro.core.distribution import DistributionPlan, ExecutionScoreModel, WorkloadDistributor
 from repro.core.intra_vault import IntraVaultDistributor
 from repro.core.pipeline import PipelineModel, PipelineTiming
-from repro.core.rmas import ContentionModel, RuntimeMemoryAccessScheduler, SchedulerPolicy
+from repro.core.rmas import ContentionModel, RuntimeMemoryAccessScheduler
 from repro.gpu.devices import GPUDevice, baseline_device
 from repro.gpu.energy import GPUEnergyModel
 from repro.gpu.kernels import GPUCostParameters
@@ -44,7 +46,6 @@ from repro.hmc.crossbar import Crossbar
 from repro.hmc.device import HMCDevice
 from repro.hmc.pe import PEDatapath
 from repro.hmc.power import HMCPowerModel
-from repro.hmc.vault import VaultWorkload
 from repro.workloads.benchmarks import BenchmarkConfig, get_benchmark
 from repro.workloads.layers_model import CapsNetWorkload
 from repro.workloads.parallelism import Dimension
@@ -68,9 +69,14 @@ class DesignPoint(str, Enum):
 
 @dataclass
 class RoutingComparison:
-    """Routing-procedure execution result for one design point (Fig. 15/16)."""
+    """Routing-procedure execution result for one design point (Fig. 15/16).
 
-    design: DesignPoint
+    ``design`` is usually a :class:`DesignPoint` member but may be any
+    registry key when a custom
+    :class:`~repro.engine.strategies.DesignPointStrategy` produced the result.
+    """
+
+    design: Union[DesignPoint, str]
     benchmark: str
     time_seconds: float
     energy_joules: float
@@ -95,7 +101,7 @@ class RoutingComparison:
 class EndToEndComparison:
     """Whole-inference execution result for one design point (Fig. 17)."""
 
-    design: DesignPoint
+    design: Union[DesignPoint, str]
     benchmark: str
     timing: PipelineTiming
     energy_joules: float
@@ -170,6 +176,18 @@ class PIMCapsNet:
         self.rmas = RuntimeMemoryAccessScheduler()
         self.contention = ContentionModel()
 
+        # Memoized simulation results.  The model is immutable in practice,
+        # so every (kind, design) simulation is deterministic and can be
+        # cached per instance; ``clear_cache`` resets it after a manual
+        # attribute mutation.  The RLock makes the cache safe under the
+        # engine's thread pool (reentrant because end-to-end strategies call
+        # back into ``simulate_routing``).
+        self._simulation_lock = threading.RLock()
+        self._result_cache: Dict[tuple, object] = {}
+        self._host_stage_cache: Optional[Dict[str, float]] = None
+        self.simulations_executed = 0
+        self.cache_hits = 0
+
     # ------------------------------------------------------------------ helpers
 
     def distribution_plan(self) -> DistributionPlan:
@@ -178,7 +196,8 @@ class PIMCapsNet:
             return self.distributor.plan_for_dimension(self.force_dimension)
         return self.distributor.best_plan()
 
-    def _hmc_device(self, custom_mapping: bool) -> HMCDevice:
+    def hmc_device(self, custom_mapping: bool) -> HMCDevice:
+        """An HMC device with the paper's custom or the default address mapping."""
         mapping_cls = CustomAddressMapping if custom_mapping else DefaultAddressMapping
         return HMCDevice(
             config=self.hmc_config,
@@ -187,190 +206,67 @@ class PIMCapsNet:
             datapath=self.datapath,
         )
 
-    def _host_stage(self) -> Dict[str, float]:
+    def host_stage(self) -> Dict[str, float]:
         """Host-stage (Conv/PrimaryCaps/FC) time, flops and traffic on the GPU."""
-        layers = self.workload.host_layers()
-        time = sum(self.gpu.simulate_dense_layer(layer).total for layer in layers)
-        flops = float(sum(layer.flops for layer in layers))
-        traffic = float(sum(layer.traffic_bytes for layer in layers))
-        return {"time": time, "flops": flops, "traffic": traffic}
+        with self._simulation_lock:
+            if self._host_stage_cache is None:
+                layers = self.workload.host_layers()
+                time = sum(self.gpu.simulate_dense_layer(layer).total for layer in layers)
+                flops = float(sum(layer.flops for layer in layers))
+                traffic = float(sum(layer.traffic_bytes for layer in layers))
+                self._host_stage_cache = {"time": time, "flops": flops, "traffic": traffic}
+            return dict(self._host_stage_cache)
 
-    # ------------------------------------------------------------ routing procedure
+    # Backwards-compatible aliases for the pre-engine private helpers.
+    _hmc_device = hmc_device
+    _host_stage = host_stage
 
-    def simulate_routing(self, design: DesignPoint) -> RoutingComparison:
-        """Routing-procedure time and energy for one design point."""
-        if design in (DesignPoint.BASELINE_GPU, DesignPoint.GPU_ICP):
-            return self._routing_on_gpu(design)
-        return self._routing_on_hmc(design)
+    def clear_cache(self) -> None:
+        """Drop memoized simulation results (after mutating model attributes)."""
+        with self._simulation_lock:
+            self._result_cache.clear()
+            self._host_stage_cache = None
 
-    def _routing_on_gpu(self, design: DesignPoint) -> RoutingComparison:
-        simulator = GPUSimulator(
-            self.gpu_device, self.gpu_params, ideal_cache=(design is DesignPoint.GPU_ICP)
-        )
-        profile = simulator.simulate_routing(self.workload.routing)
-        energy = self.gpu_energy.phase_energy(
-            profile.total_time,
-            flops=self.workload.routing.total_flops(),
-            dram_bytes=profile.offchip_traffic_bytes,
-        )
-        timing = profile.timing
-        return RoutingComparison(
-            design=design,
-            benchmark=self.benchmark.name,
-            time_seconds=profile.total_time,
-            energy_joules=energy.total,
-            time_components={
-                "compute": timing.compute,
-                "memory": timing.memory,
-                "sync": timing.sync,
-                "overhead": timing.overhead,
-            },
-            energy_components=energy.as_dict(),
-        )
+    # ----------------------------------------------------------------- simulation
 
-    def _routing_on_hmc(self, design: DesignPoint) -> RoutingComparison:
-        plan = self.distribution_plan()
-        custom_mapping = design is not DesignPoint.PIM_INTER
-        device = self._hmc_device(custom_mapping=custom_mapping)
+    def simulate_routing(self, design: Union[DesignPoint, str]) -> RoutingComparison:
+        """Routing-procedure time and energy for one design point.
 
-        crossbar_payload = plan.crossbar_payload_bytes
-        crossbar_packets = plan.crossbar_packets
-        per_vault_dram = plan.per_vault_dram_bytes
-        receiver_ports = 1
-        if design is DesignPoint.PIM_INTRA:
-            # Without the inter-vault data placement the operands stay
-            # interleaved across all vaults: (num_vaults-1)/num_vaults of every
-            # access is remote and must cross the crossbar as 16-byte blocks,
-            # spread over every vault port (all-to-all pattern).
-            remote_fraction = (self.hmc_config.num_vaults - 1) / self.hmc_config.num_vaults
-            remote_bytes = plan.total_dram_bytes * remote_fraction
-            crossbar_payload = remote_bytes
-            crossbar_packets = remote_bytes / self.hmc_config.block_bytes
-            per_vault_dram = plan.total_dram_bytes / self.hmc_config.num_vaults
-            receiver_ports = self.hmc_config.num_vaults
+        Dispatches to the :class:`~repro.engine.strategies.DesignPointStrategy`
+        registered for ``design``; results are memoized per instance.
+        """
+        return self._simulate("routing", design)
 
-        utilization = self.intra_vault.utilization(
-            plan.per_vault_parallel_suboperations, plan.secondary_parallelism
-        )
-        per_vault = VaultWorkload(
-            operations=plan.per_vault_operations,
-            dram_bytes=per_vault_dram,
-            concurrent_requesters=self.hmc_config.pes_per_vault,
-            pe_utilization=utilization,
-        )
-        execution = device.execute_distributed(
-            per_vault,
-            crossbar_payload_bytes=crossbar_payload,
-            crossbar_packets=crossbar_packets,
-            vaults_used=plan.vaults_used,
-            crossbar_receiver_ports=receiver_ports,
-        )
-        energy = self.hmc_power.energy(
-            execution,
-            total_operations=plan.total_operations,
-            total_dram_bytes=plan.total_dram_bytes,
-            crossbar_payload_bytes=crossbar_payload,
-        )
-        return RoutingComparison(
-            design=design,
-            benchmark=self.benchmark.name,
-            time_seconds=execution.total_time,
-            energy_joules=energy.total,
-            time_components={
-                "execution": execution.execution_time,
-                "xbar": execution.crossbar_time,
-                "vrs": execution.vrs_time,
-            },
-            energy_components=energy.as_dict(),
-            dimension=plan.dimension,
-        )
+    def simulate_end_to_end(self, design: Union[DesignPoint, str]) -> EndToEndComparison:
+        """Whole-inference latency and energy for one design point.
 
-    # ------------------------------------------------------------------ end to end
+        Dispatches to the :class:`~repro.engine.strategies.DesignPointStrategy`
+        registered for ``design``; results are memoized per instance.
+        """
+        return self._simulate("end_to_end", design)
 
-    def simulate_end_to_end(self, design: DesignPoint) -> EndToEndComparison:
-        """Whole-inference latency and energy for one design point."""
-        host = self._host_stage()
-        routing_flops = self.workload.routing.total_flops()
+    def _simulate(self, kind: str, design: Union[DesignPoint, str]):
+        # Imported lazily: repro.engine imports this module at load time.
+        from repro.engine.strategies import design_key, get_strategy
 
-        if design in (DesignPoint.BASELINE_GPU, DesignPoint.GPU_ICP):
-            rp = self.simulate_routing(design)
-            timing = self.pipeline.serial(host["time"], rp.time_seconds)
-            host_energy = self.gpu_energy.phase_energy(host["time"], host["flops"], host["traffic"])
-            energy = self.pipeline.num_batches * (host_energy.total + rp.energy_joules)
-            return EndToEndComparison(
-                design=design,
-                benchmark=self.benchmark.name,
-                timing=timing,
-                energy_joules=energy,
-                host_stage_seconds=host["time"],
-                routing_stage_seconds=rp.time_seconds,
-            )
-
-        if design is DesignPoint.ALL_IN_PIM:
-            rp = self.simulate_routing(DesignPoint.PIM_CAPSNET)
-            device = self._hmc_device(custom_mapping=True)
-            host_execution = device.execute_dense(host["flops"], host["traffic"])
-            host_time = host_execution.total_time
-            timing = self.pipeline.serial(host_time, rp.time_seconds)
-            host_energy = self.hmc_power.energy(
-                host_execution,
-                total_operations=_dense_operation_mix(host["flops"]),
-                total_dram_bytes=host["traffic"],
-                crossbar_payload_bytes=0.0,
-            )
-            # With the whole network in memory the host GPU has no work at all
-            # and is assumed to be power-gated, so no idle energy is charged.
-            energy = self.pipeline.num_batches * (host_energy.total + rp.energy_joules)
-            return EndToEndComparison(
-                design=design,
-                benchmark=self.benchmark.name,
-                timing=timing,
-                energy_joules=energy,
-                host_stage_seconds=host_time,
-                routing_stage_seconds=rp.time_seconds,
-            )
-
-        # Pipelined designs (PIM-CapsNet and the two naive schedulers).
-        policy = {
-            DesignPoint.PIM_CAPSNET: SchedulerPolicy.RMAS,
-            DesignPoint.PIM_INTRA: SchedulerPolicy.RMAS,
-            DesignPoint.PIM_INTER: SchedulerPolicy.RMAS,
-            DesignPoint.RMAS_PIM: SchedulerPolicy.PIM_PRIORITY,
-            DesignPoint.RMAS_GPU: SchedulerPolicy.GPU_PRIORITY,
-        }[design]
-        rp_design = design if design in (DesignPoint.PIM_INTRA, DesignPoint.PIM_INTER) else DesignPoint.PIM_CAPSNET
-        rp = self.simulate_routing(rp_design)
-        if policy is SchedulerPolicy.RMAS:
-            # The runtime scheduler balances the two pipeline stages: it picks
-            # the host-priority share that minimizes the steady-state latency.
-            share = self.contention.optimal_share(
-                host["time"], rp.time_seconds, self.hmc_config.num_vaults
-            )
-            host_slowdown, pim_slowdown = self.contention.slowdowns_for_share(share)
-        else:
-            decision = self.rmas.decide(
-                targeted_vaults=self.hmc_config.num_vaults, queue_depth=self.rmas_queue_depth
-            )
-            host_slowdown, pim_slowdown = self.contention.slowdowns(policy, decision)
-        host_time = host["time"] * host_slowdown
-        rp_time = rp.time_seconds * pim_slowdown
-        timing = self.pipeline.pipelined(host_time, rp_time)
-
-        host_energy = self.gpu_energy.phase_energy(host_time, host["flops"], host["traffic"])
-        pim_energy_scale = pim_slowdown  # static HMC power accrues over the longer time
-        gpu_idle_time = max(0.0, timing.total_time - self.pipeline.num_batches * host_time)
-        energy = (
-            self.pipeline.num_batches * (host_energy.total + rp.energy_joules * pim_energy_scale)
-            + self.gpu_energy.idle_energy(gpu_idle_time).total
-        )
-        return EndToEndComparison(
-            design=design,
-            benchmark=self.benchmark.name,
-            timing=timing,
-            energy_joules=energy,
-            host_stage_seconds=host_time,
-            routing_stage_seconds=rp_time,
-        )
+        key = (kind, design_key(design))
+        with self._simulation_lock:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                # Every caller gets a private copy: the pre-engine code
+                # returned fresh objects per call, so consumers are free to
+                # mutate results in place without corrupting other
+                # experiments reading the same cache.
+                return copy.deepcopy(cached)
+            strategy = get_strategy(design)
+            self.simulations_executed += 1
+            if kind == "routing":
+                result = strategy.simulate_routing(self, design)
+            else:
+                result = strategy.simulate_end_to_end(self, design)
+            self._result_cache[key] = copy.deepcopy(result)
+            return result
 
     # ------------------------------------------------------------------ conveniences
 
@@ -400,7 +296,7 @@ class PIMCapsNet:
 
 
 def _dense_operation_mix(flops: float):
-    """Operation mix of a dense stage executed on the HMC PEs (MACs only)."""
-    from repro.hmc.pe import OperationMix, PEOperation
+    """Deprecated alias of :func:`repro.engine.design_points.dense_operation_mix`."""
+    from repro.engine.design_points import dense_operation_mix
 
-    return OperationMix().add(PEOperation.MAC, flops / 2.0)
+    return dense_operation_mix(flops)

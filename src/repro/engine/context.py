@@ -1,0 +1,222 @@
+"""Shared simulation state for the experiment engine.
+
+A :class:`SimulationContext` owns every :class:`~repro.core.accelerator.
+PIMCapsNet` instance built during a run and memoizes the ``(benchmark,
+design)`` routing / end-to-end results, so experiments that look at the same
+design points (Figs. 15, 16 and 17 all need the GPU baseline and the
+PIM-CapsNet routing numbers, for example) never pay for the same simulation
+twice.  It also carries the engine's thread pool: :meth:`SimulationContext.map`
+runs a per-item function concurrently while preserving input order, which
+keeps reports deterministic.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
+
+from repro.core.accelerator import EndToEndComparison, PIMCapsNet, RoutingComparison
+from repro.engine.strategies import DesignLike, design_key
+from repro.hmc.config import HMCConfig
+from repro.workloads.benchmarks import BenchmarkConfig, get_benchmark
+from repro.workloads.parallelism import Dimension
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Upper bound on the engine's default worker count; the simulations are
+#: numpy-light analytical models, so a modest pool already saturates them.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_worker_count() -> int:
+    """Default thread-pool size (bounded CPU count)."""
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`SimulationContext`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class SimulationContext:
+    """Memoizing, thread-safe home of all accelerator models in a run.
+
+    Args:
+        model_factory: constructor used for new accelerator models
+            (:class:`~repro.core.accelerator.PIMCapsNet` by default; tests can
+            substitute a stub).
+        max_workers: thread-pool width used by :meth:`map`; ``1`` disables
+            concurrency entirely, ``None`` picks a bounded CPU count.
+    """
+
+    def __init__(
+        self,
+        model_factory: Optional[Callable[..., PIMCapsNet]] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._factory = model_factory or PIMCapsNet
+        self.max_workers = default_worker_count() if max_workers is None else max(1, max_workers)
+        self._lock = threading.RLock()
+        self._models: Dict[tuple, PIMCapsNet] = {}
+        self._results: Dict[tuple, object] = {}
+        self.stats = CacheStats()
+        self.model_stats = CacheStats()
+
+    # ------------------------------------------------------------------- models
+
+    def model(
+        self,
+        benchmark: Union[str, BenchmarkConfig],
+        *,
+        pe_frequency_mhz: Optional[float] = None,
+        force_dimension: Optional[Dimension] = None,
+    ) -> PIMCapsNet:
+        """The memoized accelerator model for one benchmark variant.
+
+        Args:
+            benchmark: Table-1 benchmark name or configuration.
+            pe_frequency_mhz: override the HMC PE frequency (Fig. 18 sweeps).
+            force_dimension: force the inter-vault distribution dimension
+                (Fig. 18 sweeps).
+        """
+        key = self._model_key(benchmark, pe_frequency_mhz, force_dimension)
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self.model_stats.hits += 1
+                return model
+            self.model_stats.misses += 1
+            kwargs: Dict[str, object] = {}
+            if pe_frequency_mhz is not None:
+                kwargs["hmc_config"] = HMCConfig().with_pe_frequency(pe_frequency_mhz)
+            if force_dimension is not None:
+                kwargs["force_dimension"] = force_dimension
+            model = self._factory(benchmark, **kwargs)
+            self._models[key] = model
+            return model
+
+    def models(self) -> List[PIMCapsNet]:
+        """Every model instantiated so far."""
+        with self._lock:
+            return list(self._models.values())
+
+    @staticmethod
+    def _model_key(
+        benchmark: Union[str, BenchmarkConfig],
+        pe_frequency_mhz: Optional[float],
+        force_dimension: Optional[Dimension],
+    ) -> tuple:
+        # Key by the (frozen, hashable) configuration itself, not its name:
+        # a custom BenchmarkConfig that shares a Table-1 name must not alias
+        # the canonical benchmark's cache entries.
+        config = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+        return (config, pe_frequency_mhz, force_dimension)
+
+    # ------------------------------------------------------------------ results
+
+    def routing(
+        self,
+        benchmark: Union[str, BenchmarkConfig],
+        design: DesignLike,
+        *,
+        pe_frequency_mhz: Optional[float] = None,
+        force_dimension: Optional[Dimension] = None,
+    ) -> RoutingComparison:
+        """Memoized routing-procedure result for ``(benchmark, design)``."""
+        return self._simulate(
+            "routing", benchmark, design, pe_frequency_mhz, force_dimension
+        )
+
+    def end_to_end(
+        self,
+        benchmark: Union[str, BenchmarkConfig],
+        design: DesignLike,
+        *,
+        pe_frequency_mhz: Optional[float] = None,
+        force_dimension: Optional[Dimension] = None,
+    ) -> EndToEndComparison:
+        """Memoized end-to-end result for ``(benchmark, design)``."""
+        return self._simulate(
+            "end_to_end", benchmark, design, pe_frequency_mhz, force_dimension
+        )
+
+    def _simulate(
+        self,
+        kind: str,
+        benchmark: Union[str, BenchmarkConfig],
+        design: DesignLike,
+        pe_frequency_mhz: Optional[float],
+        force_dimension: Optional[Dimension],
+    ):
+        model_key = self._model_key(benchmark, pe_frequency_mhz, force_dimension)
+        key: Tuple = (kind, model_key, design_key(design))
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                # Private copy per caller, mirroring the model facade: cached
+                # results must never be mutated through one experiment's hands
+                # into another's.
+                return copy.deepcopy(cached)
+            self.stats.misses += 1
+        # Simulate outside the context lock so different benchmarks run
+        # concurrently; concurrent lookups of the *same* key are deduplicated
+        # by the model's own per-instance cache (each caller already holds a
+        # private copy of the result, so keeping the first stored pristine
+        # object is safe).
+        model = self.model(
+            benchmark,
+            pe_frequency_mhz=pe_frequency_mhz,
+            force_dimension=force_dimension,
+        )
+        if kind == "routing":
+            result = model.simulate_routing(design)
+        else:
+            result = model.simulate_end_to_end(design)
+        with self._lock:
+            self._results.setdefault(key, copy.deepcopy(result))
+        return result
+
+    @property
+    def simulations_executed(self) -> int:
+        """Simulations actually run (model-level cache misses) so far.
+
+        Counts every distinct ``(kind, design)`` simulation executed by any
+        model owned by this context, including the nested routing simulations
+        end-to-end strategies trigger; cache hits do not increment it.
+        """
+        with self._lock:
+            return sum(model.simulations_executed for model in self._models.values())
+
+    # -------------------------------------------------------------- parallel map
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item, concurrently when the pool allows it.
+
+        Results come back in input order regardless of completion order, so
+        report generation stays deterministic.  With ``max_workers == 1`` (or
+        a single item) this is a plain serial loop.
+        """
+        items = list(items)
+        if self.max_workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(self.max_workers, len(items))) as pool:
+            return list(pool.map(fn, items))

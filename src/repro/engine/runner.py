@@ -1,0 +1,117 @@
+"""Engine runner: execute any subset of experiments over a shared context.
+
+:func:`run_experiments` resolves names against the experiment registry,
+validates them (unknown names raise :class:`ValueError` -- they used to be
+silently ignored by the old ``runner.run_all``), runs the selected
+experiments concurrently over one shared
+:class:`~repro.engine.context.SimulationContext`, and returns a
+:class:`RunnerResult` whose reports always come back in registry (report)
+order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, experiment_names, get_experiment
+
+
+@dataclass
+class RunnerResult:
+    """Results and rendered reports of every executed experiment."""
+
+    results: Dict[str, object] = field(default_factory=dict)
+    reports: Dict[str, str] = field(default_factory=dict)
+    context: Optional[SimulationContext] = None
+
+    def combined_report(self) -> str:
+        """All reports concatenated with separators."""
+        sections = []
+        for name, report in self.reports.items():
+            sections.append(f"{'=' * 78}\n{name}\n{'=' * 78}\n{report}")
+        return "\n\n".join(sections)
+
+    def to_dict(self) -> dict:
+        """Structured output of every executed experiment, in report order."""
+        return {
+            name: get_experiment(name).to_dict(result)
+            for name, result in self.results.items()
+        }
+
+
+def select_experiments(
+    only: Optional[List[str]] = None, skip: Optional[List[str]] = None
+) -> List[str]:
+    """Resolve an ``only``/``skip`` selection against the registry.
+
+    Raises:
+        ValueError: if ``only`` or ``skip`` name experiments that do not
+            exist (listing the valid names).
+    """
+    known = experiment_names()
+    _validate_names("only", only, known)
+    _validate_names("skip", skip, known)
+    skipped = set(skip or [])
+    wanted = set(only) if only else None
+    return [
+        name
+        for name in known
+        if name not in skipped and (wanted is None or name in wanted)
+    ]
+
+
+def _validate_names(label: str, names: Optional[List[str]], known: List[str]) -> None:
+    unknown = sorted(set(names or []) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown experiment name(s) in {label!r}: {unknown}; "
+            f"valid names: {known}"
+        )
+
+
+def run_experiments(
+    only: Optional[List[str]] = None,
+    skip: Optional[List[str]] = None,
+    benchmarks: Optional[List[str]] = None,
+    context: Optional[SimulationContext] = None,
+    max_workers: Optional[int] = None,
+) -> RunnerResult:
+    """Run the selected experiments over one shared simulation context.
+
+    Args:
+        only: if given, run only these experiments.
+        skip: experiment names to skip.
+        benchmarks: restrict every experiment to these Table-1 benchmarks.
+        context: shared simulation context (a fresh one by default).  Its
+            ``max_workers`` also parallelizes the per-benchmark loops inside
+            each experiment.
+        max_workers: pool width for the new default context (ignored when
+            ``context`` is passed); ``1`` runs everything serially.
+    """
+    names = select_experiments(only=only, skip=skip)
+    ctx = context if context is not None else SimulationContext(max_workers=max_workers)
+    result = RunnerResult(context=ctx)
+    if not names:
+        return result
+
+    experiments: List[Experiment] = [get_experiment(name) for name in names]
+
+    def _run_one(experiment: Experiment):
+        experiment_result = experiment.run(ctx, benchmarks=benchmarks)
+        return experiment_result, experiment.format_report(experiment_result)
+
+    if ctx.max_workers <= 1 or len(experiments) == 1:
+        outcomes = [_run_one(experiment) for experiment in experiments]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=min(ctx.max_workers, len(experiments))
+        ) as pool:
+            outcomes = list(pool.map(_run_one, experiments))
+
+    for name, (experiment_result, report) in zip(names, outcomes):
+        result.results[name] = experiment_result
+        result.reports[name] = report
+    return result

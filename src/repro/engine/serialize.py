@@ -1,0 +1,52 @@
+"""Generic result serialization for structured (JSON) experiment output.
+
+Experiment results are nested dataclasses keyed by enums (``DesignPoint``,
+``StallClass``, ``Dimension``) and occasionally tuples; :func:`to_jsonable`
+lowers any of them to plain ``dict`` / ``list`` / scalar values acceptable to
+:mod:`json`.  Conversion rules:
+
+* dataclass instances -> ``{field: value}`` dicts,
+* enums -> their ``value``,
+* mappings -> string keys (enum keys use their ``value``; tuple keys are
+  joined with ``"/"``),
+* sequences / sets -> lists,
+* objects exposing ``to_dict()`` or ``as_dict()`` -> that dict,
+* everything else JSON-native passes through, the rest falls back to ``str``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import Any, Mapping
+
+
+def to_jsonable(value: Any) -> Any:
+    """Lower an arbitrary experiment result to JSON-serializable builtins."""
+    if isinstance(value, Enum):
+        return to_jsonable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {_key_to_str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    for attr in ("to_dict", "as_dict"):
+        method = getattr(value, attr, None)
+        if callable(method):
+            return to_jsonable(method())
+    return str(value)
+
+
+def _key_to_str(key: Any) -> str:
+    """Mapping keys must be strings in JSON."""
+    if isinstance(key, Enum):
+        return str(key.value)
+    if isinstance(key, tuple):
+        return "/".join(_key_to_str(part) for part in key)
+    return str(key)

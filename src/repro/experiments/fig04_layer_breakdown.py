@@ -14,6 +14,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPUDevice
 from repro.gpu.simulator import GPUSimulator
 from repro.workloads.benchmarks import BENCHMARKS
@@ -50,30 +52,36 @@ class LayerBreakdownResult:
     average_routing_fraction: float
 
 
-def run(device: Optional[GPUDevice] = None, benchmarks: Optional[List[str]] = None) -> LayerBreakdownResult:
+def run(
+    device: Optional[GPUDevice] = None,
+    benchmarks: Optional[List[str]] = None,
+    context: Optional[SimulationContext] = None,
+) -> LayerBreakdownResult:
     """Run the Fig. 4 characterization.
 
     Args:
         device: GPU model (paper baseline P100 by default).
         benchmarks: benchmark names (all of Table 1 by default).
+        context: engine context supplying the thread pool (serial by default).
     """
-    simulator = GPUSimulator(device)
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
-    rows: List[LayerBreakdownRow] = []
-    for name in names:
+
+    def _row(name: str) -> LayerBreakdownRow:
+        simulator = GPUSimulator(device)
         workload = CapsNetWorkload(BENCHMARKS[name])
         timing = simulator.simulate(workload)
         fractions: Dict[LayerKind, float] = timing.fraction_by_kind()
-        rows.append(
-            LayerBreakdownRow(
-                benchmark=name,
-                total_time_s=timing.total_time,
-                fraction_conv=fractions[LayerKind.CONV],
-                fraction_primary_caps=fractions[LayerKind.PRIMARY_CAPS],
-                fraction_routing=fractions[LayerKind.ROUTING],
-                fraction_fc=fractions[LayerKind.FULLY_CONNECTED],
-            )
+        return LayerBreakdownRow(
+            benchmark=name,
+            total_time_s=timing.total_time,
+            fraction_conv=fractions[LayerKind.CONV],
+            fraction_primary_caps=fractions[LayerKind.PRIMARY_CAPS],
+            fraction_routing=fractions[LayerKind.ROUTING],
+            fraction_fc=fractions[LayerKind.FULLY_CONNECTED],
         )
+
+    rows = ctx.map(_row, names)
     average = arithmetic_mean([row.fraction_routing for row in rows])
     return LayerBreakdownResult(rows=rows, average_routing_fraction=average)
 
@@ -90,3 +98,17 @@ def format_report(result: LayerBreakdownResult) -> str:
         f"Average routing-procedure share: {100.0 * result.average_routing_fraction:.2f}% "
         f"(paper: 74.62%)"
     )
+
+
+@register_experiment
+class Fig04Experiment(Experiment):
+    """Fig. 4 -- per-layer execution time breakdown on the GPU."""
+
+    name = "fig04"
+    title = "Fig. 4 -- CapsNet inference time breakdown on the GPU"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

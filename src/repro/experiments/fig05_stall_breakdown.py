@@ -13,6 +13,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPUDevice
 from repro.gpu.kernels import StallClass
 from repro.gpu.simulator import GPUSimulator
@@ -41,22 +43,27 @@ class StallBreakdownResult:
     average_ldst_utilization: float
 
 
-def run(device: Optional[GPUDevice] = None, benchmarks: Optional[List[str]] = None) -> StallBreakdownResult:
+def run(
+    device: Optional[GPUDevice] = None,
+    benchmarks: Optional[List[str]] = None,
+    context: Optional[SimulationContext] = None,
+) -> StallBreakdownResult:
     """Run the Fig. 5 characterization."""
-    simulator = GPUSimulator(device)
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
-    rows: List[StallBreakdownRow] = []
-    for name in names:
+
+    def _row(name: str) -> StallBreakdownRow:
+        simulator = GPUSimulator(device)
         workload = CapsNetWorkload(BENCHMARKS[name])
         profile = simulator.simulate_routing(workload.routing)
-        rows.append(
-            StallBreakdownRow(
-                benchmark=name,
-                fractions={cls: profile.stalls.fraction(cls) for cls in StallClass},
-                alu_utilization=profile.alu_utilization,
-                ldst_utilization=profile.ldst_utilization,
-            )
+        return StallBreakdownRow(
+            benchmark=name,
+            fractions={cls: profile.stalls.fraction(cls) for cls in StallClass},
+            alu_utilization=profile.alu_utilization,
+            ldst_utilization=profile.ldst_utilization,
         )
+
+    rows = ctx.map(_row, names)
     return StallBreakdownResult(
         rows=rows,
         average_memory_fraction=arithmetic_mean(
@@ -85,3 +92,17 @@ def format_report(result: StallBreakdownResult) -> str:
         f"Average memory-access stall share: {100.0 * result.average_memory_fraction:.2f}% (paper: 44.64%)\n"
         f"Average synchronization stall share: {100.0 * result.average_sync_fraction:.2f}% (paper: 34.45%)"
     )
+
+
+@register_experiment
+class Fig05Experiment(Experiment):
+    """Fig. 5 -- RP pipeline-stall breakdown on the GPU."""
+
+    name = "fig05"
+    title = "Fig. 5 -- RP pipeline stall breakdown on the GPU"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPU_DEVICES, ONCHIP_STORAGE_SWEEP, baseline_device
 from repro.gpu.simulator import GPUSimulator
 from repro.workloads.benchmarks import BENCHMARKS
@@ -43,17 +45,22 @@ class OnChipStorageResult:
     average_performance_by_device: Dict[str, float]
 
 
-def run(benchmarks: Optional[List[str]] = None, devices: Optional[List[str]] = None) -> OnChipStorageResult:
+def run(
+    benchmarks: Optional[List[str]] = None,
+    devices: Optional[List[str]] = None,
+    context: Optional[SimulationContext] = None,
+) -> OnChipStorageResult:
     """Run the Fig. 6 characterization.
 
     The performance sweep keeps the baseline GPU's compute/bandwidth and only
     changes the on-chip storage, isolating the variable the figure studies.
     """
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
     device_names = devices or list(ONCHIP_STORAGE_SWEEP)
     baseline = baseline_device()
-    rows: List[OnChipStorageRow] = []
-    for name in names:
+
+    def _row(name: str) -> OnChipStorageRow:
         config = BENCHMARKS[name]
         routing = RoutingWorkload(config)
         footprint = routing.footprint()
@@ -68,14 +75,14 @@ def run(benchmarks: Optional[List[str]] = None, devices: Optional[List[str]] = N
             if reference_time is None:
                 reference_time = time
             performance[device_name] = reference_time / time
-        rows.append(
-            OnChipStorageRow(
-                benchmark=name,
-                intermediate_bytes=footprint.intermediate_bytes,
-                ratio_by_device=ratios,
-                normalized_performance_by_device=performance,
-            )
+        return OnChipStorageRow(
+            benchmark=name,
+            intermediate_bytes=footprint.intermediate_bytes,
+            ratio_by_device=ratios,
+            normalized_performance_by_device=performance,
         )
+
+    rows = ctx.map(_row, names)
     return OnChipStorageResult(
         rows=rows,
         devices=device_names,
@@ -115,3 +122,17 @@ def format_report(result: OnChipStorageResult) -> str:
         f"Average normalized RP performance on {best_device}: "
         f"{result.average_performance_by_device[best_device]:.3f}x (paper: up to ~1.14x)"
     )
+
+
+@register_experiment
+class Fig06Experiment(Experiment):
+    """Fig. 6 -- routing intermediates vs. GPU on-chip storage."""
+
+    name = "fig06"
+    title = "Fig. 6 -- intermediate variables vs. on-chip storage"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPU_DEVICES, BANDWIDTH_SWEEP, baseline_device
 from repro.gpu.simulator import GPUSimulator
 from repro.workloads.benchmarks import BENCHMARKS
@@ -38,8 +40,13 @@ class BandwidthResult:
     average_by_technology: Dict[str, float]
 
 
-def run(benchmarks: Optional[List[str]] = None, devices: Optional[List[str]] = None) -> BandwidthResult:
+def run(
+    benchmarks: Optional[List[str]] = None,
+    devices: Optional[List[str]] = None,
+    context: Optional[SimulationContext] = None,
+) -> BandwidthResult:
     """Run the Fig. 7 sweep (bandwidth only; compute and storage stay at the baseline)."""
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
     device_names = devices or list(BANDWIDTH_SWEEP)
     baseline = baseline_device()
@@ -48,8 +55,8 @@ def run(benchmarks: Optional[List[str]] = None, devices: Optional[List[str]] = N
         GPU_DEVICES[d].memory_technology.value: GPU_DEVICES[d].memory_bandwidth_gbs
         for d in device_names
     }
-    rows: List[BandwidthRow] = []
-    for name in names:
+
+    def _row(name: str) -> BandwidthRow:
         routing = RoutingWorkload(BENCHMARKS[name])
         reference_time: Optional[float] = None
         normalized: Dict[str, float] = {}
@@ -61,7 +68,9 @@ def run(benchmarks: Optional[List[str]] = None, devices: Optional[List[str]] = N
             if reference_time is None:
                 reference_time = time
             normalized[technology] = reference_time / time
-        rows.append(BandwidthRow(benchmark=name, normalized_performance=normalized))
+        return BandwidthRow(benchmark=name, normalized_performance=normalized)
+
+    rows = ctx.map(_row, names)
     return BandwidthResult(
         rows=rows,
         technologies=technologies,
@@ -90,3 +99,17 @@ def format_report(result: BandwidthResult) -> str:
         f"Average RP improvement with {best}: "
         f"{result.average_by_technology[best]:.3f}x (paper: ~1.26x)"
     )
+
+
+@register_experiment
+class Fig07Experiment(Experiment):
+    """Fig. 7 -- impact of off-chip memory bandwidth on RP performance."""
+
+    name = "fig07"
+    title = "Fig. 7 -- normalized RP performance vs. memory bandwidth"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

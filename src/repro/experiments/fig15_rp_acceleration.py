@@ -13,7 +13,9 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
-from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.core.accelerator import DesignPoint
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.workloads.benchmarks import BENCHMARKS
 
 #: Design points plotted by Fig. 15.
@@ -40,31 +42,39 @@ class RPAccelerationResult:
     average_energy_saving: float
 
 
-def run(benchmarks: Optional[List[str]] = None) -> RPAccelerationResult:
-    """Run the Fig. 15 comparison."""
+def run(
+    benchmarks: Optional[List[str]] = None, context: Optional[SimulationContext] = None
+) -> RPAccelerationResult:
+    """Run the Fig. 15 comparison.
+
+    Args:
+        benchmarks: benchmark names (all of Table 1 by default).
+        context: shared simulation context (a private serial one by default);
+            routing results already computed by other experiments are reused.
+    """
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
-    rows: List[RPAccelerationRow] = []
-    for name in names:
-        accelerator = PIMCapsNet(name)
-        results = {design: accelerator.simulate_routing(design) for design in FIG15_DESIGNS}
+
+    def _row(name: str) -> RPAccelerationRow:
+        results = {design: ctx.routing(name, design) for design in FIG15_DESIGNS}
         baseline = results[DesignPoint.BASELINE_GPU]
-        rows.append(
-            RPAccelerationRow(
-                benchmark=name,
-                speedup={
-                    design: result.speedup_over(baseline) for design, result in results.items()
-                },
-                normalized_energy={
-                    design: result.energy_joules / baseline.energy_joules
-                    for design, result in results.items()
-                },
-                chosen_dimension=(
-                    results[DesignPoint.PIM_CAPSNET].dimension.value
-                    if results[DesignPoint.PIM_CAPSNET].dimension
-                    else "-"
-                ),
-            )
+        return RPAccelerationRow(
+            benchmark=name,
+            speedup={
+                design: result.speedup_over(baseline) for design, result in results.items()
+            },
+            normalized_energy={
+                design: result.energy_joules / baseline.energy_joules
+                for design, result in results.items()
+            },
+            chosen_dimension=(
+                results[DesignPoint.PIM_CAPSNET].dimension.value
+                if results[DesignPoint.PIM_CAPSNET].dimension
+                else "-"
+            ),
         )
+
+    rows = ctx.map(_row, names)
     pim_speedups = [row.speedup[DesignPoint.PIM_CAPSNET] for row in rows]
     pim_savings = [1.0 - row.normalized_energy[DesignPoint.PIM_CAPSNET] for row in rows]
     return RPAccelerationResult(
@@ -106,3 +116,17 @@ def format_report(result: RPAccelerationResult) -> str:
         f"Average PIM-CapsNet RP energy saving: {100.0 * result.average_energy_saving:.2f}% "
         f"(paper: 92.18%)"
     )
+
+
+@register_experiment
+class Fig15Experiment(Experiment):
+    """Fig. 15 -- routing-procedure speedup and energy of PIM-CapsNet."""
+
+    name = "fig15"
+    title = "Fig. 15 -- RP speedup and normalized energy"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

@@ -20,7 +20,9 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
-from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.core.accelerator import DesignPoint
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.workloads.benchmarks import BENCHMARKS
 
 #: PIM design points plotted by Fig. 16.
@@ -47,18 +49,16 @@ class PIMBreakdownResult:
     average_speedup_over_inter: float
 
 
-def run(benchmarks: Optional[List[str]] = None) -> PIMBreakdownResult:
+def run(
+    benchmarks: Optional[List[str]] = None, context: Optional[SimulationContext] = None
+) -> PIMBreakdownResult:
     """Run the Fig. 16 comparison (times normalized to the GPU baseline)."""
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
-    rows: List[PIMBreakdownRow] = []
-    intra_shares: List[float] = []
-    inter_shares: List[float] = []
-    speedup_vs_intra: List[float] = []
-    speedup_vs_inter: List[float] = []
-    for name in names:
-        accelerator = PIMCapsNet(name)
-        baseline = accelerator.simulate_routing(DesignPoint.BASELINE_GPU)
-        results = {design: accelerator.simulate_routing(design) for design in FIG16_DESIGNS}
+
+    def _one(name: str):
+        baseline = ctx.routing(name, DesignPoint.BASELINE_GPU)
+        results = {design: ctx.routing(name, design) for design in FIG16_DESIGNS}
         normalized_time: Dict[DesignPoint, Dict[str, float]] = {}
         normalized_energy: Dict[DesignPoint, Dict[str, float]] = {}
         for design, result in results.items():
@@ -70,20 +70,28 @@ def run(benchmarks: Optional[List[str]] = None) -> PIMBreakdownResult:
                 component: value / baseline.energy_joules
                 for component, value in result.energy_components.items()
             }
-        rows.append(
-            PIMBreakdownRow(
-                benchmark=name,
-                normalized_time=normalized_time,
-                normalized_energy=normalized_energy,
-            )
+        row = PIMBreakdownRow(
+            benchmark=name,
+            normalized_time=normalized_time,
+            normalized_energy=normalized_energy,
         )
         intra = results[DesignPoint.PIM_INTRA]
         inter = results[DesignPoint.PIM_INTER]
         pim = results[DesignPoint.PIM_CAPSNET]
-        intra_shares.append(intra.time_components["xbar"] / intra.time_seconds)
-        inter_shares.append(inter.time_components["vrs"] / inter.time_seconds)
-        speedup_vs_intra.append(intra.time_seconds / pim.time_seconds)
-        speedup_vs_inter.append(inter.time_seconds / pim.time_seconds)
+        return (
+            row,
+            intra.time_components["xbar"] / intra.time_seconds,
+            inter.time_components["vrs"] / inter.time_seconds,
+            intra.time_seconds / pim.time_seconds,
+            inter.time_seconds / pim.time_seconds,
+        )
+
+    outcomes = ctx.map(_one, names)
+    rows = [outcome[0] for outcome in outcomes]
+    intra_shares = [outcome[1] for outcome in outcomes]
+    inter_shares = [outcome[2] for outcome in outcomes]
+    speedup_vs_intra = [outcome[3] for outcome in outcomes]
+    speedup_vs_inter = [outcome[4] for outcome in outcomes]
     return PIMBreakdownResult(
         rows=rows,
         average_intra_crossbar_share=arithmetic_mean(intra_shares),
@@ -142,3 +150,17 @@ def format_report(result: PIMBreakdownResult) -> str:
         f"{result.average_speedup_over_intra:.2f}x / {result.average_speedup_over_inter:.2f}x "
         f"(paper: 1.77x / 2.28x)"
     )
+
+
+@register_experiment
+class Fig16Experiment(Experiment):
+    """Fig. 16 -- effectiveness of the intra-vault and inter-vault designs."""
+
+    name = "fig16"
+    title = "Fig. 16 -- RP time/energy breakdown of the PIM design points"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

@@ -17,7 +17,9 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
-from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.core.accelerator import DesignPoint
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.workloads.benchmarks import BENCHMARKS
 
 #: Design points plotted by Fig. 17.
@@ -50,23 +52,25 @@ class EndToEndResult:
     average_all_in_pim_speedup: float
 
 
-def run(benchmarks: Optional[List[str]] = None) -> EndToEndResult:
+def run(
+    benchmarks: Optional[List[str]] = None, context: Optional[SimulationContext] = None
+) -> EndToEndResult:
     """Run the Fig. 17 comparison."""
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
-    rows: List[EndToEndRow] = []
-    for name in names:
-        accelerator = PIMCapsNet(name)
-        results = {design: accelerator.simulate_end_to_end(design) for design in FIG17_DESIGNS}
+
+    def _row(name: str) -> EndToEndRow:
+        results = {design: ctx.end_to_end(name, design) for design in FIG17_DESIGNS}
         baseline = results[DesignPoint.BASELINE_GPU]
-        rows.append(
-            EndToEndRow(
-                benchmark=name,
-                speedup={d: r.speedup_over(baseline) for d, r in results.items()},
-                normalized_energy={
-                    d: r.energy_joules / baseline.energy_joules for d, r in results.items()
-                },
-            )
+        return EndToEndRow(
+            benchmark=name,
+            speedup={d: r.speedup_over(baseline) for d, r in results.items()},
+            normalized_energy={
+                d: r.energy_joules / baseline.energy_joules for d, r in results.items()
+            },
         )
+
+    rows = ctx.map(_row, names)
     pim_speedups = [row.speedup[DesignPoint.PIM_CAPSNET] for row in rows]
     pim_savings = [1.0 - row.normalized_energy[DesignPoint.PIM_CAPSNET] for row in rows]
     return EndToEndResult(
@@ -107,3 +111,17 @@ def format_report(result: EndToEndResult) -> str:
         f"Average All-in-PIM speedup: {result.average_all_in_pim_speedup:.2f}x "
         f"(paper: 0.52x -- see EXPERIMENTS.md for the known deviation)"
     )
+
+
+@register_experiment
+class Fig17Experiment(Experiment):
+    """Fig. 17 -- end-to-end CapsNet inference speedup and energy."""
+
+    name = "fig17"
+    title = "Fig. 17 -- end-to-end speedup and energy"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.accelerator import DesignPoint, PIMCapsNet
-from repro.hmc.config import HMCConfig
+from repro.core.accelerator import DesignPoint
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.workloads.benchmarks import BENCHMARKS
 from repro.workloads.parallelism import Dimension
 
@@ -65,21 +66,29 @@ class FrequencySweepResult:
 def run(
     benchmarks: Optional[List[str]] = None,
     frequencies_mhz: Tuple[float, ...] = FIG18_FREQUENCIES_MHZ,
+    context: Optional[SimulationContext] = None,
 ) -> FrequencySweepResult:
     """Run the Fig. 18 sweep."""
+    ctx = context or SimulationContext(max_workers=1)
     names = benchmarks or list(BENCHMARKS)
-    cells: List[FrequencySweepCell] = []
-    best: Dict[Tuple[str, float], Dimension] = {}
-    for name in names:
+
+    def _benchmark_cells(name: str):
+        bench_cells: List[FrequencySweepCell] = []
+        bench_best: Dict[Tuple[str, float], Dimension] = {}
         for frequency in frequencies_mhz:
-            hmc = HMCConfig().with_pe_frequency(frequency)
-            baseline = PIMCapsNet(name, hmc_config=hmc).simulate_routing(DesignPoint.BASELINE_GPU)
+            baseline = ctx.routing(
+                name, DesignPoint.BASELINE_GPU, pe_frequency_mhz=frequency
+            )
             best_speedup = 0.0
             for dimension in Dimension:
-                accelerator = PIMCapsNet(name, hmc_config=hmc, force_dimension=dimension)
-                result = accelerator.simulate_routing(DesignPoint.PIM_CAPSNET)
+                result = ctx.routing(
+                    name,
+                    DesignPoint.PIM_CAPSNET,
+                    pe_frequency_mhz=frequency,
+                    force_dimension=dimension,
+                )
                 value = result.speedup_over(baseline)
-                cells.append(
+                bench_cells.append(
                     FrequencySweepCell(
                         benchmark=name,
                         frequency_mhz=frequency,
@@ -89,7 +98,14 @@ def run(
                 )
                 if value > best_speedup:
                     best_speedup = value
-                    best[(name, frequency)] = dimension
+                    bench_best[(name, frequency)] = dimension
+        return bench_cells, bench_best
+
+    cells: List[FrequencySweepCell] = []
+    best: Dict[Tuple[str, float], Dimension] = {}
+    for bench_cells, bench_best in ctx.map(_benchmark_cells, names):
+        cells.extend(bench_cells)
+        best.update(bench_best)
     return FrequencySweepResult(
         cells=cells,
         best_dimension=best,
@@ -120,3 +136,17 @@ def format_report(result: FrequencySweepResult) -> str:
         f"Benchmarks whose best dimension changes with frequency: "
         f"{', '.join(changed) if changed else 'none'}"
     )
+
+
+@register_experiment
+class Fig18Experiment(Experiment):
+    """Fig. 18 -- distribution-dimension speedup vs. PE frequency."""
+
+    name = "fig18"
+    title = "Fig. 18 -- RP speedup by distribution dimension and PE frequency"
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

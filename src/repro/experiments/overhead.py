@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.analysis.tables import format_table
+from repro.engine.experiment import Experiment, register_experiment
 from repro.hmc.config import HMCConfig
 from repro.hmc.power import HMCPowerModel, LogicAreaModel
 from repro.hmc.thermal import ThermalModel, ThermalReport
@@ -64,3 +65,17 @@ def format_report(result: OverheadResult) -> str:
         f"{thermal_table}\n"
         f"Maximum PE frequency within the thermal budget: {result.max_frequency_mhz:.0f} MHz"
     )
+
+
+@register_experiment
+class OverheadExperiment(Experiment):
+    """Sec. 6.5 -- area, power and thermal overhead of the added PIM logic."""
+
+    name = "overhead"
+    title = "Sec. 6.5 -- PIM logic area / power / thermal overhead"
+
+    def run(self, context, benchmarks=None):
+        return run()
+
+    def format_report(self, result):
+        return format_report(result)

@@ -4,75 +4,59 @@
 evaluation figure and table of the paper.  Individual experiments can be
 skipped with ``--skip`` (the accuracy experiment trains networks and is the
 slowest one).
+
+This module is a thin compatibility veneer over :mod:`repro.engine`: the
+experiment registry lives in :mod:`repro.engine.experiment` and the executor
+in :mod:`repro.engine.runner`, which shares one
+:class:`~repro.engine.context.SimulationContext` across all experiments (so
+common ``(benchmark, design)`` simulations run once) and executes
+independent experiments concurrently.
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments import (
-    fig04_layer_breakdown,
-    fig05_stall_breakdown,
-    fig06_onchip_storage,
-    fig07_bandwidth,
-    fig15_rp_acceleration,
-    fig16_pim_breakdown,
-    fig17_end_to_end,
-    fig18_frequency_sweep,
-    overhead,
-    table05_accuracy,
-)
-
-#: Experiment registry: name -> (run, format_report).
-EXPERIMENTS: Dict[str, Tuple[Callable[[], object], Callable[[object], str]]] = {
-    "fig04": (fig04_layer_breakdown.run, fig04_layer_breakdown.format_report),
-    "fig05": (fig05_stall_breakdown.run, fig05_stall_breakdown.format_report),
-    "fig06": (fig06_onchip_storage.run, fig06_onchip_storage.format_report),
-    "fig07": (fig07_bandwidth.run, fig07_bandwidth.format_report),
-    "fig15": (fig15_rp_acceleration.run, fig15_rp_acceleration.format_report),
-    "fig16": (fig16_pim_breakdown.run, fig16_pim_breakdown.format_report),
-    "fig17": (fig17_end_to_end.run, fig17_end_to_end.format_report),
-    "fig18": (fig18_frequency_sweep.run, fig18_frequency_sweep.format_report),
-    "table5": (table05_accuracy.run, table05_accuracy.format_report),
-    "overhead": (overhead.run, overhead.format_report),
-}
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import experiment_names, get_experiment
+from repro.engine.runner import RunnerResult, run_experiments
 
 
-@dataclass
-class RunnerResult:
-    """Results and rendered reports of every executed experiment."""
-
-    results: Dict[str, object] = field(default_factory=dict)
-    reports: Dict[str, str] = field(default_factory=dict)
-
-    def combined_report(self) -> str:
-        """All reports concatenated with separators."""
-        sections = []
-        for name, report in self.reports.items():
-            sections.append(f"{'=' * 78}\n{name}\n{'=' * 78}\n{report}")
-        return "\n\n".join(sections)
+def _registry() -> Dict[str, Tuple[Callable[..., object], Callable[[object], str]]]:
+    """The classic name -> (run, format_report) table, built from the engine."""
+    table: Dict[str, Tuple[Callable[..., object], Callable[[object], str]]] = {}
+    for name in experiment_names():
+        experiment = get_experiment(name)
+        table[name] = (experiment.run_standalone, experiment.format_report)
+    return table
 
 
-def run_all(skip: Optional[List[str]] = None, only: Optional[List[str]] = None) -> RunnerResult:
-    """Run the selected experiments.
+#: Experiment registry: name -> (run, format_report).  Kept for backwards
+#: compatibility; the authoritative registry is ``repro.engine.experiment``.
+EXPERIMENTS = _registry()
+
+
+def run_all(
+    skip: Optional[List[str]] = None,
+    only: Optional[List[str]] = None,
+    context: Optional[SimulationContext] = None,
+    max_workers: Optional[int] = None,
+) -> RunnerResult:
+    """Run the selected experiments over one shared simulation context.
 
     Args:
         skip: experiment names to skip.
         only: if given, run only these experiments.
+        context: shared simulation context (a fresh one by default).
+        max_workers: thread-pool width for the default context; ``1`` runs
+            everything serially.
+
+    Raises:
+        ValueError: if ``skip`` or ``only`` contain unknown experiment names
+            (they used to be silently ignored, running nothing).
     """
-    skip = set(skip or [])
-    result = RunnerResult()
-    for name, (run_fn, format_fn) in EXPERIMENTS.items():
-        if name in skip:
-            continue
-        if only and name not in only:
-            continue
-        experiment_result = run_fn()
-        result.results[name] = experiment_result
-        result.reports[name] = format_fn(experiment_result)
-    return result
+    return run_experiments(only=only, skip=skip, context=context, max_workers=max_workers)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -80,8 +64,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--skip", nargs="*", default=[], choices=sorted(EXPERIMENTS))
     parser.add_argument("--only", nargs="*", default=None, choices=sorted(EXPERIMENTS))
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="thread-pool width (1 = serial; default: bounded CPU count)",
+    )
     args = parser.parse_args(argv)
-    result = run_all(skip=args.skip, only=args.only)
+    result = run_all(skip=args.skip, only=args.only, max_workers=args.jobs)
     print(result.combined_report())
     return 0
 

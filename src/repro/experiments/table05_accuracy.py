@@ -25,6 +25,8 @@ from repro.arithmetic.context import MathContext
 from repro.capsnet.datasets import dataset_for_benchmark
 from repro.capsnet.model import CapsNet, CapsNetConfig
 from repro.capsnet.training import Trainer
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import Experiment, register_experiment
 from repro.workloads.benchmarks import BENCHMARKS
 
 
@@ -82,8 +84,12 @@ def run(
     num_train: int = 320,
     num_test: int = 160,
     seed: int = 3,
+    context: Optional[SimulationContext] = None,
 ) -> AccuracyResult:
     """Run the Table 5 accuracy comparison.
+
+    ``context`` is accepted for engine uniformity; training is kept serial
+    (the per-dataset weight sharing below is order-dependent).
 
     Training happens once per distinct dataset; every benchmark sharing that
     dataset reuses the trained weights (the benchmarks of a dataset family
@@ -180,3 +186,18 @@ def format_report(result: AccuracyResult) -> str:
         f"Average accuracy difference with recovery: "
         f"{100.0 * result.average_loss_with_recovery:.3f}% (paper: 0.04%)"
     )
+
+
+@register_experiment
+class Table5Experiment(Experiment):
+    """Table 5 -- CapsNet accuracy with the PE's approximate arithmetic."""
+
+    name = "table5"
+    title = "Table 5 -- accuracy with the PE approximations"
+    slow = True
+
+    def run(self, context, benchmarks=None):
+        return run(benchmarks=benchmarks, context=context)
+
+    def format_report(self, result):
+        return format_report(result)

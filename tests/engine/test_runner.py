@@ -1,0 +1,90 @@
+"""Tests for the engine runner and the runner compatibility shim."""
+
+import pytest
+
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import experiment_names, get_experiment
+from repro.engine.runner import run_experiments, select_experiments
+from repro.experiments import runner
+
+
+def test_registry_order_matches_report_order():
+    assert experiment_names() == [
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "table5",
+        "overhead",
+    ]
+
+
+def test_get_experiment_unknown_name():
+    with pytest.raises(KeyError, match="valid names"):
+        get_experiment("fig99")
+
+
+def test_select_experiments_resolves_only_and_skip():
+    assert select_experiments(only=["fig07", "overhead"], skip=["fig07"]) == ["overhead"]
+    assert select_experiments(skip=experiment_names()) == []
+
+
+def test_run_all_unknown_only_raises_value_error():
+    with pytest.raises(ValueError, match="fig99"):
+        runner.run_all(only=["fig99"])
+
+
+def test_run_all_unknown_skip_raises_value_error():
+    with pytest.raises(ValueError, match="valid names"):
+        runner.run_all(skip=["not-an-experiment"])
+
+
+def test_run_all_only_selection():
+    result = runner.run_all(only=["overhead"])
+    assert set(result.results) == {"overhead"}
+    assert "overhead" in result.combined_report()
+
+
+def test_run_experiments_shares_one_context():
+    ctx = SimulationContext(max_workers=1)
+    result = run_experiments(
+        only=["fig15", "fig16"], benchmarks=["Caps-MN1"], context=ctx
+    )
+    assert set(result.results) == {"fig15", "fig16"}
+    assert result.context is ctx
+    # fig16 re-reads the baseline + PIM routing fig15 already simulated.
+    assert ctx.stats.hits > 0
+
+
+def test_parallel_runner_matches_serial_reports():
+    serial = run_experiments(
+        only=["fig15", "fig16", "fig17"],
+        benchmarks=["Caps-MN1", "Caps-SV1"],
+        max_workers=1,
+    )
+    parallel = run_experiments(
+        only=["fig15", "fig16", "fig17"],
+        benchmarks=["Caps-MN1", "Caps-SV1"],
+        max_workers=4,
+    )
+    assert serial.reports == parallel.reports
+    assert list(serial.reports) == ["fig15", "fig16", "fig17"]
+
+
+def test_runner_result_to_dict_contains_each_experiment():
+    result = run_experiments(only=["overhead"])
+    payload = result.to_dict()
+    assert set(payload) == {"overhead"}
+    assert payload["overhead"]["experiment"] == "overhead"
+    assert "data" in payload["overhead"]
+
+
+def test_legacy_experiments_table_matches_registry():
+    assert list(runner.EXPERIMENTS) == experiment_names()
+    run_fn, format_fn = runner.EXPERIMENTS["overhead"]
+    report = format_fn(run_fn())
+    assert "mm^2" in report

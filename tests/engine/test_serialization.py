@@ -1,0 +1,90 @@
+"""Tests for the structured (JSON) experiment output."""
+
+import json
+
+import pytest
+
+from repro.engine.context import SimulationContext
+from repro.engine.experiment import get_experiment
+from repro.engine.serialize import to_jsonable
+
+BENCHMARKS = ["Caps-MN1", "Caps-SV1"]
+
+
+@pytest.fixture(scope="module")
+def context():
+    return SimulationContext(max_workers=1)
+
+
+@pytest.fixture(scope="module")
+def fig15_payload(context):
+    experiment = get_experiment("fig15")
+    return experiment.to_dict(experiment.run(context, benchmarks=BENCHMARKS))
+
+
+@pytest.fixture(scope="module")
+def fig17_payload(context):
+    experiment = get_experiment("fig17")
+    return experiment.to_dict(experiment.run(context, benchmarks=BENCHMARKS))
+
+
+def test_fig15_schema(fig15_payload):
+    assert fig15_payload["experiment"] == "fig15"
+    assert fig15_payload["title"]
+    data = fig15_payload["data"]
+    assert set(data) == {
+        "rows",
+        "average_speedup",
+        "max_speedup",
+        "average_energy_saving",
+    }
+    assert [row["benchmark"] for row in data["rows"]] == BENCHMARKS
+    for row in data["rows"]:
+        assert set(row) == {"benchmark", "speedup", "normalized_energy", "chosen_dimension"}
+        # DesignPoint keys must be lowered to their string values.
+        assert set(row["speedup"]) == {"baseline", "gpu-icp", "pim-capsnet"}
+        assert row["speedup"]["baseline"] == pytest.approx(1.0)
+    assert data["average_speedup"] > 1.0
+
+
+def test_fig17_schema(fig17_payload):
+    data = fig17_payload["data"]
+    assert set(data) == {
+        "rows",
+        "average_speedup",
+        "max_speedup",
+        "average_energy_saving",
+        "average_all_in_pim_speedup",
+    }
+    for row in data["rows"]:
+        assert set(row["speedup"]) == {
+            "baseline",
+            "all-in-pim",
+            "rmas-pim",
+            "rmas-gpu",
+            "pim-capsnet",
+        }
+        assert set(row["normalized_energy"]) == set(row["speedup"])
+
+
+def test_payloads_are_json_serializable(fig15_payload, fig17_payload):
+    for payload in (fig15_payload, fig17_payload):
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+
+
+def test_to_jsonable_lowers_enum_and_tuple_keys(context):
+    experiment = get_experiment("fig18")
+    result = experiment.run(context, benchmarks=["Caps-MN1"])
+    data = experiment.to_dict(result)["data"]
+    # best_dimension is keyed by (benchmark, frequency) tuples.
+    assert all("/" in key for key in data["best_dimension"])
+    json.dumps(data)
+
+
+def test_to_jsonable_falls_back_to_str():
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    assert to_jsonable({("a", 1): Opaque()}) == {"a/1": "<opaque>"}

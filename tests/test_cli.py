@@ -47,3 +47,34 @@ def test_unknown_benchmark_rejected():
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["reproduce", "--only", "fig99"])
+
+
+def test_reproduce_json_format(capsys):
+    assert main(["reproduce", "--only", "overhead", "--format", "json"]) == 0
+    out = capsys.readouterr().out
+    import json
+
+    payload = json.loads(out)
+    assert set(payload) == {"overhead"}
+    assert payload["overhead"]["experiment"] == "overhead"
+    assert payload["overhead"]["data"]["total_area_mm2"] > 0
+
+
+def test_evaluate_json_format(capsys):
+    assert main(["evaluate", "--benchmarks", "Caps-MN1", "--format", "json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"fig15", "fig16", "fig17"}
+
+
+def test_output_writes_file(tmp_path, capsys):
+    target = tmp_path / "overhead.txt"
+    assert main(["reproduce", "--only", "overhead", "--output", str(target)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "mm^2" in target.read_text(encoding="utf-8")
+
+
+def test_serial_jobs_flag(capsys):
+    assert main(["evaluate", "--benchmarks", "Caps-MN1", "--jobs", "1"]) == 0
+    assert "Fig. 15" in capsys.readouterr().out

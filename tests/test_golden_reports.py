@@ -1,0 +1,48 @@
+"""Golden-report regression tests.
+
+``benchmarks/reports/`` stores the rendered report of every deterministic
+experiment as produced by the pre-engine code; the engine refactor (shared
+simulation context, strategy dispatch, concurrent execution) must keep
+``python -m repro reproduce`` byte-identical.  Table 5 is excluded: it
+trains networks, making it both slow and the only experiment whose golden
+output depends on training hyper-parameters.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine.runner import run_experiments
+
+REPORTS_DIR = Path(__file__).parent.parent / "benchmarks" / "reports"
+
+#: experiment name -> golden report file (deterministic experiments only).
+GOLDEN_REPORTS = {
+    "fig04": "fig04_layer_breakdown.txt",
+    "fig05": "fig05_stall_breakdown.txt",
+    "fig06": "fig06_onchip_storage.txt",
+    "fig07": "fig07_bandwidth.txt",
+    "fig15": "fig15_rp_speedup.txt",
+    "fig16": "fig16_pim_breakdown.txt",
+    "fig17": "fig17_overall.txt",
+    "fig18": "fig18_frequency.txt",
+    "overhead": "overhead_analysis.txt",
+}
+
+
+@pytest.fixture(scope="module")
+def reproduce_result():
+    """One shared (parallel) run of every deterministic experiment."""
+    return run_experiments(skip=["table5"])
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_REPORTS))
+def test_report_matches_golden_file(name, reproduce_result):
+    golden = (REPORTS_DIR / GOLDEN_REPORTS[name]).read_text(encoding="utf-8")
+    assert reproduce_result.reports[name] + "\n" == golden
+
+
+def test_combined_report_contains_every_section(reproduce_result):
+    combined = reproduce_result.combined_report()
+    for name in GOLDEN_REPORTS:
+        assert f"\n{name}\n" in combined
