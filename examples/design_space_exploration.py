@@ -1,14 +1,17 @@
-"""Design-space exploration of the in-memory accelerator.
+"""Design-space exploration of the in-memory accelerator via repro.api.
 
 The paper fixes the PIM configuration to 16 PEs per vault at 312.5 MHz; this
-example uses the same models to explore the neighbourhood of that design
-point for a chosen benchmark:
+example explores the neighbourhood of that design point for a chosen
+benchmark by deriving :class:`repro.api.Scenario` variants with dotted-path
+overrides -- no hand-built models:
 
 * how the routing speedup scales with PE frequency (and when the chosen
   distribution dimension flips, cf. Fig. 18),
 * how many PEs per vault are worth integrating,
 * whether each configuration still fits the HMC's thermal budget
-  (Sec. 6.5).
+  (Sec. 6.5),
+* a scenario comparison of the headline Fig. 15 metrics between the paper
+  default and the most aggressive variant (``repro compare`` in library form).
 
 Run with::
 
@@ -19,21 +22,27 @@ from __future__ import annotations
 
 import sys
 
-from repro import DesignPoint, PIMCapsNet
+from repro import DesignPoint
 from repro.analysis.tables import format_table
-from repro.hmc.config import HMCConfig
+from repro.api import Scenario, Session, compare_scenarios
 from repro.hmc.thermal import ThermalModel
 from repro.workloads.benchmarks import benchmark_names
+
+BASE = Scenario.default()
+
+
+def _variant(**overrides) -> Scenario:
+    return BASE.with_overrides({key.replace("__", "."): value for key, value in overrides.items()})
 
 
 def sweep_frequency(benchmark: str, frequencies=(312.5, 625.0, 937.5, 1250.0)) -> None:
     rows = []
     for frequency in frequencies:
-        hmc = HMCConfig().with_pe_frequency(frequency)
-        accelerator = PIMCapsNet(benchmark, hmc_config=hmc)
-        baseline = accelerator.simulate_routing(DesignPoint.BASELINE_GPU)
-        pim = accelerator.simulate_routing(DesignPoint.PIM_CAPSNET)
-        thermal = ThermalModel(config=hmc).check(frequency)
+        scenario = _variant(hmc__pe_frequency_mhz=frequency)
+        session = Session(scenario)
+        baseline = session.routing(benchmark, DesignPoint.BASELINE_GPU)
+        pim = session.routing(benchmark, DesignPoint.PIM_CAPSNET)
+        thermal = ThermalModel(config=scenario.hmc).check(frequency)
         rows.append(
             [
                 frequency,
@@ -56,11 +65,11 @@ def sweep_frequency(benchmark: str, frequencies=(312.5, 625.0, 937.5, 1250.0)) -
 def sweep_pe_count(benchmark: str, pe_counts=(4, 8, 16, 32)) -> None:
     rows = []
     for pes in pe_counts:
-        hmc = HMCConfig().with_pes_per_vault(pes)
-        accelerator = PIMCapsNet(benchmark, hmc_config=hmc)
-        baseline = accelerator.simulate_routing(DesignPoint.BASELINE_GPU)
-        pim = accelerator.simulate_routing(DesignPoint.PIM_CAPSNET)
-        thermal = ThermalModel(config=hmc).check()
+        scenario = _variant(hmc__pes_per_vault=pes)
+        session = Session(scenario)
+        baseline = session.routing(benchmark, DesignPoint.BASELINE_GPU)
+        pim = session.routing(benchmark, DesignPoint.PIM_CAPSNET)
+        thermal = ThermalModel(config=scenario.hmc).check()
         rows.append(
             [
                 pes,
@@ -80,13 +89,11 @@ def sweep_pe_count(benchmark: str, pe_counts=(4, 8, 16, 32)) -> None:
 
 
 def sweep_pipeline_depth(benchmark: str, depths=(1, 2, 4, 8, 16, 32)) -> None:
-    from repro.core.pipeline import PipelineModel
-
     rows = []
     for depth in depths:
-        accelerator = PIMCapsNet(benchmark, pipeline=PipelineModel(num_batches=depth))
-        baseline = accelerator.simulate_end_to_end(DesignPoint.BASELINE_GPU)
-        pim = accelerator.simulate_end_to_end(DesignPoint.PIM_CAPSNET)
+        session = Session(_variant(pipeline_batches=depth))
+        baseline = session.end_to_end(benchmark, DesignPoint.BASELINE_GPU)
+        pim = session.end_to_end(benchmark, DesignPoint.PIM_CAPSNET)
         rows.append([depth, pim.speedup_over(baseline), pim.energy_saving_over(baseline)])
     print(
         format_table(
@@ -97,6 +104,14 @@ def sweep_pipeline_depth(benchmark: str, depths=(1, 2, 4, 8, 16, 32)) -> None:
     )
 
 
+def compare_headline(benchmark: str) -> None:
+    fast = BASE.with_set(["hmc.pe_frequency_mhz=937.5", "hmc.pes_per_vault=32"])
+    comparison = compare_scenarios(
+        [BASE, fast], only=["fig15", "fig17"], benchmarks=[benchmark]
+    )
+    print(comparison.format_report())
+
+
 def main(benchmark: str = "Caps-MN1") -> None:
     print(f"== Design-space exploration for {benchmark} ==\n")
     sweep_frequency(benchmark)
@@ -104,6 +119,8 @@ def main(benchmark: str = "Caps-MN1") -> None:
     sweep_pe_count(benchmark)
     print()
     sweep_pipeline_depth(benchmark)
+    print()
+    compare_headline(benchmark)
 
 
 if __name__ == "__main__":

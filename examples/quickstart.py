@@ -1,10 +1,11 @@
-"""Quickstart: evaluate PIM-CapsNet on one Table-1 benchmark.
+"""Quickstart: evaluate PIM-CapsNet on one Table-1 benchmark via repro.api.
 
-Builds the hybrid GPU + HMC accelerator model for Caps-MN1 (the CapsNet-MNIST
-configuration with batch size 100), shows how the inter-vault distributor
-picks a parallelization dimension, and reports the routing-procedure and
-end-to-end speedups / energy savings over the GPU baseline -- the numbers
-behind Figs. 15 and 17 of the paper.
+Builds a :class:`repro.api.Session` for the paper-default hardware
+:class:`repro.api.Scenario`, shows how the inter-vault distributor picks a
+parallelization dimension, and reports the routing-procedure and end-to-end
+speedups / energy savings over the GPU baseline -- the numbers behind
+Figs. 15 and 17 of the paper.  Every simulation goes through the session's
+cached context, so re-running a comparison is free.
 
 Run with::
 
@@ -15,15 +16,19 @@ from __future__ import annotations
 
 import sys
 
-from repro import DesignPoint, PIMCapsNet
+from repro import DesignPoint
 from repro.analysis.tables import format_table
+from repro.api import Scenario, Session
 from repro.workloads.benchmarks import benchmark_names
 from repro.workloads.parallelism import Dimension
 
 
 def main(benchmark: str = "Caps-MN1") -> None:
-    accelerator = PIMCapsNet(benchmark)
-    print(f"== PIM-CapsNet quickstart: {accelerator.benchmark.describe()} ==\n")
+    scenario = Scenario.default()
+    session = Session(scenario)
+    accelerator = session.model(benchmark)
+    print(f"== PIM-CapsNet quickstart: {accelerator.benchmark.describe()} ==")
+    print(f"== scenario: {scenario.describe()} ==\n")
 
     # ---- how the inter-vault distributor decides -----------------------------
     distributor = accelerator.distributor
@@ -50,7 +55,14 @@ def main(benchmark: str = "Caps-MN1") -> None:
     print(f"Selected dimension: {distributor.best_dimension().value}\n")
 
     # ---- routing procedure (Fig. 15) -----------------------------------------
-    routing = accelerator.compare_routing()
+    routing_designs = [
+        DesignPoint.BASELINE_GPU,
+        DesignPoint.GPU_ICP,
+        DesignPoint.PIM_INTRA,
+        DesignPoint.PIM_INTER,
+        DesignPoint.PIM_CAPSNET,
+    ]
+    routing = {design: session.routing(benchmark, design) for design in routing_designs}
     baseline = routing[DesignPoint.BASELINE_GPU]
     rows = [
         [
@@ -71,7 +83,14 @@ def main(benchmark: str = "Caps-MN1") -> None:
     )
 
     # ---- end to end (Fig. 17) --------------------------------------------------
-    end_to_end = accelerator.compare_end_to_end()
+    e2e_designs = [
+        DesignPoint.BASELINE_GPU,
+        DesignPoint.ALL_IN_PIM,
+        DesignPoint.RMAS_PIM,
+        DesignPoint.RMAS_GPU,
+        DesignPoint.PIM_CAPSNET,
+    ]
+    end_to_end = {design: session.end_to_end(benchmark, design) for design in e2e_designs}
     baseline_e2e = end_to_end[DesignPoint.BASELINE_GPU]
     rows = [
         [
@@ -88,9 +107,14 @@ def main(benchmark: str = "Caps-MN1") -> None:
         format_table(
             ["Design", "total time (ms)", "speedup", "energy (J)", "energy saving"],
             rows,
-            title=f"End-to-end inference, {accelerator.pipeline.num_batches} pipelined batch groups (Fig. 17)",
+            title=f"End-to-end inference, {scenario.pipeline_batches} pipelined batch groups (Fig. 17)",
         )
     )
+
+    # ---- the full Fig. 15 experiment, restricted to this benchmark ------------
+    print()
+    result = session.run(["fig15"], benchmarks=[benchmark])
+    print(result.reports["fig15"])
 
 
 if __name__ == "__main__":

@@ -18,14 +18,21 @@ Networks Processing Through A PIM-Based Architecture Design"* (HPCA 2020):
   strategies, the memoizing simulation context and the concurrent runner.
 * :mod:`repro.experiments`-- drivers reproducing every evaluation figure and
   table of the paper.
+* :mod:`repro.api`        -- the stable public API: typed hardware
+  :class:`~repro.api.Scenario` configurations, the :class:`~repro.api.Session`
+  facade and :func:`~repro.api.compare_scenarios`.
 """
 
+from repro.api import Scenario, Session, compare_scenarios
 from repro.core.accelerator import DesignPoint, PIMCapsNet
 from repro.workloads.benchmarks import BENCHMARKS, BenchmarkConfig, get_benchmark
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "Scenario",
+    "Session",
+    "compare_scenarios",
     "DesignPoint",
     "PIMCapsNet",
     "BENCHMARKS",

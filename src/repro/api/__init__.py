@@ -1,0 +1,49 @@
+"""Stable public API of the PIM-CapsNet reproduction.
+
+Everything a library consumer needs lives here:
+
+* :class:`Scenario` -- a frozen, validated hardware + evaluation-slice
+  configuration with JSON loading, named presets and dotted-path overrides.
+* :class:`Session` -- runs experiments under one scenario with full
+  simulation reuse, returning typed results / rendered reports / JSON.
+* :func:`compare_scenarios` -- the engine behind ``repro compare``: the same
+  experiment selection under N scenarios, aligned into a delta table.
+
+Quickstart::
+
+    from repro.api import Scenario, Session, compare_scenarios
+
+    base = Scenario.preset("paper-default")
+    fast = base.with_set(["hmc.pe_frequency_mhz=625"])
+
+    print(Session(base).report(["fig15"]))
+    print(compare_scenarios([base, fast], only=["fig15"]).format_report())
+"""
+
+from repro.api.scenario import (
+    PRESETS,
+    Scenario,
+    override_keys,
+    preset_names,
+)
+from repro.api.session import (
+    MetricDelta,
+    ScenarioComparison,
+    Session,
+    SessionResult,
+    compare_scenarios,
+    headline_metrics,
+)
+
+__all__ = [
+    "PRESETS",
+    "Scenario",
+    "Session",
+    "SessionResult",
+    "ScenarioComparison",
+    "MetricDelta",
+    "compare_scenarios",
+    "headline_metrics",
+    "override_keys",
+    "preset_names",
+]

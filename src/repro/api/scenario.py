@@ -1,0 +1,447 @@
+"""Typed hardware scenarios: the unit of configuration of the public API.
+
+A :class:`Scenario` bundles everything that defines *which hardware* (and
+which slice of the evaluation) an experiment run simulates:
+
+* the HMC configuration (:class:`~repro.hmc.config.HMCConfig`, Table 4),
+* the host GPU and its cost-model calibration
+  (:class:`~repro.gpu.devices.GPUDevice`,
+  :class:`~repro.gpu.kernels.GPUCostParameters`),
+* the pipeline depth and RMAS queue depth of the end-to-end model,
+* an optional benchmark selection (Table 1 names) and an optional
+  design-point selection for the evaluation figures.
+
+Scenarios are frozen, validated and hashable, so they key result caches
+directly.  They serialize to/from plain JSON (:meth:`Scenario.to_dict`,
+:meth:`Scenario.from_dict`, :meth:`Scenario.from_file`), ship with named
+presets (:data:`PRESETS`, e.g. ``paper-default``) and support dotted-path
+overrides::
+
+    scenario = Scenario.preset("paper-default").with_overrides(
+        {"hmc.pe_frequency_mhz": 625.0, "gpu": "V100"}
+    )
+    scenario = scenario.with_set(["pipeline_batches=16"])   # CLI-style KEY=VALUE
+
+The **invariant** of the whole scenario layer is that the default scenario
+(``Scenario()`` == ``Scenario.preset("paper-default")``) reproduces the
+golden reports in ``benchmarks/reports/`` byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.pipeline import PipelineModel
+from repro.gpu.devices import GPU_DEVICES, GPUDevice, baseline_device, get_device
+from repro.gpu.kernels import GPUCostParameters
+from repro.hmc.config import HMCConfig
+from repro.workloads.benchmarks import benchmark_names
+from repro.workloads.parallelism import Dimension
+
+#: Default pipeline depth (batch groups) of :class:`~repro.core.pipeline.PipelineModel`.
+DEFAULT_PIPELINE_BATCHES = 8
+#: Default average PE queue depth seen by the RMAS.
+DEFAULT_RMAS_QUEUE_DEPTH = 8.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One hardware + evaluation-slice configuration (frozen, hashable).
+
+    Attributes:
+        name: label used in reports, comparisons and cache directories.
+        hmc: Hybrid Memory Cube configuration (paper Table 4 by default).
+        gpu: host GPU device (the paper's P100 baseline by default).
+        gpu_params: GPU cost-model calibration constants.
+        pipeline_batches: batch groups in the evaluated stream (Sec. 4).
+        rmas_queue_depth: average PE queue depth ``Q`` seen by the RMAS.
+        benchmarks: restrict runs to these Table-1 benchmarks (``None`` = all).
+        designs: design-point selection for the evaluation figures
+            (Figs. 15/17); ``None`` keeps each figure's paper defaults.  The
+            GPU baseline is always evaluated (it normalizes the bars).
+    """
+
+    name: str = "paper-default"
+    hmc: HMCConfig = field(default_factory=HMCConfig)
+    gpu: GPUDevice = field(default_factory=baseline_device)
+    gpu_params: GPUCostParameters = field(default_factory=GPUCostParameters)
+    pipeline_batches: int = DEFAULT_PIPELINE_BATCHES
+    rmas_queue_depth: float = DEFAULT_RMAS_QUEUE_DEPTH
+    benchmarks: Optional[Tuple[str, ...]] = None
+    designs: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not str(self.name).strip():
+            raise ValueError("scenario name must be a non-empty string")
+        if not isinstance(self.hmc, HMCConfig):
+            raise ValueError("hmc must be an HMCConfig")
+        if not isinstance(self.gpu, GPUDevice):
+            raise ValueError("gpu must be a GPUDevice")
+        if not isinstance(self.gpu_params, GPUCostParameters):
+            raise ValueError("gpu_params must be a GPUCostParameters")
+        if not isinstance(self.pipeline_batches, int):
+            batches = float(self.pipeline_batches)
+            if not batches.is_integer():
+                raise ValueError("pipeline_batches must be an integer")
+            object.__setattr__(self, "pipeline_batches", int(batches))
+        if self.pipeline_batches < 1:
+            raise ValueError("pipeline_batches must be >= 1")
+        if float(self.rmas_queue_depth) <= 0:
+            raise ValueError("rmas_queue_depth must be positive")
+        for attr in ("benchmarks", "designs"):
+            value = getattr(self, attr)
+            if value is not None:
+                if not value:
+                    raise ValueError(f"{attr} must be None or a non-empty selection")
+                object.__setattr__(self, attr, tuple(str(item) for item in value))
+        if self.benchmarks is not None:
+            known = set(benchmark_names())
+            unknown = [name for name in self.benchmarks if name not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown benchmark(s) {unknown}; choose from {sorted(known)}"
+                )
+        if self.designs is not None:
+            # Custom strategies must be registered before the scenario is
+            # built; typos then fail here instead of mid-run.
+            from repro.engine.strategies import strategy_names
+
+            known_designs = set(strategy_names())
+            unknown = [design for design in self.designs if design not in known_designs]
+            if unknown:
+                raise ValueError(
+                    f"unknown design point(s) {unknown}; "
+                    f"registered design points: {sorted(known_designs)}"
+                )
+
+    # ------------------------------------------------------------- constructors
+
+    @classmethod
+    def default(cls) -> "Scenario":
+        """The paper's configuration (reproduces the golden reports)."""
+        return cls()
+
+    @classmethod
+    def preset(cls, name: str) -> "Scenario":
+        """Look up a named preset scenario."""
+        try:
+            return PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario preset {name!r}; presets: {preset_names()}"
+            ) from None
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Build a scenario from a (possibly partial) plain dictionary.
+
+        Missing keys keep their paper defaults; unknown keys raise
+        :class:`ValueError`.  ``gpu`` accepts either a catalog name
+        (``"V100"``) or a partial attribute dictionary applied on top of the
+        baseline device.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"scenario data must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario key(s) {unknown}; valid keys: {sorted(known)}"
+            )
+        default = cls()
+        kwargs: Dict[str, object] = {}
+        if "name" in data:
+            kwargs["name"] = str(data["name"])
+        if "hmc" in data:
+            kwargs["hmc"] = _nested_from(default.hmc, data["hmc"], "hmc")
+        if "gpu" in data:
+            gpu = data["gpu"]
+            if isinstance(gpu, str):
+                try:
+                    kwargs["gpu"] = get_device(gpu)
+                except KeyError as error:
+                    raise ValueError(str(error)) from None
+            else:
+                kwargs["gpu"] = _nested_from(default.gpu, gpu, "gpu")
+        if "gpu_params" in data:
+            kwargs["gpu_params"] = _nested_from(default.gpu_params, data["gpu_params"], "gpu_params")
+        for scalar in ("pipeline_batches", "rmas_queue_depth"):
+            if scalar in data:
+                kwargs[scalar] = _coerce(data[scalar], getattr(default, scalar), scalar)
+        for selection in ("benchmarks", "designs"):
+            if selection in data and data[selection] is not None:
+                value = data[selection]
+                if isinstance(value, str):
+                    value = _split_csv(value)
+                kwargs[selection] = tuple(str(item) for item in value)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Scenario":
+        """Load a scenario from a JSON file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ValueError(f"cannot read scenario file {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ValueError(f"invalid JSON in scenario file {path}: {error}") from None
+        scenario = cls.from_dict(data)
+        if "name" not in data:
+            scenario = dataclasses.replace(scenario, name=path.stem)
+        return scenario
+
+    @classmethod
+    def load(cls, spec: str) -> "Scenario":
+        """Resolve a CLI scenario spec: a preset name or a JSON file path."""
+        if spec in PRESETS:
+            return PRESETS[spec]
+        path = Path(spec)
+        if path.exists():
+            return cls.from_file(path)
+        raise ValueError(
+            f"unknown scenario {spec!r}: not a preset ({preset_names()}) "
+            f"and no such file"
+        )
+
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain (JSON-ready) dictionary round-tripping through :meth:`from_dict`."""
+        gpu = dataclasses.asdict(self.gpu)
+        gpu["memory_technology"] = self.gpu.memory_technology.value
+        return {
+            "name": self.name,
+            "hmc": dataclasses.asdict(self.hmc),
+            "gpu": gpu,
+            "gpu_params": dataclasses.asdict(self.gpu_params),
+            "pipeline_batches": self.pipeline_batches,
+            "rmas_queue_depth": self.rmas_queue_depth,
+            "benchmarks": list(self.benchmarks) if self.benchmarks is not None else None,
+            "designs": list(self.designs) if self.designs is not None else None,
+        }
+
+    def to_file(self, path: Union[str, Path]) -> None:
+        """Write the scenario as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    # ---------------------------------------------------------------- overrides
+
+    def with_overrides(self, overrides: Mapping[str, object]) -> "Scenario":
+        """Apply dotted-path overrides (``{"hmc.pe_frequency_mhz": 625}``).
+
+        Values may be strings (coerced to the target field's type) or already
+        typed.  Unknown keys raise :class:`ValueError` listing the valid ones.
+        """
+        scenario = self
+        for key, raw in overrides.items():
+            scenario = scenario._apply_override(str(key), raw)
+        return scenario
+
+    def with_set(self, assignments: Iterable[str]) -> "Scenario":
+        """Apply CLI-style ``KEY=VALUE`` overrides (the ``--set`` option).
+
+        Unless ``name`` itself is assigned, the result is renamed to
+        ``<name>+<assignments>`` so compared scenarios stay distinguishable.
+        """
+        pairs: List[Tuple[str, str]] = []
+        for assignment in assignments:
+            key, sep, raw = str(assignment).partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    f"invalid override {assignment!r}; expected KEY=VALUE "
+                    f"(e.g. hmc.pe_frequency_mhz=625)"
+                )
+            pairs.append((key.strip(), raw.strip()))
+        scenario = self
+        for key, raw in pairs:
+            scenario = scenario._apply_override(key, raw)
+        if pairs and not any(key == "name" for key, _ in pairs):
+            suffix = ",".join(f"{key}={raw}" for key, raw in pairs)
+            scenario = dataclasses.replace(scenario, name=f"{self.name}+{suffix}")
+        return scenario
+
+    def _apply_override(self, key: str, raw: object) -> "Scenario":
+        head, _, rest = key.partition(".")
+        top = {f.name for f in dataclasses.fields(type(self))}
+        if head not in top:
+            raise ValueError(
+                f"unknown scenario key {key!r}; valid keys: {override_keys()}"
+            )
+        if rest:
+            sub = getattr(self, head)
+            if not dataclasses.is_dataclass(sub):
+                raise ValueError(f"scenario key {head!r} has no nested fields")
+            if "." in rest:
+                raise ValueError(f"scenario key {key!r} nests too deep")
+            sub_fields = {f.name for f in dataclasses.fields(type(sub))}
+            if rest not in sub_fields:
+                raise ValueError(
+                    f"unknown scenario key {key!r}; valid keys: {override_keys()}"
+                )
+            value = _coerce(raw, getattr(sub, rest), key)
+            return dataclasses.replace(self, **{head: dataclasses.replace(sub, **{rest: value})})
+        if head == "gpu":
+            if isinstance(raw, str):
+                try:
+                    return dataclasses.replace(self, gpu=get_device(raw))
+                except KeyError as error:
+                    raise ValueError(str(error)) from None
+            if isinstance(raw, GPUDevice):
+                return dataclasses.replace(self, gpu=raw)
+            raise ValueError(f"gpu must name a catalog device ({sorted(GPU_DEVICES)})")
+        if head in ("hmc", "gpu_params"):
+            if not isinstance(raw, type(getattr(self, head))):
+                raise ValueError(
+                    f"{head} cannot be assigned directly from {type(raw).__name__}; "
+                    f"override its fields (e.g. {head}.<field>=<value>)"
+                )
+            return dataclasses.replace(self, **{head: raw})
+        if head in ("benchmarks", "designs"):
+            value = _split_csv(raw) if isinstance(raw, str) else tuple(raw)  # type: ignore[arg-type]
+            return dataclasses.replace(self, **{head: value})
+        value = _coerce(raw, getattr(self, head), key)
+        return dataclasses.replace(self, **{head: value})
+
+    # ------------------------------------------------------------- model wiring
+
+    def model_kwargs(
+        self,
+        pe_frequency_mhz: Optional[float] = None,
+        force_dimension: Optional[Dimension] = None,
+    ) -> Dict[str, object]:
+        """Constructor kwargs for :class:`~repro.core.accelerator.PIMCapsNet`.
+
+        Only parameters deviating from the paper default are passed, so the
+        default scenario constructs ``PIMCapsNet(benchmark)`` exactly as the
+        pre-scenario engine did (golden-report invariant) and keeps simple
+        test stub factories working.
+        """
+        default = _PAPER_DEFAULT
+        kwargs: Dict[str, object] = {}
+        if pe_frequency_mhz is not None:
+            kwargs["hmc_config"] = self.hmc.with_pe_frequency(pe_frequency_mhz)
+        elif self.hmc != default.hmc:
+            kwargs["hmc_config"] = self.hmc
+        if self.gpu != default.gpu:
+            kwargs["gpu_device"] = self.gpu
+        if self.gpu_params != default.gpu_params:
+            kwargs["gpu_params"] = self.gpu_params
+        if self.pipeline_batches != default.pipeline_batches:
+            kwargs["pipeline"] = PipelineModel(num_batches=self.pipeline_batches)
+        if self.rmas_queue_depth != default.rmas_queue_depth:
+            kwargs["rmas_queue_depth"] = self.rmas_queue_depth
+        if force_dimension is not None:
+            kwargs["force_dimension"] = force_dimension
+        return kwargs
+
+    def benchmark_selection(self) -> Optional[List[str]]:
+        """The benchmark restriction as a list (``None`` = all of Table 1)."""
+        return list(self.benchmarks) if self.benchmarks is not None else None
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.name}: {self.gpu.name} host, "
+            f"{self.hmc.num_vaults}x{self.hmc.pes_per_vault} PEs @ "
+            f"{self.hmc.pe_frequency_mhz:g} MHz"
+        )
+
+
+def _split_csv(text: str) -> Tuple[str, ...]:
+    return tuple(part.strip() for part in str(text).split(",") if part.strip())
+
+
+def _coerce(raw: object, current: object, key: str) -> object:
+    """Coerce an override value to the type of the field it replaces."""
+    if not isinstance(raw, str):
+        if isinstance(current, bool) or isinstance(raw, bool):
+            return raw
+        if isinstance(current, float) and isinstance(raw, int):
+            return float(raw)
+        if isinstance(current, int) and isinstance(raw, float):
+            if raw.is_integer():
+                return int(raw)
+            raise ValueError(f"invalid value for {key!r}: expected an integer, got {raw}")
+        return raw
+    text = raw.strip()
+    try:
+        if isinstance(current, bool):
+            lowered = text.lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"expected a boolean, got {text!r}")
+        if isinstance(current, Enum):
+            return type(current)(text)
+        if isinstance(current, int):
+            return int(text)
+        if isinstance(current, float):
+            return float(text)
+        if isinstance(current, str) or current is None:
+            return text
+        if isinstance(current, tuple):
+            return _split_csv(text)
+    except ValueError as error:
+        raise ValueError(f"invalid value for {key!r}: {error}") from None
+    raise ValueError(f"cannot coerce a value for scenario key {key!r}")
+
+
+def _nested_from(default_value, data: object, label: str):
+    """A nested config dataclass from a partial attribute dictionary."""
+    if isinstance(data, type(default_value)):
+        return data
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"scenario key {label!r} must be a mapping of field overrides, "
+            f"got {type(data).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(type(default_value))}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {label} key(s) {unknown}; valid keys: {sorted(known)}"
+        )
+    coerced = {
+        key: _coerce(value, getattr(default_value, key), f"{label}.{key}")
+        for key, value in data.items()
+    }
+    return dataclasses.replace(default_value, **coerced)
+
+
+def override_keys() -> List[str]:
+    """Every valid dotted override key (for error messages and docs)."""
+    keys: List[str] = []
+    for f in dataclasses.fields(Scenario):
+        keys.append(f.name)
+        default = getattr(_PAPER_DEFAULT, f.name)
+        if dataclasses.is_dataclass(default):
+            keys.extend(f"{f.name}.{sub.name}" for sub in dataclasses.fields(type(default)))
+    return keys
+
+
+#: The paper's configuration, used as the deviation reference by
+#: :meth:`Scenario.model_kwargs` (constructed once, after the class exists).
+_PAPER_DEFAULT = Scenario()
+
+#: Named scenario presets selectable via ``--scenario NAME``.
+PRESETS: Dict[str, Scenario] = {
+    "paper-default": _PAPER_DEFAULT,
+    "hmc-625mhz": Scenario(name="hmc-625mhz", hmc=HMCConfig().with_pe_frequency(625.0)),
+    "hmc-8pe": Scenario(name="hmc-8pe", hmc=HMCConfig().with_pes_per_vault(8)),
+    "v100-host": Scenario(name="v100-host", gpu=GPU_DEVICES["V100"]),
+    "deep-pipeline": Scenario(name="deep-pipeline", pipeline_batches=32),
+}
+
+
+def preset_names() -> List[str]:
+    """Names of the built-in scenario presets."""
+    return sorted(PRESETS)

@@ -1,30 +1,43 @@
 """Command line interface for the PIM-CapsNet reproduction.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro characterize [--benchmarks ...]      # Figs. 4-7 (GPU bottleneck)
     python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
-    python -m repro sweep [--benchmark NAME]             # Fig. 18 (frequency sweep)
+    python -m repro sweep [--benchmarks ...]             # Fig. 18 (frequency sweep)
     python -m repro reproduce [--skip ...] [--only ...]  # everything via the engine
+    python -m repro compare --scenario A --scenario B    # N scenarios side by side
 
 Every command prints the same plain-text tables the benchmark harness writes
 to ``benchmarks/reports/`` by default; ``--format json`` emits the
 experiments' structured ``to_dict()`` output instead, and ``--output PATH``
-writes either format to a file.  ``reproduce`` shares one simulation context
-across all experiments (identical simulations run once) and executes
-independent experiments concurrently; ``--jobs 1`` forces a serial run.
+writes either format to a file.
+
+Every command also accepts a hardware scenario: ``--scenario PATH|PRESET``
+loads a preset (``paper-default``, ``v100-host``, ...) or a JSON scenario
+file, and repeatable ``--set KEY=VALUE`` options apply dotted-path overrides
+(``--set hmc.pe_frequency_mhz=625 --set gpu=V100``).  ``compare`` runs the
+selected experiments under several scenarios concurrently (one cached
+simulation context each) and renders a side-by-side delta table; with a
+single ``--scenario`` plus ``--set`` it compares the base scenario against
+the overridden variant.
+
+``reproduce`` shares one simulation context across all experiments
+(identical simulations run once) and executes independent experiments
+concurrently; ``--jobs 1`` forces a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.api.scenario import Scenario, preset_names
 from repro.engine.context import SimulationContext
-from repro.engine.experiment import experiment_names
-from repro.engine.runner import run_experiments
+from repro.engine.runner import run_experiments, select_experiments
 from repro.workloads.benchmarks import benchmark_names
 
 #: Experiments run by the `characterize` / `evaluate` groups, in report order.
@@ -40,6 +53,32 @@ def _validate_benchmarks(names: Optional[List[str]]) -> Optional[List[str]]:
     if unknown:
         raise SystemExit(f"unknown benchmark(s) {unknown}; choose from {sorted(known)}")
     return names
+
+
+def _validate_experiments(
+    only: Optional[List[str]], skip: Optional[List[str]] = None
+) -> None:
+    """Resolve ``--only``/``--skip`` against the registry, after parsing.
+
+    Validation happens here -- not via parser ``choices`` -- so building the
+    parser never imports the experiment modules, and experiments registered
+    by user code before :func:`main` pass validation too.
+    """
+    try:
+        select_experiments(only=only, skip=skip)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Build the scenario selected by ``--scenario`` / ``--set``."""
+    try:
+        scenario = Scenario.load(args.scenario) if args.scenario else Scenario.default()
+        if args.set:
+            scenario = scenario.with_set(args.set)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    return scenario
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -68,7 +107,8 @@ def _run_and_emit(
     separators); otherwise reports are joined with a blank line, preserving
     the classic `characterize`/`evaluate` layout byte-for-byte.
     """
-    context = SimulationContext(max_workers=args.jobs)
+    scenario = _scenario_from_args(args)
+    context = SimulationContext(max_workers=args.jobs, scenario=scenario)
     result = run_experiments(only=only, skip=skip, benchmarks=benchmarks, context=context)
     if args.format == "json":
         text = json.dumps(result.to_dict(), indent=2)
@@ -91,12 +131,57 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    benchmarks = _validate_benchmarks([args.benchmark] if args.benchmark else None)
+    selected = list(args.benchmarks or [])
+    if args.benchmark:
+        print(
+            "warning: --benchmark is deprecated; use --benchmarks instead",
+            file=sys.stderr,
+        )
+        selected.append(args.benchmark)
+    benchmarks = _validate_benchmarks(selected)
     return _run_and_emit(args, only=["fig18"], benchmarks=benchmarks)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    _validate_experiments(only=args.only, skip=args.skip)
     return _run_and_emit(args, only=args.only, skip=args.skip, combined=True)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    # Imported here: compare is the only subcommand needing the session layer.
+    from repro.api.session import compare_scenarios
+
+    _validate_experiments(only=args.only, skip=args.skip)
+    benchmarks = _validate_benchmarks(args.benchmarks)
+    try:
+        bases = [Scenario.load(spec) for spec in (args.scenario or ["paper-default"])]
+        if args.set:
+            variants = [base.with_set(args.set) for base in bases]
+            # One base + overrides compares base vs. variant; several bases
+            # compare the uniformly-overridden variants.
+            scenarios = [bases[0]] + variants if len(bases) == 1 else variants
+        else:
+            scenarios = bases
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if len(scenarios) < 2:
+        raise SystemExit(
+            "compare needs at least two scenarios: repeat --scenario, or add "
+            "--set KEY=VALUE to compare a scenario against its overridden variant"
+        )
+    comparison = compare_scenarios(
+        scenarios,
+        only=args.only,
+        skip=args.skip or None,
+        benchmarks=benchmarks,
+        jobs=args.jobs,
+    )
+    if args.format == "json":
+        text = json.dumps(comparison.to_dict(), indent=2)
+    else:
+        text = comparison.format_report()
+    _emit(text, args.output)
+    return 0
 
 
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
@@ -121,8 +206,48 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scenario_options(parser: argparse.ArgumentParser, repeatable: bool = False) -> None:
+    if repeatable:
+        parser.add_argument(
+            "--scenario",
+            action="append",
+            default=None,
+            metavar="PATH|PRESET",
+            help=(
+                "hardware scenario to compare (repeatable): a preset "
+                f"({', '.join(preset_names())}) or a JSON scenario file"
+            ),
+        )
+    else:
+        parser.add_argument(
+            "--scenario",
+            default=None,
+            metavar="PATH|PRESET",
+            help=(
+                "hardware scenario: a preset "
+                f"({', '.join(preset_names())}) or a JSON scenario file "
+                "(paper-default when omitted)"
+            ),
+        )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help=(
+            "dotted-path scenario override, repeatable "
+            "(e.g. --set hmc.pe_frequency_mhz=625 --set gpu=V100)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the CLI argument parser.
+
+    Building the parser is side-effect free: experiment names are validated
+    against the registry only after parsing, so startup never imports the
+    experiment modules.
+    """
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -130,24 +255,43 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="GPU characterization (Figs. 4-7)"
     )
     characterize.add_argument("--benchmarks", nargs="*", default=None)
+    _add_scenario_options(characterize)
     _add_output_options(characterize)
     characterize.set_defaults(func=_cmd_characterize)
 
     evaluate = subparsers.add_parser("evaluate", help="PIM-CapsNet evaluation (Figs. 15-17)")
     evaluate.add_argument("--benchmarks", nargs="*", default=None)
+    _add_scenario_options(evaluate)
     _add_output_options(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     sweep = subparsers.add_parser("sweep", help="PE frequency sweep (Fig. 18)")
-    sweep.add_argument("--benchmark", default=None)
+    sweep.add_argument("--benchmarks", nargs="*", default=None)
+    sweep.add_argument(
+        "--benchmark",
+        default=None,
+        help="deprecated alias of --benchmarks (single name)",
+    )
+    _add_scenario_options(sweep)
     _add_output_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     reproduce = subparsers.add_parser("reproduce", help="run every experiment")
-    reproduce.add_argument("--skip", nargs="*", default=[], choices=experiment_names())
-    reproduce.add_argument("--only", nargs="*", default=None, choices=experiment_names())
+    reproduce.add_argument("--skip", nargs="*", default=[])
+    reproduce.add_argument("--only", nargs="*", default=None)
+    _add_scenario_options(reproduce)
     _add_output_options(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    compare = subparsers.add_parser(
+        "compare", help="run the suite under N scenarios and diff the results"
+    )
+    compare.add_argument("--skip", nargs="*", default=[])
+    compare.add_argument("--only", nargs="*", default=None)
+    compare.add_argument("--benchmarks", nargs="*", default=None)
+    _add_scenario_options(compare, repeatable=True)
+    _add_output_options(compare)
+    compare.set_defaults(func=_cmd_compare)
 
     return parser
 

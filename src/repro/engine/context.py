@@ -8,6 +8,12 @@ PIM-CapsNet routing numbers, for example) never pay for the same simulation
 twice.  It also carries the engine's thread pool: :meth:`SimulationContext.map`
 runs a per-item function concurrently while preserving input order, which
 keeps reports deterministic.
+
+Every context simulates exactly one hardware
+:class:`~repro.api.scenario.Scenario` (the paper default when none is
+given): the scenario supplies the HMC configuration, the host GPU and its
+cost model, and the pipeline/RMAS parameters of every model the context
+builds, so experiments never assume hardware defaults themselves.
 """
 
 from __future__ import annotations
@@ -17,13 +23,15 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
 
 from repro.core.accelerator import EndToEndComparison, PIMCapsNet, RoutingComparison
 from repro.engine.strategies import DesignLike, design_key
-from repro.hmc.config import HMCConfig
-from repro.workloads.benchmarks import BenchmarkConfig, get_benchmark
+from repro.workloads.benchmarks import BenchmarkConfig, benchmark_names, get_benchmark
 from repro.workloads.parallelism import Dimension
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.scenario import Scenario
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -65,13 +73,22 @@ class SimulationContext:
             substitute a stub).
         max_workers: thread-pool width used by :meth:`map`; ``1`` disables
             concurrency entirely, ``None`` picks a bounded CPU count.
+        scenario: hardware scenario every model is built from (the paper
+            default when ``None``).
     """
 
     def __init__(
         self,
         model_factory: Optional[Callable[..., PIMCapsNet]] = None,
         max_workers: Optional[int] = None,
+        scenario: Optional["Scenario"] = None,
     ) -> None:
+        if scenario is None:
+            # Imported lazily: repro.api.session imports this module at load time.
+            from repro.api.scenario import Scenario
+
+            scenario = Scenario.default()
+        self.scenario = scenario
         self._factory = model_factory or PIMCapsNet
         self.max_workers = default_worker_count() if max_workers is None else max(1, max_workers)
         self._lock = threading.RLock()
@@ -104,11 +121,12 @@ class SimulationContext:
                 self.model_stats.hits += 1
                 return model
             self.model_stats.misses += 1
-            kwargs: Dict[str, object] = {}
-            if pe_frequency_mhz is not None:
-                kwargs["hmc_config"] = HMCConfig().with_pe_frequency(pe_frequency_mhz)
-            if force_dimension is not None:
-                kwargs["force_dimension"] = force_dimension
+            # The scenario supplies the hardware; under the default scenario
+            # this degenerates to the bare pre-scenario constructor call (the
+            # golden-report invariant, and what stub factories expect).
+            kwargs = self.scenario.model_kwargs(
+                pe_frequency_mhz=pe_frequency_mhz, force_dimension=force_dimension
+            )
             model = self._factory(benchmark, **kwargs)
             self._models[key] = model
             return model
@@ -117,6 +135,18 @@ class SimulationContext:
         """Every model instantiated so far."""
         with self._lock:
             return list(self._models.values())
+
+    def select_benchmarks(self, benchmarks: Optional[List[str]] = None) -> List[str]:
+        """Resolve the evaluated benchmarks for one experiment run.
+
+        An explicit (non-empty) argument wins, then the scenario's own
+        selection, then all of Table 1 -- the single fallback chain every
+        experiment module shares.
+        """
+        if benchmarks:
+            return list(benchmarks)
+        selection = self.scenario.benchmark_selection()
+        return selection if selection else benchmark_names()
 
     @staticmethod
     def _model_key(

@@ -78,7 +78,14 @@ class Experiment:
     slow: bool = False
 
     def run(self, context: SimulationContext, benchmarks: Optional[List[str]] = None):
-        """Compute the structured result object."""
+        """Compute the structured result object.
+
+        ``context`` carries the hardware :class:`~repro.api.scenario.Scenario`
+        (``context.scenario``) every simulation must be built from --
+        experiments must not assume default hardware themselves.
+        ``benchmarks`` (already defaulted from the scenario by the runner)
+        restricts the Table-1 benchmarks evaluated.
+        """
         raise NotImplementedError
 
     def format_report(self, result) -> str:
@@ -93,9 +100,16 @@ class Experiment:
             "data": to_jsonable(result),
         }
 
-    def run_standalone(self, benchmarks: Optional[List[str]] = None):
-        """Run with a private, serial context (library convenience)."""
-        return self.run(SimulationContext(max_workers=1), benchmarks=benchmarks)
+    def run_standalone(self, benchmarks: Optional[List[str]] = None, scenario=None):
+        """Run with a private, serial context (library convenience).
+
+        ``scenario`` optionally picks the hardware
+        :class:`~repro.api.scenario.Scenario` (paper default otherwise).
+        """
+        context = SimulationContext(max_workers=1, scenario=scenario)
+        if benchmarks is None:
+            benchmarks = context.scenario.benchmark_selection()
+        return self.run(context, benchmarks=benchmarks)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

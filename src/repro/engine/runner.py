@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, experiment_names, get_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scenario import Scenario
 
 
 @dataclass
@@ -78,21 +81,31 @@ def run_experiments(
     benchmarks: Optional[List[str]] = None,
     context: Optional[SimulationContext] = None,
     max_workers: Optional[int] = None,
+    scenario: Optional["Scenario"] = None,
 ) -> RunnerResult:
     """Run the selected experiments over one shared simulation context.
 
     Args:
         only: if given, run only these experiments.
         skip: experiment names to skip.
-        benchmarks: restrict every experiment to these Table-1 benchmarks.
+        benchmarks: restrict every experiment to these Table-1 benchmarks
+            (defaults to the scenario's own selection, then all of Table 1).
         context: shared simulation context (a fresh one by default).  Its
             ``max_workers`` also parallelizes the per-benchmark loops inside
-            each experiment.
+            each experiment, and its scenario supplies the hardware.
         max_workers: pool width for the new default context (ignored when
             ``context`` is passed); ``1`` runs everything serially.
+        scenario: hardware scenario for the new default context (ignored when
+            ``context`` is passed -- the context already carries one).
     """
     names = select_experiments(only=only, skip=skip)
-    ctx = context if context is not None else SimulationContext(max_workers=max_workers)
+    ctx = (
+        context
+        if context is not None
+        else SimulationContext(max_workers=max_workers, scenario=scenario)
+    )
+    if benchmarks is None:
+        benchmarks = ctx.scenario.benchmark_selection()
     result = RunnerResult(context=ctx)
     if not names:
         return result

@@ -11,36 +11,58 @@ lowers any of them to plain ``dict`` / ``list`` / scalar values acceptable to
   joined with ``"/"``),
 * sequences / sets -> lists,
 * objects exposing ``to_dict()`` or ``as_dict()`` -> that dict,
+* non-finite floats (``nan``, ``+/-inf``) -> ``None`` (strict JSON has no
+  spelling for them, and ``json.dumps`` would otherwise emit invalid
+  ``NaN``/``Infinity`` literals),
+* cyclic references -> ``None`` at the point of revisit (a seen-set guards
+  the recursion; sharing a value in two places -- a DAG -- is fine),
 * everything else JSON-native passes through, the rest falls back to ``str``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from enum import Enum
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional, Set
 
 
-def to_jsonable(value: Any) -> Any:
+def to_jsonable(value: Any, _seen: Optional[Set[int]] = None) -> Any:
     """Lower an arbitrary experiment result to JSON-serializable builtins."""
     if isinstance(value, Enum):
-        return to_jsonable(value.value)
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: to_jsonable(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
-    if isinstance(value, Mapping):
-        return {_key_to_str(key): to_jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return [to_jsonable(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
+        return to_jsonable(value.value, _seen)
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
         return value
-    for attr in ("to_dict", "as_dict"):
-        method = getattr(value, attr, None)
-        if callable(method):
-            return to_jsonable(method())
-    return str(value)
+    # Everything below is a container (or lowers to one): guard against
+    # reference cycles.  The id is removed again on the way out so shared
+    # (but acyclic) sub-objects still serialize everywhere they appear.
+    if _seen is None:
+        _seen = set()
+    marker = id(value)
+    if marker in _seen:
+        return None
+    _seen.add(marker)
+    try:
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {
+                field.name: to_jsonable(getattr(value, field.name), _seen)
+                for field in dataclasses.fields(value)
+            }
+        if isinstance(value, Mapping):
+            return {
+                _key_to_str(key): to_jsonable(item, _seen) for key, item in value.items()
+            }
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return [to_jsonable(item, _seen) for item in value]
+        for attr in ("to_dict", "as_dict"):
+            method = getattr(value, attr, None)
+            if callable(method):
+                return to_jsonable(method(), _seen)
+        return str(value)
+    finally:
+        _seen.discard(marker)
 
 
 def _key_to_str(key: Any) -> str:

@@ -51,6 +51,52 @@ def design_key(design: DesignLike) -> str:
     return str(design)
 
 
+def resolve_design(design: DesignLike) -> DesignLike:
+    """Map a design key onto its :class:`~repro.core.accelerator.DesignPoint`.
+
+    Keys naming a paper design point come back as the enum member (so result
+    dictionaries keyed by design stay uniform); keys of custom registered
+    strategies come back as their canonical string.
+    """
+    from repro.core.accelerator import DesignPoint  # lazy: import cycle guard
+
+    key = design_key(design)
+    try:
+        return DesignPoint(key)
+    except ValueError:
+        return key
+
+
+def resolve_designs(selection, default):
+    """Resolve a scenario's design-point selection for an evaluation figure.
+
+    ``selection`` is the optional tuple of design keys carried by a
+    :class:`~repro.api.scenario.Scenario`; ``None`` keeps the figure's paper
+    ``default`` list.  The GPU baseline is always evaluated first -- every
+    figure normalizes its bars against it.
+    """
+    from repro.core.accelerator import DesignPoint  # lazy: import cycle guard
+
+    if selection is None:
+        return list(default)
+    resolved = [resolve_design(design) for design in selection]
+    ordered = [design for design in resolved if design is not DesignPoint.BASELINE_GPU]
+    return [DesignPoint.BASELINE_GPU] + ordered
+
+
+def headline_design(designs):
+    """The design whose averages an evaluation report quotes.
+
+    PIM-CapsNet when evaluated, otherwise the last (non-baseline) design of
+    the selection.
+    """
+    from repro.core.accelerator import DesignPoint  # lazy: import cycle guard
+
+    if DesignPoint.PIM_CAPSNET in designs:
+        return DesignPoint.PIM_CAPSNET
+    return designs[-1]
+
+
 class DesignPointStrategy:
     """One design point's simulation recipe.
 

@@ -60,15 +60,19 @@ def run(
     """Run the Fig. 4 characterization.
 
     Args:
-        device: GPU model (paper baseline P100 by default).
-        benchmarks: benchmark names (all of Table 1 by default).
-        context: engine context supplying the thread pool (serial by default).
+        device: GPU model (the context scenario's host GPU by default).
+        benchmarks: benchmark names (the scenario's selection, then all of
+            Table 1, by default).
+        context: engine context supplying the scenario and the thread pool
+            (paper-default scenario, serial, when omitted).
     """
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    scenario = ctx.scenario
+    gpu = device if device is not None else scenario.gpu
+    names = ctx.select_benchmarks(benchmarks)
 
     def _row(name: str) -> LayerBreakdownRow:
-        simulator = GPUSimulator(device)
+        simulator = GPUSimulator(gpu, scenario.gpu_params)
         workload = CapsNetWorkload(BENCHMARKS[name])
         timing = simulator.simulate(workload)
         fractions: Dict[LayerKind, float] = timing.fraction_by_kind()

@@ -48,12 +48,14 @@ def run(
     benchmarks: Optional[List[str]] = None,
     context: Optional[SimulationContext] = None,
 ) -> StallBreakdownResult:
-    """Run the Fig. 5 characterization."""
+    """Run the Fig. 5 characterization (on the context scenario's host GPU)."""
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    scenario = ctx.scenario
+    gpu = device if device is not None else scenario.gpu
+    names = ctx.select_benchmarks(benchmarks)
 
     def _row(name: str) -> StallBreakdownRow:
-        simulator = GPUSimulator(device)
+        simulator = GPUSimulator(gpu, scenario.gpu_params)
         workload = CapsNetWorkload(BENCHMARKS[name])
         profile = simulator.simulate_routing(workload.routing)
         return StallBreakdownRow(

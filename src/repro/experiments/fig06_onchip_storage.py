@@ -18,7 +18,7 @@ from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
-from repro.gpu.devices import GPU_DEVICES, ONCHIP_STORAGE_SWEEP, baseline_device
+from repro.gpu.devices import GPU_DEVICES, ONCHIP_STORAGE_SWEEP
 from repro.gpu.simulator import GPUSimulator
 from repro.workloads.benchmarks import BENCHMARKS
 from repro.workloads.layers_model import CapsNetWorkload
@@ -52,13 +52,15 @@ def run(
 ) -> OnChipStorageResult:
     """Run the Fig. 6 characterization.
 
-    The performance sweep keeps the baseline GPU's compute/bandwidth and only
-    changes the on-chip storage, isolating the variable the figure studies.
+    The performance sweep keeps the scenario host GPU's compute/bandwidth and
+    only changes the on-chip storage, isolating the variable the figure
+    studies.
     """
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    scenario = ctx.scenario
+    names = ctx.select_benchmarks(benchmarks)
     device_names = devices or list(ONCHIP_STORAGE_SWEEP)
-    baseline = baseline_device()
+    baseline = scenario.gpu
 
     def _row(name: str) -> OnChipStorageRow:
         config = BENCHMARKS[name]
@@ -70,7 +72,7 @@ def run(
         for device_name in device_names:
             storage = GPU_DEVICES[device_name].onchip_storage_bytes
             ratios[device_name] = footprint.ratio_to_storage(storage)
-            simulator = GPUSimulator(baseline.with_onchip_storage(storage))
+            simulator = GPUSimulator(baseline.with_onchip_storage(storage), scenario.gpu_params)
             time = simulator.simulate_routing(routing).total_time
             if reference_time is None:
                 reference_time = time

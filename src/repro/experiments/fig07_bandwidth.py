@@ -16,7 +16,7 @@ from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
-from repro.gpu.devices import GPU_DEVICES, BANDWIDTH_SWEEP, baseline_device
+from repro.gpu.devices import GPU_DEVICES, BANDWIDTH_SWEEP
 from repro.gpu.simulator import GPUSimulator
 from repro.workloads.benchmarks import BENCHMARKS
 from repro.workloads.rp_model import RoutingWorkload
@@ -45,11 +45,12 @@ def run(
     devices: Optional[List[str]] = None,
     context: Optional[SimulationContext] = None,
 ) -> BandwidthResult:
-    """Run the Fig. 7 sweep (bandwidth only; compute and storage stay at the baseline)."""
+    """Run the Fig. 7 sweep (bandwidth only; compute and storage stay at the scenario host)."""
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    scenario = ctx.scenario
+    names = ctx.select_benchmarks(benchmarks)
     device_names = devices or list(BANDWIDTH_SWEEP)
-    baseline = baseline_device()
+    baseline = scenario.gpu
     technologies = [GPU_DEVICES[d].memory_technology.value for d in device_names]
     bandwidths = {
         GPU_DEVICES[d].memory_technology.value: GPU_DEVICES[d].memory_bandwidth_gbs
@@ -63,7 +64,7 @@ def run(
         for device_name in device_names:
             technology = GPU_DEVICES[device_name].memory_technology.value
             bandwidth = GPU_DEVICES[device_name].memory_bandwidth_gbs
-            simulator = GPUSimulator(baseline.with_memory_bandwidth(bandwidth))
+            simulator = GPUSimulator(baseline.with_memory_bandwidth(bandwidth), scenario.gpu_params)
             time = simulator.simulate_routing(routing).total_time
             if reference_time is None:
                 reference_time = time

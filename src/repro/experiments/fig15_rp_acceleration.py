@@ -8,18 +8,21 @@ barely helps (~1% on both).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
 from repro.core.accelerator import DesignPoint
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
-from repro.workloads.benchmarks import BENCHMARKS
+from repro.engine.strategies import design_key, headline_design, resolve_designs
 
-#: Design points plotted by Fig. 15.
+#: Design points plotted by Fig. 15 (the paper default; a scenario's
+#: ``designs`` selection replaces the non-baseline entries).
 FIG15_DESIGNS = [DesignPoint.BASELINE_GPU, DesignPoint.GPU_ICP, DesignPoint.PIM_CAPSNET]
+
+DesignLike = Union[DesignPoint, str]
 
 
 @dataclass
@@ -27,8 +30,8 @@ class RPAccelerationRow:
     """One benchmark's bars (speedup and normalized energy)."""
 
     benchmark: str
-    speedup: Dict[DesignPoint, float]
-    normalized_energy: Dict[DesignPoint, float]
+    speedup: Dict[DesignLike, float]
+    normalized_energy: Dict[DesignLike, float]
     chosen_dimension: str
 
 
@@ -40,6 +43,7 @@ class RPAccelerationResult:
     average_speedup: float
     max_speedup: float
     average_energy_saving: float
+    designs: List[DesignLike] = field(default_factory=lambda: list(FIG15_DESIGNS))
 
 
 def run(
@@ -48,16 +52,22 @@ def run(
     """Run the Fig. 15 comparison.
 
     Args:
-        benchmarks: benchmark names (all of Table 1 by default).
+        benchmarks: benchmark names (the scenario's selection, then all of
+            Table 1, by default).
         context: shared simulation context (a private serial one by default);
-            routing results already computed by other experiments are reused.
+            its scenario supplies the hardware and the optional design-point
+            selection, and routing results already computed by other
+            experiments are reused.
     """
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    names = ctx.select_benchmarks(benchmarks)
+    designs = resolve_designs(ctx.scenario.designs, FIG15_DESIGNS)
+    headline = headline_design(designs)
 
     def _row(name: str) -> RPAccelerationRow:
-        results = {design: ctx.routing(name, design) for design in FIG15_DESIGNS}
+        results = {design: ctx.routing(name, design) for design in designs}
         baseline = results[DesignPoint.BASELINE_GPU]
+        chosen = results[headline].dimension
         return RPAccelerationRow(
             benchmark=name,
             speedup={
@@ -67,53 +77,71 @@ def run(
                 design: result.energy_joules / baseline.energy_joules
                 for design, result in results.items()
             },
-            chosen_dimension=(
-                results[DesignPoint.PIM_CAPSNET].dimension.value
-                if results[DesignPoint.PIM_CAPSNET].dimension
-                else "-"
-            ),
+            chosen_dimension=chosen.value if chosen else "-",
         )
 
     rows = ctx.map(_row, names)
-    pim_speedups = [row.speedup[DesignPoint.PIM_CAPSNET] for row in rows]
-    pim_savings = [1.0 - row.normalized_energy[DesignPoint.PIM_CAPSNET] for row in rows]
+    pim_speedups = [row.speedup[headline] for row in rows]
+    pim_savings = [1.0 - row.normalized_energy[headline] for row in rows]
     return RPAccelerationResult(
         rows=rows,
         average_speedup=arithmetic_mean(pim_speedups),
         max_speedup=max(pim_speedups),
         average_energy_saving=arithmetic_mean(pim_savings),
+        designs=designs,
     )
 
 
 def format_report(result: RPAccelerationResult) -> str:
     """Render the Fig. 15 bars."""
-    table = format_table(
-        headers=[
-            "Benchmark",
-            "Baseline",
-            "GPU-ICP speedup",
-            "PIM-CapsNet speedup",
-            "PIM energy (norm.)",
-            "dimension",
-        ],
-        rows=[
-            [
-                row.benchmark,
-                row.speedup[DesignPoint.BASELINE_GPU],
-                row.speedup[DesignPoint.GPU_ICP],
-                row.speedup[DesignPoint.PIM_CAPSNET],
-                row.normalized_energy[DesignPoint.PIM_CAPSNET],
-                row.chosen_dimension,
-            ]
-            for row in result.rows
-        ],
-        title="Fig. 15 -- RP speedup and normalized energy",
-    )
+    if result.designs == FIG15_DESIGNS:
+        # Paper default: the classic (golden) three-column layout.
+        table = format_table(
+            headers=[
+                "Benchmark",
+                "Baseline",
+                "GPU-ICP speedup",
+                "PIM-CapsNet speedup",
+                "PIM energy (norm.)",
+                "dimension",
+            ],
+            rows=[
+                [
+                    row.benchmark,
+                    row.speedup[DesignPoint.BASELINE_GPU],
+                    row.speedup[DesignPoint.GPU_ICP],
+                    row.speedup[DesignPoint.PIM_CAPSNET],
+                    row.normalized_energy[DesignPoint.PIM_CAPSNET],
+                    row.chosen_dimension,
+                ]
+                for row in result.rows
+            ],
+            title="Fig. 15 -- RP speedup and normalized energy",
+        )
+        label = "PIM-CapsNet"
+    else:
+        # Scenario design-point selection: one speedup/energy column pair per
+        # evaluated design.
+        label = design_key(headline_design(result.designs))
+        table = format_table(
+            headers=["Benchmark"]
+            + [f"{design_key(design)} speedup" for design in result.designs]
+            + [f"{design_key(design)} energy" for design in result.designs]
+            + ["dimension"],
+            rows=[
+                [row.benchmark]
+                + [row.speedup[design] for design in result.designs]
+                + [row.normalized_energy[design] for design in result.designs]
+                + [row.chosen_dimension]
+                for row in result.rows
+            ],
+            title="Fig. 15 -- RP speedup and normalized energy",
+        )
     return (
         f"{table}\n"
-        f"Average PIM-CapsNet RP speedup: {result.average_speedup:.2f}x "
+        f"Average {label} RP speedup: {result.average_speedup:.2f}x "
         f"(paper: 2.17x, up to 2.27x; measured max {result.max_speedup:.2f}x)\n"
-        f"Average PIM-CapsNet RP energy saving: {100.0 * result.average_energy_saving:.2f}% "
+        f"Average {label} RP energy saving: {100.0 * result.average_energy_saving:.2f}% "
         f"(paper: 92.18%)"
     )
 

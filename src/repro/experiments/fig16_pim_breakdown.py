@@ -23,7 +23,6 @@ from repro.analysis.tables import format_table
 from repro.core.accelerator import DesignPoint
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
-from repro.workloads.benchmarks import BENCHMARKS
 
 #: PIM design points plotted by Fig. 16.
 FIG16_DESIGNS = [DesignPoint.PIM_INTRA, DesignPoint.PIM_INTER, DesignPoint.PIM_CAPSNET]
@@ -52,9 +51,13 @@ class PIMBreakdownResult:
 def run(
     benchmarks: Optional[List[str]] = None, context: Optional[SimulationContext] = None
 ) -> PIMBreakdownResult:
-    """Run the Fig. 16 comparison (times normalized to the GPU baseline)."""
+    """Run the Fig. 16 comparison (times normalized to the GPU baseline).
+
+    The hardware comes from the context scenario; the design points stay
+    fixed (the breakdown components are specific to these three designs).
+    """
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    names = ctx.select_benchmarks(benchmarks)
 
     def _one(name: str):
         baseline = ctx.routing(name, DesignPoint.BASELINE_GPU)

@@ -12,17 +12,18 @@ reporting a 2.44x average speedup and 64.91% energy saving for PIM-CapsNet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
 from repro.core.accelerator import DesignPoint
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
-from repro.workloads.benchmarks import BENCHMARKS
+from repro.engine.strategies import design_key, headline_design, resolve_designs
 
-#: Design points plotted by Fig. 17.
+#: Design points plotted by Fig. 17 (the paper default; a scenario's
+#: ``designs`` selection replaces the non-baseline entries).
 FIG17_DESIGNS = [
     DesignPoint.BASELINE_GPU,
     DesignPoint.ALL_IN_PIM,
@@ -31,14 +32,16 @@ FIG17_DESIGNS = [
     DesignPoint.PIM_CAPSNET,
 ]
 
+DesignLike = Union[DesignPoint, str]
+
 
 @dataclass
 class EndToEndRow:
     """One benchmark's bars (speedup and normalized energy per design point)."""
 
     benchmark: str
-    speedup: Dict[DesignPoint, float]
-    normalized_energy: Dict[DesignPoint, float]
+    speedup: Dict[DesignLike, float]
+    normalized_energy: Dict[DesignLike, float]
 
 
 @dataclass
@@ -50,17 +53,21 @@ class EndToEndResult:
     max_speedup: float
     average_energy_saving: float
     average_all_in_pim_speedup: float
+    designs: List[DesignLike] = field(default_factory=lambda: list(FIG17_DESIGNS))
 
 
 def run(
     benchmarks: Optional[List[str]] = None, context: Optional[SimulationContext] = None
 ) -> EndToEndResult:
-    """Run the Fig. 17 comparison."""
+    """Run the Fig. 17 comparison (hardware and design selection from the
+    context scenario)."""
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    names = ctx.select_benchmarks(benchmarks)
+    designs = resolve_designs(ctx.scenario.designs, FIG17_DESIGNS)
+    headline = headline_design(designs)
 
     def _row(name: str) -> EndToEndRow:
-        results = {design: ctx.end_to_end(name, design) for design in FIG17_DESIGNS}
+        results = {design: ctx.end_to_end(name, design) for design in designs}
         baseline = results[DesignPoint.BASELINE_GPU]
         return EndToEndRow(
             benchmark=name,
@@ -71,46 +78,56 @@ def run(
         )
 
     rows = ctx.map(_row, names)
-    pim_speedups = [row.speedup[DesignPoint.PIM_CAPSNET] for row in rows]
-    pim_savings = [1.0 - row.normalized_energy[DesignPoint.PIM_CAPSNET] for row in rows]
+    pim_speedups = [row.speedup[headline] for row in rows]
+    pim_savings = [1.0 - row.normalized_energy[headline] for row in rows]
     return EndToEndResult(
         rows=rows,
         average_speedup=arithmetic_mean(pim_speedups),
         max_speedup=max(pim_speedups),
         average_energy_saving=arithmetic_mean(pim_savings),
-        average_all_in_pim_speedup=arithmetic_mean(
-            [row.speedup[DesignPoint.ALL_IN_PIM] for row in rows]
+        average_all_in_pim_speedup=(
+            arithmetic_mean([row.speedup[DesignPoint.ALL_IN_PIM] for row in rows])
+            if DesignPoint.ALL_IN_PIM in designs
+            else float("nan")
         ),
+        designs=designs,
     )
 
 
 def format_report(result: EndToEndResult) -> str:
     """Render the Fig. 17 bars."""
+    designs = result.designs
+    headline = headline_design(designs)
+    label = "PIM-CapsNet" if headline is DesignPoint.PIM_CAPSNET else design_key(headline)
     speedup_table = format_table(
-        headers=["Benchmark"] + [design.value for design in FIG17_DESIGNS],
+        headers=["Benchmark"] + [design_key(design) for design in designs],
         rows=[
-            [row.benchmark] + [row.speedup[design] for design in FIG17_DESIGNS]
+            [row.benchmark] + [row.speedup[design] for design in designs]
             for row in result.rows
         ],
         title="Fig. 17(a) -- end-to-end speedup over the GPU baseline",
     )
     energy_table = format_table(
-        headers=["Benchmark"] + [design.value for design in FIG17_DESIGNS],
+        headers=["Benchmark"] + [design_key(design) for design in designs],
         rows=[
-            [row.benchmark] + [row.normalized_energy[design] for design in FIG17_DESIGNS]
+            [row.benchmark] + [row.normalized_energy[design] for design in designs]
             for row in result.rows
         ],
         title="Fig. 17(b) -- end-to-end energy normalized to the GPU baseline",
     )
-    return (
+    report = (
         f"{speedup_table}\n\n{energy_table}\n"
-        f"Average PIM-CapsNet speedup: {result.average_speedup:.2f}x "
+        f"Average {label} speedup: {result.average_speedup:.2f}x "
         f"(paper: 2.44x, up to 2.76x; measured max {result.max_speedup:.2f}x)\n"
-        f"Average PIM-CapsNet energy saving: {100.0 * result.average_energy_saving:.2f}% "
-        f"(paper: 64.91%)\n"
-        f"Average All-in-PIM speedup: {result.average_all_in_pim_speedup:.2f}x "
-        f"(paper: 0.52x -- see EXPERIMENTS.md for the known deviation)"
+        f"Average {label} energy saving: {100.0 * result.average_energy_saving:.2f}% "
+        f"(paper: 64.91%)"
     )
+    if DesignPoint.ALL_IN_PIM in designs:
+        report += (
+            f"\nAverage All-in-PIM speedup: {result.average_all_in_pim_speedup:.2f}x "
+            f"(paper: 0.52x -- see EXPERIMENTS.md for the known deviation)"
+        )
+    return report
 
 
 @register_experiment

@@ -16,7 +16,6 @@ from repro.analysis.tables import format_table
 from repro.core.accelerator import DesignPoint
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
-from repro.workloads.benchmarks import BENCHMARKS
 from repro.workloads.parallelism import Dimension
 
 #: PE frequencies swept by Fig. 18 (MHz).
@@ -68,9 +67,13 @@ def run(
     frequencies_mhz: Tuple[float, ...] = FIG18_FREQUENCIES_MHZ,
     context: Optional[SimulationContext] = None,
 ) -> FrequencySweepResult:
-    """Run the Fig. 18 sweep."""
+    """Run the Fig. 18 sweep.
+
+    Each swept frequency applies on top of the context scenario's HMC
+    configuration (geometry, bandwidth and PE count stay scenario-defined).
+    """
     ctx = context or SimulationContext(max_workers=1)
-    names = benchmarks or list(BENCHMARKS)
+    names = ctx.select_benchmarks(benchmarks)
 
     def _benchmark_cells(name: str):
         bench_cells: List[FrequencySweepCell] = []

@@ -75,7 +75,7 @@ class OverheadExperiment(Experiment):
     title = "Sec. 6.5 -- PIM logic area / power / thermal overhead"
 
     def run(self, context, benchmarks=None):
-        return run()
+        return run(config=context.scenario.hmc)
 
     def format_report(self, result):
         return format_report(result)

@@ -97,8 +97,15 @@ def run(
     accuracy comparison being made).  ``num_train`` / ``num_test`` are
     per-dataset floors; datasets with many classes get at least eight
     training and four test samples per class.
+
+    The accuracy comparison is hardware-insensitive: only the scenario's
+    benchmark selection (taken from ``context`` when given) affects it.
     """
-    names = benchmarks or list(BENCHMARKS)
+    names = (
+        context.select_benchmarks(benchmarks)
+        if context
+        else (benchmarks or list(BENCHMARKS))
+    )
     trained: Dict[str, CapsNet] = {}
     datasets: Dict[str, object] = {}
     rows: List[AccuracyRow] = []

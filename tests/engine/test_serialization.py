@@ -37,7 +37,9 @@ def test_fig15_schema(fig15_payload):
         "average_speedup",
         "max_speedup",
         "average_energy_saving",
+        "designs",
     }
+    assert data["designs"] == ["baseline", "gpu-icp", "pim-capsnet"]
     assert [row["benchmark"] for row in data["rows"]] == BENCHMARKS
     for row in data["rows"]:
         assert set(row) == {"benchmark", "speedup", "normalized_energy", "chosen_dimension"}
@@ -55,6 +57,7 @@ def test_fig17_schema(fig17_payload):
         "max_speedup",
         "average_energy_saving",
         "average_all_in_pim_speedup",
+        "designs",
     }
     for row in data["rows"]:
         assert set(row["speedup"]) == {
@@ -88,3 +91,29 @@ def test_to_jsonable_falls_back_to_str():
             return "<opaque>"
 
     assert to_jsonable({("a", 1): Opaque()}) == {"a/1": "<opaque>"}
+
+
+def test_to_jsonable_maps_non_finite_floats_to_none():
+    lowered = to_jsonable(
+        {"nan": float("nan"), "inf": float("inf"), "ninf": float("-inf"), "ok": 1.5}
+    )
+    assert lowered == {"nan": None, "inf": None, "ninf": None, "ok": 1.5}
+    # The emitted JSON must be strict (json.dumps would otherwise print NaN).
+    assert json.dumps(lowered, allow_nan=False)
+
+
+def test_to_jsonable_guards_against_cycles():
+    cyclic = {"name": "root"}
+    cyclic["self"] = cyclic
+    looped = ["a"]
+    looped.append(looped)
+    assert to_jsonable(cyclic) == {"name": "root", "self": None}
+    assert to_jsonable(looped) == ["a", None]
+
+
+def test_to_jsonable_keeps_shared_acyclic_objects():
+    shared = {"value": 3.0}
+    assert to_jsonable({"first": shared, "second": shared}) == {
+        "first": {"value": 3.0},
+        "second": {"value": 3.0},
+    }

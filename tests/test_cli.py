@@ -1,7 +1,14 @@
 """Tests for the command line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -27,10 +34,20 @@ def test_evaluate_subset(capsys):
 
 
 def test_sweep_single_benchmark(capsys):
+    # --benchmark is the deprecated alias of --benchmarks.
     assert main(["sweep", "--benchmark", "Caps-SV1"]) == 0
-    out = capsys.readouterr().out
-    assert "Fig. 18" in out
-    assert "312" in out
+    captured = capsys.readouterr()
+    assert "Fig. 18" in captured.out
+    assert "312" in captured.out
+    assert "deprecated" in captured.err
+
+
+def test_sweep_benchmarks_plural(capsys):
+    assert main(["sweep", "--benchmarks", "Caps-SV1", "Caps-MN1"]) == 0
+    captured = capsys.readouterr()
+    assert "Caps-SV1" in captured.out
+    assert "Caps-MN1" in captured.out
+    assert "deprecated" not in captured.err
 
 
 def test_reproduce_only_overhead(capsys):
@@ -78,3 +95,139 @@ def test_output_writes_file(tmp_path, capsys):
 def test_serial_jobs_flag(capsys):
     assert main(["evaluate", "--benchmarks", "Caps-MN1", "--jobs", "1"]) == 0
     assert "Fig. 15" in capsys.readouterr().out
+
+
+def test_build_parser_does_not_import_experiment_modules():
+    # Satellite of the scenario redesign: CLI startup must stay lazy --
+    # --skip/--only are validated after parsing, not via parser choices.
+    src = Path(repro.__file__).parent.parent
+    code = (
+        "import sys; from repro.cli import build_parser; build_parser(); "
+        "loaded = [m for m in sys.modules if m.startswith('repro.experiments')]; "
+        "print(','.join(loaded))"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.check_output([sys.executable, "-c", code], env=env, text=True)
+    assert out.strip() == ""
+
+
+def test_custom_experiment_passes_only_validation(capsys):
+    from repro.engine import experiment as experiment_module
+    from repro.engine.experiment import Experiment, register_experiment
+
+    @register_experiment
+    class CustomExperiment(Experiment):
+        name = "custom-smoke"
+        title = "custom"
+
+        def run(self, context, benchmarks=None):
+            return {"ok": True}
+
+        def format_report(self, result):
+            return "custom-smoke ran"
+
+    try:
+        assert main(["reproduce", "--only", "custom-smoke"]) == 0
+        assert "custom-smoke ran" in capsys.readouterr().out
+    finally:
+        experiment_module._REGISTRY.pop("custom-smoke", None)
+
+
+def test_scenario_preset_and_set_flags(capsys):
+    assert (
+        main(
+            [
+                "evaluate",
+                "--benchmarks",
+                "Caps-MN1",
+                "--scenario",
+                "paper-default",
+                "--set",
+                "hmc.pe_frequency_mhz=625",
+                "--format",
+                "json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"fig15", "fig16", "fig17"}
+
+
+def test_scenario_file_flag(tmp_path, capsys):
+    scenario_file = tmp_path / "v100.json"
+    scenario_file.write_text('{"gpu": "V100"}', encoding="utf-8")
+    assert main(["characterize", "--benchmarks", "Caps-MN1", "--scenario", str(scenario_file)]) == 0
+    assert "Fig. 4" in capsys.readouterr().out
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--scenario", "no-such-scenario"])
+
+
+def test_unknown_set_key_rejected():
+    with pytest.raises(SystemExit, match="unknown scenario key"):
+        main(["evaluate", "--set", "hmc.nope=1"])
+
+
+def test_malformed_set_rejected():
+    with pytest.raises(SystemExit, match="KEY=VALUE"):
+        main(["evaluate", "--set", "hmc.pe_frequency_mhz"])
+
+
+def test_compare_base_vs_set_variant(capsys):
+    assert (
+        main(
+            [
+                "compare",
+                "--scenario",
+                "paper-default",
+                "--set",
+                "hmc.pe_frequency_mhz=625",
+                "--only",
+                "fig15",
+                "--benchmarks",
+                "Caps-MN1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Scenario comparison" in out
+    assert "paper-default+hmc.pe_frequency_mhz=625" in out
+    assert "average_speedup" in out
+
+
+def test_compare_json_two_scenarios(capsys):
+    assert (
+        main(
+            [
+                "compare",
+                "--scenario",
+                "paper-default",
+                "--scenario",
+                "v100-host",
+                "--only",
+                "fig15",
+                "--benchmarks",
+                "Caps-MN1",
+                "--format",
+                "json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert [scenario["name"] for scenario in payload["scenarios"]] == [
+        "paper-default",
+        "v100-host",
+    ]
+    assert payload["metrics"]
+    assert set(payload["experiments"]) == {"paper-default", "v100-host"}
+
+
+def test_compare_requires_two_scenarios():
+    with pytest.raises(SystemExit, match="at least two"):
+        main(["compare", "--only", "fig15"])
