@@ -8,7 +8,8 @@ Networks Processing Through A PIM-Based Architecture Design"* (HPCA 2020):
 * :mod:`repro.arithmetic` -- the PE's bit-level approximate arithmetic and
   accuracy recovery.
 * :mod:`repro.workloads`  -- analytic op / traffic models of the Table-1
-  benchmarks.
+  benchmarks, plus declarative :class:`WorkloadSpec` definitions and the
+  :class:`WorkloadCatalog` resolving user-defined capsule networks.
 * :mod:`repro.gpu`        -- GPU timing & energy model (baseline / host).
 * :mod:`repro.hmc`        -- Hybrid Memory Cube simulator (vaults, banks,
   crossbar, PEs, power, thermal).
@@ -19,15 +20,22 @@ Networks Processing Through A PIM-Based Architecture Design"* (HPCA 2020):
 * :mod:`repro.experiments`-- drivers reproducing every evaluation figure and
   table of the paper.
 * :mod:`repro.api`        -- the stable public API: typed hardware
-  :class:`~repro.api.Scenario` configurations, the :class:`~repro.api.Session`
-  facade and :func:`~repro.api.compare_scenarios`.
+  :class:`~repro.api.Scenario` configurations (carrying workload catalogs),
+  the :class:`~repro.api.Session` facade and
+  :func:`~repro.api.compare_scenarios`.
 """
 
 from repro.api import Scenario, Session, compare_scenarios
 from repro.core.accelerator import DesignPoint, PIMCapsNet
 from repro.workloads.benchmarks import BENCHMARKS, BenchmarkConfig, get_benchmark
+from repro.workloads.catalog import (
+    RoutingAlgorithm,
+    WorkloadCatalog,
+    WorkloadSpec,
+    default_catalog,
+)
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Scenario",
@@ -38,5 +46,9 @@ __all__ = [
     "BENCHMARKS",
     "BenchmarkConfig",
     "get_benchmark",
+    "RoutingAlgorithm",
+    "WorkloadCatalog",
+    "WorkloadSpec",
+    "default_catalog",
     "__version__",
 ]

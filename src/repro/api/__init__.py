@@ -4,6 +4,9 @@ Everything a library consumer needs lives here:
 
 * :class:`Scenario` -- a frozen, validated hardware + evaluation-slice
   configuration with JSON loading, named presets and dotted-path overrides.
+* :class:`WorkloadSpec` / :class:`WorkloadCatalog` -- declarative capsule
+  network workloads (dataset shape, capsule counts/dims, routing algorithm)
+  merged on top of the Table-1 catalog via ``Scenario(workloads=...)``.
 * :class:`Session` -- runs experiments under one scenario with full
   simulation reuse, returning typed results / rendered reports / JSON.
 * :func:`compare_scenarios` -- the engine behind ``repro compare``: the same
@@ -11,13 +14,19 @@ Everything a library consumer needs lives here:
 
 Quickstart::
 
-    from repro.api import Scenario, Session, compare_scenarios
+    from repro.api import Scenario, Session, WorkloadSpec, compare_scenarios
 
     base = Scenario.preset("paper-default")
     fast = base.with_set(["hmc.pe_frequency_mhz=625"])
 
     print(Session(base).report(["fig15"]))
     print(compare_scenarios([base, fast], only=["fig15"]).format_report())
+
+    custom = base.with_workloads([WorkloadSpec(
+        name="Caps-Big", dataset="MNIST", batch_size=256,
+        num_low_capsules=4608, num_high_capsules=32,
+    )])
+    print(Session(custom).report(["fig15"]))   # Caps-Big rides along
 """
 
 from repro.api.scenario import (
@@ -34,6 +43,12 @@ from repro.api.session import (
     compare_scenarios,
     headline_metrics,
 )
+from repro.workloads.catalog import (
+    RoutingAlgorithm,
+    WorkloadCatalog,
+    WorkloadSpec,
+    default_catalog,
+)
 
 __all__ = [
     "PRESETS",
@@ -42,7 +57,11 @@ __all__ = [
     "SessionResult",
     "ScenarioComparison",
     "MetricDelta",
+    "RoutingAlgorithm",
+    "WorkloadCatalog",
+    "WorkloadSpec",
     "compare_scenarios",
+    "default_catalog",
     "headline_metrics",
     "override_keys",
     "preset_names",

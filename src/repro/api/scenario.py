@@ -40,7 +40,7 @@ from repro.core.pipeline import PipelineModel
 from repro.gpu.devices import GPU_DEVICES, GPUDevice, baseline_device, get_device
 from repro.gpu.kernels import GPUCostParameters
 from repro.hmc.config import HMCConfig
-from repro.workloads.benchmarks import benchmark_names
+from repro.workloads.catalog import WorkloadCatalog, WorkloadSpec, default_catalog
 from repro.workloads.parallelism import Dimension
 
 #: Default pipeline depth (batch groups) of :class:`~repro.core.pipeline.PipelineModel`.
@@ -60,7 +60,14 @@ class Scenario:
         gpu_params: GPU cost-model calibration constants.
         pipeline_batches: batch groups in the evaluated stream (Sec. 4).
         rmas_queue_depth: average PE queue depth ``Q`` seen by the RMAS.
-        benchmarks: restrict runs to these Table-1 benchmarks (``None`` = all).
+        workloads: user-defined capsule-network workloads
+            (:class:`~repro.workloads.catalog.WorkloadSpec` values, inline
+            spec dictionaries, or paths to workload JSON files) merged on top
+            of the Table-1 catalog; they run in every figure, report, sweep
+            and comparison alongside the paper's benchmarks.
+        benchmarks: restrict runs to these catalog workloads (``None`` = the
+            whole catalog); names are case-insensitive and stored in their
+            canonical catalog form.
         designs: design-point selection for the evaluation figures
             (Figs. 15/17); ``None`` keeps each figure's paper defaults.  The
             GPU baseline is always evaluated (it normalizes the bars).
@@ -72,6 +79,7 @@ class Scenario:
     gpu_params: GPUCostParameters = field(default_factory=GPUCostParameters)
     pipeline_batches: int = DEFAULT_PIPELINE_BATCHES
     rmas_queue_depth: float = DEFAULT_RMAS_QUEUE_DEPTH
+    workloads: Tuple[WorkloadSpec, ...] = ()
     benchmarks: Optional[Tuple[str, ...]] = None
     designs: Optional[Tuple[str, ...]] = None
 
@@ -93,6 +101,7 @@ class Scenario:
             raise ValueError("pipeline_batches must be >= 1")
         if float(self.rmas_queue_depth) <= 0:
             raise ValueError("rmas_queue_depth must be positive")
+        object.__setattr__(self, "workloads", _workloads_from(self.workloads))
         for attr in ("benchmarks", "designs"):
             value = getattr(self, attr)
             if value is not None:
@@ -100,12 +109,19 @@ class Scenario:
                     raise ValueError(f"{attr} must be None or a non-empty selection")
                 object.__setattr__(self, attr, tuple(str(item) for item in value))
         if self.benchmarks is not None:
-            known = set(benchmark_names())
-            unknown = [name for name in self.benchmarks if name not in known]
+            # One catalog lookup normalizes the selection: names are matched
+            # case-insensitively (like get_benchmark) and stored canonically.
+            catalog = self.catalog
+            unknown = [name for name in self.benchmarks if name not in catalog]
             if unknown:
                 raise ValueError(
-                    f"unknown benchmark(s) {unknown}; choose from {sorted(known)}"
+                    f"unknown benchmark(s) {unknown}; choose from {catalog.names()}"
                 )
+            object.__setattr__(
+                self,
+                "benchmarks",
+                tuple(catalog.canonical_name(name) for name in self.benchmarks),
+            )
         if self.designs is not None:
             # Custom strategies must be registered before the scenario is
             # built; typos then fail here instead of mid-run.
@@ -173,6 +189,9 @@ class Scenario:
         for scalar in ("pipeline_batches", "rmas_queue_depth"):
             if scalar in data:
                 kwargs[scalar] = _coerce(data[scalar], getattr(default, scalar), scalar)
+        if "workloads" in data and data["workloads"] is not None:
+            # __post_init__ coerces scalars, dicts, and file references.
+            kwargs["workloads"] = data["workloads"]
         for selection in ("benchmarks", "designs"):
             if selection in data and data[selection] is not None:
                 value = data[selection]
@@ -191,6 +210,22 @@ class Scenario:
             raise ValueError(f"cannot read scenario file {path}: {error}") from None
         except json.JSONDecodeError as error:
             raise ValueError(f"invalid JSON in scenario file {path}: {error}") from None
+        if isinstance(data, Mapping) and data.get("workloads") is not None:
+            workloads = data["workloads"]
+            if isinstance(workloads, (str, Mapping)):
+                workloads = [workloads]
+            # Workload file references resolve relative to the scenario file,
+            # falling back to the working directory when no sibling exists.
+            resolved: List[object] = []
+            for entry in workloads:
+                if isinstance(entry, str):
+                    candidate = Path(entry)
+                    if not candidate.is_absolute():
+                        sibling = path.parent / candidate
+                        if sibling.exists():
+                            entry = str(sibling)
+                resolved.append(entry)
+            data = {**data, "workloads": resolved}
         scenario = cls.from_dict(data)
         if "name" not in data:
             scenario = dataclasses.replace(scenario, name=path.stem)
@@ -222,6 +257,7 @@ class Scenario:
             "gpu_params": dataclasses.asdict(self.gpu_params),
             "pipeline_batches": self.pipeline_batches,
             "rmas_queue_depth": self.rmas_queue_depth,
+            "workloads": [spec.to_dict() for spec in self.workloads],
             "benchmarks": list(self.benchmarks) if self.benchmarks is not None else None,
             "designs": list(self.designs) if self.designs is not None else None,
         }
@@ -304,11 +340,40 @@ class Scenario:
                     f"override its fields (e.g. {head}.<field>=<value>)"
                 )
             return dataclasses.replace(self, **{head: raw})
+        if head == "workloads":
+            # CSV of workload-file paths (CLI) or a sequence of specs /
+            # dictionaries / paths (Python); __post_init__ coerces each entry.
+            value = _split_csv(raw) if isinstance(raw, str) else tuple(raw)  # type: ignore[arg-type]
+            return dataclasses.replace(self, workloads=value)
         if head in ("benchmarks", "designs"):
             value = _split_csv(raw) if isinstance(raw, str) else tuple(raw)  # type: ignore[arg-type]
             return dataclasses.replace(self, **{head: value})
         value = _coerce(raw, getattr(self, head), key)
         return dataclasses.replace(self, **{head: value})
+
+    # ----------------------------------------------------------------- workloads
+
+    @property
+    def catalog(self) -> WorkloadCatalog:
+        """The workload catalog of this scenario (Table 1 + own workloads).
+
+        Every benchmark lookup of a run under this scenario resolves through
+        this catalog; with no scenario workloads it is exactly the shared
+        Table-1 default catalog.
+        """
+        if not self.workloads:
+            return default_catalog()
+        return default_catalog().with_specs(self.workloads)
+
+    def with_workloads(self, workloads: Iterable[object]) -> "Scenario":
+        """A scenario with extra workloads merged in (the ``--workload`` path).
+
+        Accepts :class:`~repro.workloads.catalog.WorkloadSpec` values, inline
+        spec dictionaries or workload JSON file paths.
+        """
+        return dataclasses.replace(
+            self, workloads=self.workloads + _workloads_from(workloads)
+        )
 
     # ------------------------------------------------------------- model wiring
 
@@ -348,15 +413,45 @@ class Scenario:
 
     def describe(self) -> str:
         """Human-readable one-liner."""
+        extra = (
+            f", +{len(self.workloads)} workload(s)" if self.workloads else ""
+        )
         return (
             f"{self.name}: {self.gpu.name} host, "
             f"{self.hmc.num_vaults}x{self.hmc.pes_per_vault} PEs @ "
-            f"{self.hmc.pe_frequency_mhz:g} MHz"
+            f"{self.hmc.pe_frequency_mhz:g} MHz{extra}"
         )
 
 
 def _split_csv(text: str) -> Tuple[str, ...]:
     return tuple(part.strip() for part in str(text).split(",") if part.strip())
+
+
+def _workloads_from(value: object) -> Tuple[WorkloadSpec, ...]:
+    """Coerce a scenario's ``workloads`` entries to :class:`WorkloadSpec` s.
+
+    Each entry may already be a spec, an inline spec dictionary, or a path to
+    a workload JSON file (the scenario-file ``workloads:`` section supports
+    all three).
+    """
+    if value is None:
+        return ()
+    if isinstance(value, (str, Mapping, WorkloadSpec)):
+        value = (value,)
+    specs = []
+    for entry in value:
+        if isinstance(entry, WorkloadSpec):
+            specs.append(entry)
+        elif isinstance(entry, Mapping):
+            specs.append(WorkloadSpec.from_dict(entry))
+        elif isinstance(entry, (str, Path)):
+            specs.append(WorkloadSpec.from_file(entry))
+        else:
+            raise ValueError(
+                f"workloads entries must be WorkloadSpec, spec mappings or "
+                f"file paths, got {type(entry).__name__}"
+            )
+    return tuple(specs)
 
 
 def _coerce(raw: object, current: object, key: str) -> object:

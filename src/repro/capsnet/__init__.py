@@ -28,7 +28,12 @@ from repro.capsnet.layers import (
     Sigmoid,
 )
 from repro.capsnet.model import CapsNet, CapsNetConfig, DecoderConfig
-from repro.capsnet.datasets import DatasetSpec, SyntheticImageDataset, dataset_for_benchmark
+from repro.capsnet.datasets import (
+    DatasetSpec,
+    SyntheticImageDataset,
+    dataset_for_benchmark,
+    dataset_for_spec,
+)
 from repro.capsnet.training import Trainer, TrainingResult
 
 __all__ = [
@@ -53,6 +58,7 @@ __all__ = [
     "DatasetSpec",
     "SyntheticImageDataset",
     "dataset_for_benchmark",
+    "dataset_for_spec",
     "Trainer",
     "TrainingResult",
 ]

@@ -183,6 +183,21 @@ class SyntheticImageDataset:
         return self.test_images, self.test_labels
 
 
+def dataset_for_spec(
+    spec: DatasetSpec,
+    num_train: int = 512,
+    num_test: int = 256,
+    seed: int = 7,
+) -> SyntheticImageDataset:
+    """Build the synthetic dataset for any shape-level dataset spec.
+
+    Works for the Table-1 datasets and for the inline custom datasets of
+    user-defined :class:`~repro.workloads.catalog.WorkloadSpec` workloads:
+    the synthetic generator only needs the image shape and the class count.
+    """
+    return SyntheticImageDataset(spec, num_train=num_train, num_test=num_test, seed=seed)
+
+
 def dataset_for_benchmark(
     dataset_name: str,
     num_train: int = 512,
@@ -195,4 +210,4 @@ def dataset_for_benchmark(
         raise KeyError(
             f"unknown dataset {dataset_name!r}; known: {sorted(DATASET_SPECS)}"
         )
-    return SyntheticImageDataset(DATASET_SPECS[key], num_train=num_train, num_test=num_test, seed=seed)
+    return dataset_for_spec(DATASET_SPECS[key], num_train=num_train, num_test=num_test, seed=seed)

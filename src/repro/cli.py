@@ -1,12 +1,13 @@
 """Command line interface for the PIM-CapsNet reproduction.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro characterize [--benchmarks ...]      # Figs. 4-7 (GPU bottleneck)
     python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
     python -m repro sweep [--benchmarks ...]             # Fig. 18 (frequency sweep)
     python -m repro reproduce [--skip ...] [--only ...]  # everything via the engine
     python -m repro compare --scenario A --scenario B    # N scenarios side by side
+    python -m repro workloads list|show NAME             # the workload catalog
 
 Every command prints the same plain-text tables the benchmark harness writes
 to ``benchmarks/reports/`` by default; ``--format json`` emits the
@@ -22,9 +23,16 @@ simulation context each) and renders a side-by-side delta table; with a
 single ``--scenario`` plus ``--set`` it compares the base scenario against
 the overridden variant.
 
-``reproduce`` shares one simulation context across all experiments
-(identical simulations run once) and executes independent experiments
-concurrently; ``--jobs 1`` forces a serial run.
+The *workload* axis is just as open as the hardware axis: a repeatable
+``--workload PATH`` option on every subcommand merges user-defined capsule
+networks (:class:`~repro.workloads.catalog.WorkloadSpec` JSON files) into
+the run's catalog, so they appear in every figure, report, sweep and
+comparison next to the Table-1 benchmarks; ``repro workloads list`` shows
+the resulting catalog and ``repro workloads show NAME`` one spec.
+
+``reproduce`` (alias ``run``) shares one simulation context across all
+experiments (identical simulations run once) and executes independent
+experiments concurrently; ``--jobs 1`` forces a serial run.
 """
 
 from __future__ import annotations
@@ -38,21 +46,25 @@ from typing import List, Optional
 from repro.api.scenario import Scenario, preset_names
 from repro.engine.context import SimulationContext
 from repro.engine.runner import run_experiments, select_experiments
-from repro.workloads.benchmarks import benchmark_names
+from repro.workloads.catalog import WorkloadCatalog
 
 #: Experiments run by the `characterize` / `evaluate` groups, in report order.
 CHARACTERIZE_EXPERIMENTS = ("fig04", "fig05", "fig06", "fig07")
 EVALUATE_EXPERIMENTS = ("fig15", "fig16", "fig17")
 
 
-def _validate_benchmarks(names: Optional[List[str]]) -> Optional[List[str]]:
+def _validate_benchmarks(
+    names: Optional[List[str]], catalog: WorkloadCatalog
+) -> Optional[List[str]]:
+    """Canonicalize ``--benchmarks`` names against the run's catalog."""
     if not names:
         return None
-    known = set(benchmark_names())
-    unknown = [name for name in names if name not in known]
+    unknown = [name for name in names if name not in catalog]
     if unknown:
-        raise SystemExit(f"unknown benchmark(s) {unknown}; choose from {sorted(known)}")
-    return names
+        raise SystemExit(
+            f"unknown benchmark(s) {unknown}; choose from {catalog.names()}"
+        )
+    return [catalog.canonical_name(name) for name in names]
 
 
 def _validate_experiments(
@@ -71,14 +83,27 @@ def _validate_experiments(
 
 
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
-    """Build the scenario selected by ``--scenario`` / ``--set``."""
+    """Build the scenario selected by ``--scenario`` / ``--workload`` / ``--set``."""
     try:
         scenario = Scenario.load(args.scenario) if args.scenario else Scenario.default()
+        scenario = _with_workloads(scenario, args)
         if args.set:
             scenario = scenario.with_set(args.set)
     except ValueError as error:
         raise SystemExit(str(error)) from None
     return scenario
+
+
+def _with_workloads(scenario: Scenario, args: argparse.Namespace) -> Scenario:
+    """Merge the ``--workload PATH`` specs into a scenario's catalog.
+
+    Applied before ``--set`` so overrides (e.g. a ``benchmarks=`` selection
+    naming a custom workload) validate against the extended catalog.
+    """
+    workloads = getattr(args, "workload", None)
+    if not workloads:
+        return scenario
+    return scenario.with_workloads(workloads)
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -106,8 +131,13 @@ def _run_and_emit(
     ``combined`` picks the `reproduce`-style report (sections with ``===``
     separators); otherwise reports are joined with a blank line, preserving
     the classic `characterize`/`evaluate` layout byte-for-byte.
+
+    ``benchmarks`` names are validated (and canonicalized) against the
+    scenario's workload catalog, so ``--benchmarks`` can select custom
+    ``--workload`` networks too.
     """
     scenario = _scenario_from_args(args)
+    benchmarks = _validate_benchmarks(benchmarks, scenario.catalog)
     context = SimulationContext(max_workers=args.jobs, scenario=scenario)
     result = run_experiments(only=only, skip=skip, benchmarks=benchmarks, context=context)
     if args.format == "json":
@@ -121,13 +151,11 @@ def _run_and_emit(
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    benchmarks = _validate_benchmarks(args.benchmarks)
-    return _run_and_emit(args, only=list(CHARACTERIZE_EXPERIMENTS), benchmarks=benchmarks)
+    return _run_and_emit(args, only=list(CHARACTERIZE_EXPERIMENTS), benchmarks=args.benchmarks)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    benchmarks = _validate_benchmarks(args.benchmarks)
-    return _run_and_emit(args, only=list(EVALUATE_EXPERIMENTS), benchmarks=benchmarks)
+    return _run_and_emit(args, only=list(EVALUATE_EXPERIMENTS), benchmarks=args.benchmarks)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -138,13 +166,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         selected.append(args.benchmark)
-    benchmarks = _validate_benchmarks(selected)
-    return _run_and_emit(args, only=["fig18"], benchmarks=benchmarks)
+    return _run_and_emit(args, only=["fig18"], benchmarks=selected)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     _validate_experiments(only=args.only, skip=args.skip)
-    return _run_and_emit(args, only=args.only, skip=args.skip, combined=True)
+    return _run_and_emit(
+        args, only=args.only, skip=args.skip, benchmarks=args.benchmarks, combined=True
+    )
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -152,9 +181,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.api.session import compare_scenarios
 
     _validate_experiments(only=args.only, skip=args.skip)
-    benchmarks = _validate_benchmarks(args.benchmarks)
     try:
         bases = [Scenario.load(spec) for spec in (args.scenario or ["paper-default"])]
+        bases = [_with_workloads(base, args) for base in bases]
         if args.set:
             variants = [base.with_set(args.set) for base in bases]
             # One base + overrides compares base vs. variant; several bases
@@ -169,6 +198,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "compare needs at least two scenarios: repeat --scenario, or add "
             "--set KEY=VALUE to compare a scenario against its overridden variant"
         )
+    benchmarks = args.benchmarks or None
+    if benchmarks:
+        # A restriction must resolve in every compared scenario's catalog;
+        # the first scenario's canonical spelling is used for the run.
+        canonical = [
+            _validate_benchmarks(benchmarks, scenario.catalog) for scenario in scenarios
+        ]
+        benchmarks = canonical[0]
     comparison = compare_scenarios(
         scenarios,
         only=args.only,
@@ -180,6 +217,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         text = json.dumps(comparison.to_dict(), indent=2)
     else:
         text = comparison.format_report()
+    _emit(text, args.output)
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    """``repro workloads list`` / ``repro workloads show NAME``."""
+    # Imported here: only this subcommand renders catalog tables.
+    from repro.analysis.tables import format_table
+
+    if args.action == "show" and not args.name:
+        raise SystemExit("workloads show requires a workload NAME")
+    scenario = _scenario_from_args(args)
+    catalog = scenario.catalog
+    if args.action == "show":
+        try:
+            spec = catalog.get(args.name)
+        except KeyError as error:
+            raise SystemExit(str(error.args[0])) from None
+        if args.format == "json":
+            text = json.dumps(spec.to_dict(), indent=2)
+        else:
+            text = "\n".join(
+                [
+                    spec.describe(),
+                    f"  dataset:            {spec.dataset_name} "
+                    f"{spec.dataset_spec.image_shape}, {spec.dataset_spec.num_classes} classes"
+                    + (" (custom)" if spec.is_custom_dataset else ""),
+                    f"  batch size:         {spec.batch_size}",
+                    f"  low capsules:       {spec.num_low_capsules} x {spec.low_dim}",
+                    f"  high capsules:      {spec.num_high_capsules} x {spec.high_dim}",
+                    f"  routing:            {spec.routing.value}, "
+                    f"{spec.routing_iterations} iterations",
+                    f"  network scale:      {spec.network_scale:g}",
+                ]
+            )
+    else:
+        if args.format == "json":
+            text = json.dumps([spec.to_dict() for spec in catalog.specs()], indent=2)
+        else:
+            text = format_table(
+                headers=["Workload", "Dataset", "BS", "L", "H", "CL", "CH", "Routing", "Iter"],
+                rows=[
+                    [
+                        spec.name,
+                        spec.dataset_name + ("*" if spec.is_custom_dataset else ""),
+                        spec.batch_size,
+                        spec.num_low_capsules,
+                        spec.num_high_capsules,
+                        spec.low_dim,
+                        spec.high_dim,
+                        spec.routing.value,
+                        spec.routing_iterations,
+                    ]
+                    for spec in catalog.specs()
+                ],
+                title=f"Workload catalog ({len(catalog)} networks; * = custom dataset)",
+            )
     _emit(text, args.output)
     return 0
 
@@ -230,6 +324,16 @@ def _add_scenario_options(parser: argparse.ArgumentParser, repeatable: bool = Fa
             ),
         )
     parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help=(
+            "workload spec JSON file merged into the run's catalog, "
+            "repeatable; the networks run alongside the Table-1 benchmarks"
+        ),
+    )
+    parser.add_argument(
         "--set",
         action="append",
         default=None,
@@ -276,9 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
-    reproduce = subparsers.add_parser("reproduce", help="run every experiment")
+    reproduce = subparsers.add_parser(
+        "reproduce", aliases=["run"], help="run every experiment"
+    )
     reproduce.add_argument("--skip", nargs="*", default=[])
     reproduce.add_argument("--only", nargs="*", default=None)
+    reproduce.add_argument("--benchmarks", nargs="*", default=None)
     _add_scenario_options(reproduce)
     _add_output_options(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
@@ -292,6 +399,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_options(compare, repeatable=True)
     _add_output_options(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    workloads = subparsers.add_parser(
+        "workloads", help="list or inspect the run's workload catalog"
+    )
+    workloads.add_argument(
+        "action", choices=("list", "show"), help="list the catalog or show one spec"
+    )
+    workloads.add_argument(
+        "name", nargs="?", default=None, help="workload name (for `show`)"
+    )
+    _add_scenario_options(workloads)
+    _add_output_options(workloads)
+    workloads.set_defaults(func=_cmd_workloads)
 
     return parser
 

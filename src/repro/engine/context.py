@@ -27,7 +27,8 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tupl
 
 from repro.core.accelerator import EndToEndComparison, PIMCapsNet, RoutingComparison
 from repro.engine.strategies import DesignLike, design_key
-from repro.workloads.benchmarks import BenchmarkConfig, benchmark_names, get_benchmark
+from repro.workloads.benchmarks import BenchmarkConfig
+from repro.workloads.catalog import WorkloadCatalog
 from repro.workloads.parallelism import Dimension
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -89,6 +90,9 @@ class SimulationContext:
 
             scenario = Scenario.default()
         self.scenario = scenario
+        #: The scenario's workload catalog (Table 1 + scenario workloads):
+        #: the single name-resolution authority of this run.
+        self.catalog: WorkloadCatalog = scenario.catalog
         self._factory = model_factory or PIMCapsNet
         self.max_workers = default_worker_count() if max_workers is None else max(1, max_workers)
         self._lock = threading.RLock()
@@ -109,12 +113,14 @@ class SimulationContext:
         """The memoized accelerator model for one benchmark variant.
 
         Args:
-            benchmark: Table-1 benchmark name or configuration.
+            benchmark: catalog workload name (Table 1 or a scenario workload)
+                or an explicit configuration.
             pe_frequency_mhz: override the HMC PE frequency (Fig. 18 sweeps).
             force_dimension: force the inter-vault distribution dimension
                 (Fig. 18 sweeps).
         """
-        key = self._model_key(benchmark, pe_frequency_mhz, force_dimension)
+        config = self.benchmark_config(benchmark)
+        key = self._model_key(config, pe_frequency_mhz, force_dimension)
         with self._lock:
             model = self._models.get(key)
             if model is not None:
@@ -127,7 +133,7 @@ class SimulationContext:
             kwargs = self.scenario.model_kwargs(
                 pe_frequency_mhz=pe_frequency_mhz, force_dimension=force_dimension
             )
-            model = self._factory(benchmark, **kwargs)
+            model = self._factory(config, **kwargs)
             self._models[key] = model
             return model
 
@@ -136,20 +142,34 @@ class SimulationContext:
         with self._lock:
             return list(self._models.values())
 
+    def benchmark_config(
+        self, benchmark: Union[str, BenchmarkConfig]
+    ) -> BenchmarkConfig:
+        """Resolve a benchmark name through the scenario's workload catalog.
+
+        Names are case-insensitive and cover both the Table-1 benchmarks and
+        the scenario's own workloads; explicit configurations pass through
+        unchanged.
+        """
+        if isinstance(benchmark, str):
+            return self.catalog.benchmark(benchmark)
+        return benchmark
+
     def select_benchmarks(self, benchmarks: Optional[List[str]] = None) -> List[str]:
         """Resolve the evaluated benchmarks for one experiment run.
 
         An explicit (non-empty) argument wins, then the scenario's own
-        selection, then all of Table 1 -- the single fallback chain every
-        experiment module shares.
+        selection, then the whole catalog (Table 1 plus the scenario's
+        workloads) -- the single fallback chain every experiment module
+        shares.
         """
         if benchmarks:
             return list(benchmarks)
         selection = self.scenario.benchmark_selection()
-        return selection if selection else benchmark_names()
+        return selection if selection else self.catalog.names()
 
-    @staticmethod
     def _model_key(
+        self,
         benchmark: Union[str, BenchmarkConfig],
         pe_frequency_mhz: Optional[float],
         force_dimension: Optional[Dimension],
@@ -157,8 +177,7 @@ class SimulationContext:
         # Key by the (frozen, hashable) configuration itself, not its name:
         # a custom BenchmarkConfig that shares a Table-1 name must not alias
         # the canonical benchmark's cache entries.
-        config = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
-        return (config, pe_frequency_mhz, force_dimension)
+        return (self.benchmark_config(benchmark), pe_frequency_mhz, force_dimension)
 
     # ------------------------------------------------------------------ results
 

@@ -18,7 +18,6 @@ from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPUDevice
 from repro.gpu.simulator import GPUSimulator
-from repro.workloads.benchmarks import BENCHMARKS
 from repro.workloads.layers_model import CapsNetWorkload, LayerKind
 
 
@@ -73,7 +72,7 @@ def run(
 
     def _row(name: str) -> LayerBreakdownRow:
         simulator = GPUSimulator(gpu, scenario.gpu_params)
-        workload = CapsNetWorkload(BENCHMARKS[name])
+        workload = CapsNetWorkload(ctx.benchmark_config(name))
         timing = simulator.simulate(workload)
         fractions: Dict[LayerKind, float] = timing.fraction_by_kind()
         return LayerBreakdownRow(

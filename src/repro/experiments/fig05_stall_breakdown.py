@@ -18,7 +18,6 @@ from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPUDevice
 from repro.gpu.kernels import StallClass
 from repro.gpu.simulator import GPUSimulator
-from repro.workloads.benchmarks import BENCHMARKS
 from repro.workloads.layers_model import CapsNetWorkload
 
 
@@ -56,7 +55,7 @@ def run(
 
     def _row(name: str) -> StallBreakdownRow:
         simulator = GPUSimulator(gpu, scenario.gpu_params)
-        workload = CapsNetWorkload(BENCHMARKS[name])
+        workload = CapsNetWorkload(ctx.benchmark_config(name))
         profile = simulator.simulate_routing(workload.routing)
         return StallBreakdownRow(
             benchmark=name,

@@ -20,8 +20,6 @@ from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPU_DEVICES, ONCHIP_STORAGE_SWEEP
 from repro.gpu.simulator import GPUSimulator
-from repro.workloads.benchmarks import BENCHMARKS
-from repro.workloads.layers_model import CapsNetWorkload
 from repro.workloads.rp_model import RoutingWorkload
 
 
@@ -63,8 +61,7 @@ def run(
     baseline = scenario.gpu
 
     def _row(name: str) -> OnChipStorageRow:
-        config = BENCHMARKS[name]
-        routing = RoutingWorkload(config)
+        routing = RoutingWorkload(ctx.benchmark_config(name))
         footprint = routing.footprint()
         ratios: Dict[str, float] = {}
         performance: Dict[str, float] = {}

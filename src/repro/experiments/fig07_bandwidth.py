@@ -18,7 +18,6 @@ from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
 from repro.gpu.devices import GPU_DEVICES, BANDWIDTH_SWEEP
 from repro.gpu.simulator import GPUSimulator
-from repro.workloads.benchmarks import BENCHMARKS
 from repro.workloads.rp_model import RoutingWorkload
 
 
@@ -58,7 +57,7 @@ def run(
     }
 
     def _row(name: str) -> BandwidthRow:
-        routing = RoutingWorkload(BENCHMARKS[name])
+        routing = RoutingWorkload(ctx.benchmark_config(name))
         reference_time: Optional[float] = None
         normalized: Dict[str, float] = {}
         for device_name in device_names:

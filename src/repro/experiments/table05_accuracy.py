@@ -22,12 +22,11 @@ from typing import Dict, List, Optional
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table
 from repro.arithmetic.context import MathContext
-from repro.capsnet.datasets import dataset_for_benchmark
+from repro.capsnet.datasets import DatasetSpec, dataset_for_spec
 from repro.capsnet.model import CapsNet, CapsNetConfig
 from repro.capsnet.training import Trainer
 from repro.engine.context import SimulationContext
 from repro.engine.experiment import Experiment, register_experiment
-from repro.workloads.benchmarks import BENCHMARKS
 
 
 @dataclass
@@ -101,22 +100,23 @@ def run(
     The accuracy comparison is hardware-insensitive: only the scenario's
     benchmark selection (taken from ``context`` when given) affects it.
     """
-    names = (
-        context.select_benchmarks(benchmarks)
-        if context
-        else (benchmarks or list(BENCHMARKS))
-    )
-    trained: Dict[str, CapsNet] = {}
-    datasets: Dict[str, object] = {}
+    ctx = context or SimulationContext(max_workers=1)
+    names = ctx.select_benchmarks(benchmarks)
+    # Trained models / datasets are shared per dataset *spec* (not name), so
+    # a custom workload whose inline dataset reuses a Table-1 name cannot
+    # alias the canonical dataset's trained weights.
+    trained: Dict[DatasetSpec, CapsNet] = {}
+    datasets: Dict[DatasetSpec, object] = {}
     rows: List[AccuracyRow] = []
 
     for name in names:
-        config = BENCHMARKS[name]
+        config = ctx.benchmark_config(name)
         dataset_name = config.dataset
-        if dataset_name not in trained:
-            num_classes = config.dataset_spec.num_classes
-            dataset = dataset_for_benchmark(
-                dataset_name,
+        spec = config.dataset_spec
+        if spec not in trained:
+            num_classes = spec.num_classes
+            dataset = dataset_for_spec(
+                spec,
                 num_train=max(num_train, 8 * num_classes),
                 num_test=max(num_test, 4 * num_classes),
                 seed=seed,
@@ -133,10 +133,10 @@ def run(
                 seed=seed,
             )
             trainer.fit(dataset, epochs=epochs, batch_size=16)
-            trained[dataset_name] = model
-            datasets[dataset_name] = dataset
-        model = trained[dataset_name]
-        dataset = datasets[dataset_name]
+            trained[spec] = model
+            datasets[spec] = dataset
+        model = trained[spec]
+        dataset = datasets[spec]
         test_images, test_labels = dataset.test_set()
         state = model.state_dict()
 

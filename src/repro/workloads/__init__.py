@@ -6,6 +6,10 @@ movement each layer generates.  This package captures that:
 
 * :mod:`repro.workloads.benchmarks` -- the 12 benchmark configurations of
   Table 1 (Caps-MN1..3, Caps-CF1..3, Caps-EN1..3, Caps-SV1..3).
+* :mod:`repro.workloads.catalog` -- declarative :class:`WorkloadSpec`
+  definitions of arbitrary capsule networks and the immutable
+  :class:`WorkloadCatalog` resolving benchmark names (Table-1 seed plus
+  user-defined specs).
 * :mod:`repro.workloads.parallelism` -- Table 2: along which of the B / L / H
   dimensions each routing equation can be parallelized.
 * :mod:`repro.workloads.rp_model` -- per-equation FLOP counts, intermediate
@@ -20,6 +24,13 @@ from repro.workloads.benchmarks import (
     BenchmarkConfig,
     benchmark_names,
     get_benchmark,
+)
+from repro.workloads.catalog import (
+    RoutingAlgorithm,
+    WorkloadCatalog,
+    WorkloadSpec,
+    default_catalog,
+    routing_workload_for,
 )
 from repro.workloads.parallelism import (
     Dimension,
@@ -37,6 +48,11 @@ __all__ = [
     "BenchmarkConfig",
     "benchmark_names",
     "get_benchmark",
+    "RoutingAlgorithm",
+    "WorkloadCatalog",
+    "WorkloadSpec",
+    "default_catalog",
+    "routing_workload_for",
     "Dimension",
     "EQUATION_PARALLELISM",
     "RoutingEquation",

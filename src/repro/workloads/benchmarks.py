@@ -9,24 +9,31 @@ an 8-dimensional low-level capsule and a 16-dimensional high-level capsule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.capsnet.datasets import DATASET_SPECS, DatasetSpec
 
 
 @dataclass(frozen=True)
 class BenchmarkConfig:
-    """One row of Table 1.
+    """One row of Table 1 (or a user-defined workload's equivalent).
 
     Attributes:
         name: benchmark name (e.g. ``"Caps-MN1"``).
-        dataset: dataset name (key into :data:`repro.capsnet.datasets.DATASET_SPECS`).
+        dataset: dataset name (key into :data:`repro.capsnet.datasets.DATASET_SPECS`,
+            or the name of ``custom_dataset`` when one is given).
         batch_size: batched input sets processed per inference (``NB``).
         num_low_capsules: number of low-level capsules (``NL``).
         num_high_capsules: number of high-level capsules (``NH``).
-        routing_iterations: dynamic routing iterations (``I``).
+        routing_iterations: routing iterations (``I``).
         low_dim: scalars per low-level capsule (``CL``, 8 for all benchmarks).
         high_dim: scalars per high-level capsule (``CH``, 16 for all benchmarks).
+        routing: routing algorithm, ``"dynamic"`` or ``"em"`` (user-defined
+            :class:`~repro.workloads.catalog.WorkloadSpec` workloads may pick
+            EM; every Table-1 benchmark uses dynamic routing).
+        custom_dataset: inline dataset spec for workloads whose dataset is not
+            in :data:`~repro.capsnet.datasets.DATASET_SPECS`.
     """
 
     name: str
@@ -37,6 +44,8 @@ class BenchmarkConfig:
     routing_iterations: int
     low_dim: int = 8
     high_dim: int = 16
+    routing: str = "dynamic"
+    custom_dataset: Optional[DatasetSpec] = None
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -49,7 +58,19 @@ class BenchmarkConfig:
         ):
             if getattr(self, field_name) < 1:
                 raise ValueError(f"{field_name} must be >= 1")
-        if self.dataset not in DATASET_SPECS:
+        if self.routing not in ("dynamic", "em"):
+            raise ValueError(
+                f"unknown routing algorithm {self.routing!r}; choose from ['dynamic', 'em']"
+            )
+        if self.custom_dataset is not None:
+            if not isinstance(self.custom_dataset, DatasetSpec):
+                raise ValueError("custom_dataset must be a DatasetSpec")
+            if self.dataset != self.custom_dataset.name:
+                raise ValueError(
+                    f"dataset {self.dataset!r} does not match "
+                    f"custom_dataset name {self.custom_dataset.name!r}"
+                )
+        elif self.dataset not in DATASET_SPECS:
             raise ValueError(f"unknown dataset {self.dataset!r}")
 
     # -- convenience ----------------------------------------------------------
@@ -57,6 +78,8 @@ class BenchmarkConfig:
     @property
     def dataset_spec(self) -> DatasetSpec:
         """Shape-level description of the benchmark's dataset."""
+        if self.custom_dataset is not None:
+            return self.custom_dataset
         return DATASET_SPECS[self.dataset]
 
     @property
@@ -114,8 +137,11 @@ def _build_benchmarks() -> Dict[str, BenchmarkConfig]:
     }
 
 
-#: All 12 benchmarks of Table 1 keyed by name.
-BENCHMARKS: Dict[str, BenchmarkConfig] = _build_benchmarks()
+#: All 12 benchmarks of Table 1 keyed by name.  Read-only: the Table-1 seed
+#: anchors the golden-report regression tests and the default
+#: :func:`~repro.workloads.catalog.default_catalog`; user-defined workloads
+#: extend a catalog (or a scenario) instead of mutating this mapping.
+BENCHMARKS: Mapping[str, BenchmarkConfig] = MappingProxyType(_build_benchmarks())
 
 
 def benchmark_names() -> List[str]:
@@ -124,8 +150,17 @@ def benchmark_names() -> List[str]:
 
 
 def get_benchmark(name: str) -> BenchmarkConfig:
-    """Look up a benchmark by (case-insensitive) name."""
-    for key, config in BENCHMARKS.items():
-        if key.lower() == name.strip().lower():
-            return config
-    raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}")
+    """Look up a Table-1 benchmark by (case-insensitive) name.
+
+    The lookup is delegated to the default workload catalog, the single
+    name-normalization authority shared with scenario validation and the
+    engine (scenario-local workloads resolve through
+    :meth:`repro.api.scenario.Scenario.catalog` instead).
+    """
+    # Imported lazily: the catalog module imports this one at load time.
+    from repro.workloads.catalog import default_catalog
+
+    try:
+        return default_catalog().benchmark(name)
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}") from None

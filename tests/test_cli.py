@@ -231,3 +231,138 @@ def test_compare_json_two_scenarios(capsys):
 def test_compare_requires_two_scenarios():
     with pytest.raises(SystemExit, match="at least two"):
         main(["compare", "--only", "fig15"])
+
+
+@pytest.fixture()
+def workload_file(tmp_path):
+    path = tmp_path / "caps-ts43.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "Caps-TS43",
+                "dataset": {
+                    "name": "TRAFFIC-SIGNS",
+                    "image_shape": [3, 48, 48],
+                    "num_classes": 43,
+                },
+                "batch_size": 64,
+                "num_low_capsules": 2048,
+                "num_high_capsules": 43,
+                "routing_iterations": 4,
+            }
+        ),
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+def test_workloads_list_shows_table1(capsys):
+    assert main(["workloads", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "Workload catalog (12 networks" in out
+    assert "Caps-MN1" in out and "Caps-SV3" in out
+
+
+def test_workloads_list_includes_workload_flag(workload_file, capsys):
+    assert main(["workloads", "list", "--workload", workload_file]) == 0
+    out = capsys.readouterr().out
+    assert "Workload catalog (13 networks" in out
+    assert "Caps-TS43" in out
+
+
+def test_workloads_show_case_insensitive(workload_file, capsys):
+    assert main(["workloads", "show", "caps-ts43", "--workload", workload_file]) == 0
+    out = capsys.readouterr().out
+    assert "Caps-TS43" in out
+    assert "43 classes (custom)" in out
+
+
+def test_workloads_show_json(capsys):
+    assert main(["workloads", "show", "Caps-MN1", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"] == "Caps-MN1"
+    assert payload["routing"] == "dynamic"
+
+
+def test_workloads_show_requires_name():
+    with pytest.raises(SystemExit, match="NAME"):
+        main(["workloads", "show"])
+
+
+def test_workloads_show_unknown_name_rejected():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["workloads", "show", "Caps-XYZ"])
+
+
+def test_run_alias_with_user_json_workload(workload_file, capsys):
+    # Acceptance: a workload defined only in a user JSON file (never added to
+    # BENCHMARKS) runs through `repro run --workload` and appears in fig04,
+    # fig15 and fig17 outputs.
+    assert (
+        main(
+            [
+                "run",
+                "--only",
+                "fig04",
+                "fig15",
+                "fig17",
+                "--workload",
+                workload_file,
+                "--benchmarks",
+                "caps-ts43",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    import repro
+
+    assert "Caps-TS43" not in repro.BENCHMARKS
+    for section in ("Fig. 4", "Fig. 15", "Fig. 17"):
+        assert section in out
+    assert out.count("Caps-TS43") >= 3
+
+
+def test_evaluate_runs_custom_workload_alongside_table1(workload_file, capsys):
+    assert (
+        main(
+            [
+                "evaluate",
+                "--workload",
+                workload_file,
+                "--benchmarks",
+                "Caps-TS43",
+                "Caps-MN1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Caps-TS43" in out and "Caps-MN1" in out
+
+
+def test_compare_with_custom_workload(workload_file, capsys):
+    assert (
+        main(
+            [
+                "compare",
+                "--workload",
+                workload_file,
+                "--set",
+                "hmc.pe_frequency_mhz=625",
+                "--only",
+                "fig15",
+                "--benchmarks",
+                "Caps-TS43",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Scenario comparison" in out
+    assert "+1 workload(s)" in out
+
+
+def test_unknown_workload_file_rejected():
+    with pytest.raises(SystemExit, match="cannot read workload file"):
+        main(["evaluate", "--workload", "/no/such/workload.json"])

@@ -46,3 +46,20 @@ def test_combined_report_contains_every_section(reproduce_result):
     combined = reproduce_result.combined_report()
     for name in GOLDEN_REPORTS:
         assert f"\n{name}\n" in combined
+
+
+def test_default_catalog_preserves_golden_benchmark_set():
+    """The workload catalog must keep the Table-1 seed byte-identical.
+
+    The golden tests above already pin the rendered reports; this pins the
+    mechanism: the default scenario resolves every benchmark to the *same*
+    configurations, in the same order, as the pre-catalog globals.
+    """
+    from repro.api.scenario import Scenario
+    from repro.workloads.benchmarks import BENCHMARKS, benchmark_names
+    from repro.workloads.catalog import default_catalog
+
+    assert default_catalog().names() == benchmark_names()
+    for name in benchmark_names():
+        assert default_catalog().benchmark(name) is BENCHMARKS[name]
+    assert Scenario.default().catalog == default_catalog()

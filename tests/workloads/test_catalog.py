@@ -1,0 +1,188 @@
+"""Tests for the declarative workload specs and the workload catalog."""
+
+import json
+
+import pytest
+
+from repro.capsnet.datasets import DatasetSpec
+from repro.workloads.benchmarks import BENCHMARKS, benchmark_names
+from repro.workloads.catalog import (
+    RoutingAlgorithm,
+    WorkloadCatalog,
+    WorkloadSpec,
+    default_catalog,
+    routing_workload_for,
+)
+from repro.workloads.em_model import EMRoutingWorkload
+from repro.workloads.rp_model import RoutingWorkload
+
+CUSTOM = dict(
+    name="Caps-TS43",
+    dataset={"name": "TRAFFIC-SIGNS", "image_shape": [3, 48, 48], "num_classes": 43},
+    batch_size=64,
+    num_low_capsules=2048,
+    num_high_capsules=43,
+    routing_iterations=4,
+)
+
+
+def custom_spec(**overrides) -> WorkloadSpec:
+    return WorkloadSpec.from_dict({**CUSTOM, **overrides})
+
+
+# --------------------------------------------------------------- WorkloadSpec
+
+
+def test_named_dataset_spec_roundtrips_through_json():
+    spec = WorkloadSpec(
+        name="Caps-Big", dataset="mnist", batch_size=256,
+        num_low_capsules=4608, num_high_capsules=32,
+    )
+    assert spec.dataset == "MNIST"  # canonicalized
+    data = json.loads(json.dumps(spec.to_dict()))
+    assert WorkloadSpec.from_dict(data) == spec
+
+
+def test_inline_dataset_spec_roundtrips_through_json():
+    spec = custom_spec(routing="em")
+    assert spec.is_custom_dataset
+    assert spec.dataset_spec.image_shape == (3, 48, 48)
+    assert spec.routing is RoutingAlgorithm.EM
+    data = json.loads(json.dumps(spec.to_dict()))
+    assert WorkloadSpec.from_dict(data) == spec
+
+
+def test_spec_is_hashable():
+    assert hash(custom_spec()) == hash(custom_spec())
+
+
+def test_bad_dims_rejected():
+    with pytest.raises(ValueError, match="low_dim"):
+        custom_spec(low_dim=0)
+    with pytest.raises(ValueError, match="batch_size"):
+        custom_spec(batch_size=-1)
+    with pytest.raises(ValueError, match="num_high_capsules"):
+        custom_spec(num_high_capsules=0)
+    with pytest.raises(ValueError, match="image_shape"):
+        custom_spec(dataset={"name": "X", "image_shape": [3, 0, 48], "num_classes": 4})
+
+
+def test_non_integral_dataset_values_rejected():
+    with pytest.raises(ValueError, match="image_shape dimension"):
+        custom_spec(dataset={"name": "X", "image_shape": [3, 48.9, 48], "num_classes": 4})
+    with pytest.raises(ValueError, match="num_classes"):
+        custom_spec(dataset={"name": "X", "image_shape": [3, 48, 48], "num_classes": 4.5})
+    with pytest.raises(ValueError, match="batch_size"):
+        custom_spec(batch_size=64.9)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        custom_spec(dataset="IMAGENET")
+
+
+def test_unknown_routing_algorithm_rejected():
+    with pytest.raises(ValueError, match="unknown routing algorithm"):
+        custom_spec(routing="quantum")
+
+
+def test_unknown_and_missing_keys_rejected():
+    with pytest.raises(ValueError, match="unknown workload key"):
+        WorkloadSpec.from_dict({**CUSTOM, "colour": "blue"})
+    with pytest.raises(ValueError, match="missing required key"):
+        WorkloadSpec.from_dict({"name": "X", "dataset": "MNIST"})
+
+
+def test_from_file_defaults_name_to_stem(tmp_path):
+    data = {k: v for k, v in CUSTOM.items() if k != "name"}
+    path = tmp_path / "caps-file.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    spec = WorkloadSpec.from_file(path)
+    assert spec.name == "caps-file"
+
+
+def test_to_file_roundtrip(tmp_path):
+    spec = custom_spec()
+    path = tmp_path / "spec.json"
+    spec.to_file(path)
+    assert WorkloadSpec.from_file(path) == spec
+
+
+def test_benchmark_conversion_roundtrip():
+    spec = custom_spec(routing="em")
+    config = spec.to_benchmark()
+    assert config.routing == "em"
+    assert config.custom_dataset == spec.dataset
+    assert config.dataset_spec.num_classes == 43
+    assert WorkloadSpec.from_benchmark(config) == spec
+
+
+def test_routing_workload_matches_algorithm():
+    assert isinstance(custom_spec().routing_workload(), RoutingWorkload)
+    assert isinstance(custom_spec(routing="em").routing_workload(), EMRoutingWorkload)
+    assert isinstance(routing_workload_for(BENCHMARKS["Caps-MN1"]), RoutingWorkload)
+
+
+# ------------------------------------------------------------ WorkloadCatalog
+
+
+def test_default_catalog_is_the_table1_seed():
+    catalog = default_catalog()
+    assert catalog.names() == benchmark_names()
+    for name in benchmark_names():
+        # Identity, not just equality: the golden-report invariant.
+        assert catalog.benchmark(name) is BENCHMARKS[name]
+
+
+def test_catalog_lookup_is_case_insensitive():
+    catalog = default_catalog()
+    assert catalog.canonical_name("caps-mn1") == "Caps-MN1"
+    assert catalog.get("CAPS-SV2").routing_iterations == 6
+    assert "caps-en3" in catalog
+    with pytest.raises(KeyError, match="unknown workload"):
+        catalog.get("Caps-XYZ")
+
+
+def test_with_specs_appends_after_the_seed():
+    catalog = default_catalog().with_specs([custom_spec()])
+    assert len(catalog) == 13
+    assert catalog.names()[:12] == benchmark_names()
+    assert catalog.names()[-1] == "Caps-TS43"
+    assert catalog.get("caps-ts43").num_high_capsules == 43
+    # The shared default catalog is untouched.
+    assert len(default_catalog()) == 12
+
+
+def test_with_specs_replaces_same_name_in_place():
+    override = WorkloadSpec(
+        name="caps-mn1", dataset="MNIST", batch_size=999,
+        num_low_capsules=1152, num_high_capsules=10,
+    )
+    catalog = default_catalog().with_specs([override])
+    assert len(catalog) == 12
+    assert catalog.get("Caps-MN1").batch_size == 999
+    assert catalog.names()[1:] == benchmark_names()[1:]
+
+
+def test_catalog_equality_and_hash():
+    extended = default_catalog().with_specs([custom_spec()])
+    assert default_catalog() == WorkloadCatalog.default()
+    assert extended != default_catalog()
+    assert hash(extended) == hash(default_catalog().with_specs([custom_spec()]))
+
+
+# ------------------------------------------------------- read-only BENCHMARKS
+
+
+def test_benchmarks_mapping_is_read_only():
+    with pytest.raises(TypeError):
+        BENCHMARKS["Caps-Evil"] = BENCHMARKS["Caps-MN1"]  # type: ignore[index]
+    with pytest.raises(TypeError):
+        del BENCHMARKS["Caps-MN1"]  # type: ignore[attr-defined]
+
+
+def test_repro_benchmarks_reexport_still_works():
+    import repro
+
+    assert repro.BENCHMARKS["Caps-MN1"].batch_size == 100
+    assert len(repro.BENCHMARKS) == 12
