@@ -1,0 +1,108 @@
+"""Benchmark the sweep engine and record the result as BENCH_sweep.json.
+
+Times three configurations of one fixed reference grid (40 points x 12
+benchmarks x 4 designs, end-to-end metric):
+
+* ``cold_serial``   -- fresh cache, ``jobs=1`` (the baseline the acceptance
+  criterion compares against),
+* ``cold_parallel`` -- fresh cache, process pool over the available cores,
+* ``warm``          -- same cache as ``cold_parallel``; must execute zero
+  simulations.
+
+The JSON report lands next to this script (``benchmarks/BENCH_sweep.json``
+by default, override with argv[1]) so the perf trajectory of the sweep
+engine gets recorded across PRs; CI uploads it as a workflow artifact.
+``parallel_speedup`` is only meaningful on multi-core machines -- on a
+single-core container the process pool cannot win and the script says so
+rather than failing.
+
+Run with::
+
+    python benchmarks/bench_sweep.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.engine.context import default_worker_count
+from repro.sweep import SweepRunner, SweepSpec
+
+#: The fixed reference grid -- keep it stable so BENCH numbers stay comparable.
+SPEC = SweepSpec.from_axes(
+    {
+        "hmc.pe_frequency_mhz": [
+            200.0, 250.0, 312.5, 425.0, 550.0, 625.0, 800.0, 937.5, 1100.0, 1250.0,
+        ],
+        "hmc.pes_per_vault": [4, 8, 16, 32],
+    },
+    name="bench-sweep",
+    designs=("pim-capsnet", "all-in-pim", "rmas-pim", "rmas-gpu"),
+    kind="end-to-end",
+)
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    result = SweepRunner(SPEC, **kwargs).run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent / "BENCH_sweep.json"
+    jobs = default_worker_count()
+    print(f"grid: {SPEC.describe()}")
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as serial_dir, \
+            tempfile.TemporaryDirectory(prefix="bench-sweep-") as parallel_dir:
+        serial, serial_s = _timed(jobs=1, executor="serial", cache_dir=serial_dir)
+        print(f"cold serial:   {serial_s:.3f}s  ({serial.describe_stats()})")
+        parallel, parallel_s = _timed(jobs=jobs, executor="process", cache_dir=parallel_dir)
+        print(f"cold parallel: {parallel_s:.3f}s  ({parallel.describe_stats()})")
+        warm, warm_s = _timed(jobs=jobs, executor="process", cache_dir=parallel_dir)
+        print(f"warm:          {warm_s:.3f}s  ({warm.describe_stats()})")
+
+    if warm.simulations_executed != 0 or warm.cache.misses != 0:
+        raise SystemExit("warm run was not fully cached -- the cache is broken")
+    if not (serial.format_report() == parallel.format_report() == warm.format_report()):
+        raise SystemExit("executors disagreed -- sweep results are not deterministic")
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = jobs
+    if cores <= 1:
+        print(f"parallel speedup: {speedup:.2f}x (single core -- not meaningful)")
+    else:
+        print(f"parallel speedup: {speedup:.2f}x over --jobs 1 on {cores} workers")
+
+    payload = {
+        "benchmark": "sweep",
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "grid_points": len(serial.points),
+        "cells": sum(len(point.cells) for point in serial.points),
+        "simulations": serial.simulations_executed,
+        "cold_serial_seconds": serial_s,
+        "cold_parallel_seconds": parallel_s,
+        "warm_seconds": warm_s,
+        "parallel_speedup": speedup,
+        "warm_speedup_over_cold_serial": serial_s / warm_s if warm_s > 0 else float("inf"),
+        "warm_simulations": warm.simulations_executed,
+        "warm_cache_hits": warm.cache.hits,
+        "warm_cache_misses": warm.cache.misses,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

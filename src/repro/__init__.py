@@ -25,7 +25,7 @@ Networks Processing Through A PIM-Based Architecture Design"* (HPCA 2020):
   :func:`~repro.api.compare_scenarios`.
 """
 
-from repro.api import Scenario, Session, compare_scenarios
+from repro.api import Scenario, Session, SweepSpec, compare_scenarios, run_sweep
 from repro.core.accelerator import DesignPoint, PIMCapsNet
 from repro.workloads.benchmarks import BENCHMARKS, BenchmarkConfig, get_benchmark
 from repro.workloads.catalog import (
@@ -40,7 +40,9 @@ __version__ = "0.3.0"
 __all__ = [
     "Scenario",
     "Session",
+    "SweepSpec",
     "compare_scenarios",
+    "run_sweep",
     "DesignPoint",
     "PIMCapsNet",
     "BENCHMARKS",

@@ -11,6 +11,9 @@ Everything a library consumer needs lives here:
   simulation reuse, returning typed results / rendered reports / JSON.
 * :func:`compare_scenarios` -- the engine behind ``repro compare``: the same
   experiment selection under N scenarios, aligned into a delta table.
+* :class:`SweepSpec` / :class:`SweepRunner` -- declarative design-space
+  sweeps over scenario axes with process-parallel execution and a persistent
+  on-disk result cache (the engine behind ``repro sweep --spec/--axis``).
 
 Quickstart::
 
@@ -43,6 +46,14 @@ from repro.api.session import (
     compare_scenarios,
     headline_metrics,
 )
+from repro.sweep import (
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+    sweep_preset_names,
+)
 from repro.workloads.catalog import (
     RoutingAlgorithm,
     WorkloadCatalog,
@@ -58,6 +69,10 @@ __all__ = [
     "ScenarioComparison",
     "MetricDelta",
     "RoutingAlgorithm",
+    "SweepAxis",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "WorkloadCatalog",
     "WorkloadSpec",
     "compare_scenarios",
@@ -65,4 +80,6 @@ __all__ = [
     "headline_metrics",
     "override_keys",
     "preset_names",
+    "run_sweep",
+    "sweep_preset_names",
 ]

@@ -268,6 +268,48 @@ class Scenario:
             json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
         )
 
+    # ----------------------------------------------------------------- hashing
+
+    def hardware_dict(self) -> Dict[str, object]:
+        """The simulation-relevant slice of :meth:`to_dict`.
+
+        Only the fields that change what a single ``(benchmark, design)``
+        simulation computes: HMC, GPU, GPU cost model, pipeline depth and
+        RMAS queue depth.  The scenario ``name`` is a label, and the
+        ``workloads``/``benchmarks``/``designs`` selections only pick *which*
+        simulations run, so none of them belong in a result cache key.
+        """
+        data = self.to_dict()
+        for selection in ("name", "workloads", "benchmarks", "designs"):
+            data.pop(selection)
+        return data
+
+    def hardware_hash(self) -> str:
+        """Content hash (SHA-256 hex) of :meth:`hardware_dict`.
+
+        The key the persistent simulation cache
+        (:class:`~repro.engine.diskcache.SimulationCache`) files results
+        under: scenarios that differ only in name (or in selections) share
+        cached simulations; any hardware change misses.  Memoized per
+        instance (the scenario is frozen) -- cache lookups hash in O(1).
+        """
+        cached = self.__dict__.get("_hardware_hash")
+        if cached is not None:
+            return cached
+        from repro.engine.diskcache import canonical_digest
+
+        digest = canonical_digest(self.hardware_dict())
+        object.__setattr__(self, "_hardware_hash", digest)
+        return digest
+
+    def content_hash(self) -> str:
+        """Content hash (SHA-256 hex) of the whole scenario except its name."""
+        from repro.engine.diskcache import canonical_digest
+
+        data = self.to_dict()
+        data.pop("name")
+        return canonical_digest(data)
+
     # ---------------------------------------------------------------- overrides
 
     def with_overrides(self, overrides: Mapping[str, object]) -> "Scenario":

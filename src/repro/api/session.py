@@ -154,6 +154,20 @@ class Session:
         """Rendered combined report of :meth:`run`."""
         return self.run(names, **kwargs).report()
 
+    def sweep(self, spec, **kwargs):
+        """Run a design-space sweep with this session's scenario as the base.
+
+        ``spec`` is a :class:`~repro.sweep.spec.SweepSpec`, a preset name or
+        a JSON spec file path; keyword arguments (``jobs``, ``executor``,
+        ``cache_dir``, ``use_cache``) pass through to
+        :class:`~repro.sweep.runner.SweepRunner`.  Returns the
+        :class:`~repro.sweep.runner.SweepResult`.
+        """
+        # Imported lazily: repro.sweep imports the scenario layer.
+        from repro.sweep.runner import SweepRunner
+
+        return SweepRunner(spec, self.scenario, **kwargs).run()
+
     # ------------------------------------------------- simulation pass-throughs
 
     def model(self, benchmark, **kwargs):

@@ -4,10 +4,20 @@ Six subcommands cover the common workflows::
 
     python -m repro characterize [--benchmarks ...]      # Figs. 4-7 (GPU bottleneck)
     python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
-    python -m repro sweep [--benchmarks ...]             # Fig. 18 (frequency sweep)
+    python -m repro sweep [--spec S | --axis K=V1,V2]    # design-space sweeps (Fig. 18)
     python -m repro reproduce [--skip ...] [--only ...]  # everything via the engine
     python -m repro compare --scenario A --scenario B    # N scenarios side by side
     python -m repro workloads list|show NAME             # the workload catalog
+
+``sweep`` without ``--spec``/``--axis`` prints the classic Fig. 18 frequency
+heat map.  With them it runs a generalized design-space sweep: every axis is
+a dotted scenario override path with the values to try, the grid is their
+cartesian product, points execute process-parallel (``--jobs``/``--executor``)
+and every simulation is memoized in a persistent on-disk cache
+(``--cache-dir``, ``--no-cache``), so repeated and overlapping sweeps are
+incremental -- a fully warm sweep executes zero simulations.  Execution
+statistics (cache hits/misses, wall clock) go to stderr; stdout stays
+byte-identical between cold and warm runs.
 
 Every command prints the same plain-text tables the benchmark harness writes
 to ``benchmarks/reports/`` by default; ``--format json`` emits the
@@ -159,6 +169,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.spec or args.axis:
+        return _cmd_sweep_grid(args)
     selected = list(args.benchmarks or [])
     if args.benchmark:
         print(
@@ -167,6 +179,79 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         selected.append(args.benchmark)
     return _run_and_emit(args, only=["fig18"], benchmarks=selected)
+
+
+def _cmd_sweep_grid(args: argparse.Namespace) -> int:
+    """``repro sweep --spec PATH|PRESET`` / ``--axis KEY=V1,V2,...``."""
+    # Imported here: only the generalized sweep needs the sweep engine.
+    import dataclasses
+
+    from repro.sweep import SweepRunner, SweepSpec
+
+    if args.benchmark:
+        raise SystemExit("--benchmark only applies to the classic Fig. 18 sweep")
+    base = _scenario_from_args(args)
+    try:
+        axes = [_parse_axis(assignment) for assignment in (args.axis or [])]
+        if args.spec:
+            spec = SweepSpec.load(args.spec)
+            if axes:
+                spec = dataclasses.replace(spec, axes=spec.axes + tuple(axes))
+        else:
+            spec = SweepSpec(name="cli-sweep", axes=tuple(axes))
+        if args.benchmarks:
+            spec = dataclasses.replace(spec, benchmarks=tuple(args.benchmarks))
+        runner = SweepRunner(
+            spec,
+            base,
+            jobs=args.jobs,
+            executor=args.executor,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        # Axis *values* are only coerced when each grid point's overrides
+        # apply, so bad values (--axis hmc.num_vaults=8,abc) surface here.
+        result = runner.run()
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if args.format == "json":
+        text = json.dumps(result.to_dict(), indent=2)
+    else:
+        text = result.format_report()
+    _emit(text, args.output)
+    # Execution statistics go to stderr so stdout/--output stays
+    # byte-identical between cold and warm runs.
+    print(result.describe_stats(), file=sys.stderr)
+    return 0
+
+
+def _parse_axis(assignment: str):
+    """Parse one ``--axis KEY=V1,V2,...`` option into a sweep axis."""
+    from repro.sweep import SweepAxis
+
+    key, sep, raw = str(assignment).partition("=")
+    if not sep or not key.strip():
+        raise ValueError(
+            f"invalid axis {assignment!r}; expected KEY=V1,V2,... "
+            f"(e.g. hmc.pe_frequency_mhz=312.5,625,1250)"
+        )
+    values = tuple(part.strip() for part in raw.split(",") if part.strip())
+    if not values:
+        raise ValueError(f"axis {key.strip()!r} has no values")
+    return SweepAxis(key.strip(), tuple(_parse_axis_value(value) for value in values))
+
+
+def _parse_axis_value(text: str):
+    """Coerce a CLI axis value: int, then float, then bare string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -278,6 +363,26 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for ``--jobs``: a strictly positive integer.
+
+    Zero and negative values used to be silently clamped to ``1`` deep
+    inside :class:`~repro.engine.context.SimulationContext`; the CLI now
+    rejects them up front with a clear message.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (1 = serial), got {value}"
+        )
+    return value
+
+
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format",
@@ -293,10 +398,10 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
-        help="thread-pool width (1 = serial; default: bounded CPU count)",
+        help="worker count (1 = serial; default: bounded CPU count)",
     )
 
 
@@ -369,12 +474,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_options(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
-    sweep = subparsers.add_parser("sweep", help="PE frequency sweep (Fig. 18)")
+    sweep = subparsers.add_parser(
+        "sweep",
+        help=(
+            "design-space sweep: --spec/--axis run a grid of scenario "
+            "variants (process-parallel, persistently cached); without "
+            "them the classic Fig. 18 frequency sweep runs"
+        ),
+    )
     sweep.add_argument("--benchmarks", nargs="*", default=None)
     sweep.add_argument(
         "--benchmark",
         default=None,
         help="deprecated alias of --benchmarks (single name)",
+    )
+    sweep.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH|PRESET",
+        help=(
+            "sweep specification: a preset (fig18-frequency) or a JSON "
+            "sweep-spec file"
+        ),
+    )
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="KEY=V1,V2,...",
+        help=(
+            "swept scenario axis, repeatable; the grid is the cartesian "
+            "product of all axes (e.g. --axis hmc.pe_frequency_mhz=312.5,625,1250)"
+        ),
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent simulation cache root (default: $REPRO_CACHE_DIR "
+            "or ~/.cache/repro)"
+        ),
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent simulation cache for this run",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("auto", "process", "thread", "serial"),
+        default="auto",
+        help=(
+            "how grid points execute (default auto: processes when "
+            "--jobs allows, else serial)"
+        ),
     )
     _add_scenario_options(sweep)
     _add_output_options(sweep)

@@ -33,6 +33,7 @@ from repro.workloads.parallelism import Dimension
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.scenario import Scenario
+    from repro.engine.diskcache import SimulationCache
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -76,6 +77,10 @@ class SimulationContext:
             concurrency entirely, ``None`` picks a bounded CPU count.
         scenario: hardware scenario every model is built from (the paper
             default when ``None``).
+        disk_cache: optional persistent
+            :class:`~repro.engine.diskcache.SimulationCache` consulted between
+            the in-memory caches and an actual simulation; hits skip model
+            construction entirely, misses are written back after simulating.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class SimulationContext:
         model_factory: Optional[Callable[..., PIMCapsNet]] = None,
         max_workers: Optional[int] = None,
         scenario: Optional["Scenario"] = None,
+        disk_cache: Optional["SimulationCache"] = None,
     ) -> None:
         if scenario is None:
             # Imported lazily: repro.api.session imports this module at load time.
@@ -94,6 +100,7 @@ class SimulationContext:
         #: the single name-resolution authority of this run.
         self.catalog: WorkloadCatalog = scenario.catalog
         self._factory = model_factory or PIMCapsNet
+        self.disk_cache = disk_cache
         self.max_workers = default_worker_count() if max_workers is None else max(1, max_workers)
         self._lock = threading.RLock()
         self._models: Dict[tuple, PIMCapsNet] = {}
@@ -226,6 +233,18 @@ class SimulationContext:
                 # into another's.
                 return copy.deepcopy(cached)
             self.stats.misses += 1
+        # The persistent cache sits between the in-memory caches and a real
+        # simulation: a hit skips model construction entirely (the point of
+        # warm sweep re-runs executing zero simulations).
+        config = model_key[0]
+        if self.disk_cache is not None:
+            persisted = self.disk_cache.get(
+                self.scenario, config, kind, design, pe_frequency_mhz, force_dimension
+            )
+            if persisted is not None:
+                with self._lock:
+                    self._results.setdefault(key, copy.deepcopy(persisted))
+                return persisted
         # Simulate outside the context lock so different benchmarks run
         # concurrently; concurrent lookups of the *same* key are deduplicated
         # by the model's own per-instance cache (each caller already holds a
@@ -240,6 +259,16 @@ class SimulationContext:
             result = model.simulate_routing(design)
         else:
             result = model.simulate_end_to_end(design)
+        if self.disk_cache is not None:
+            self.disk_cache.put(
+                self.scenario,
+                config,
+                kind,
+                design,
+                result,
+                pe_frequency_mhz=pe_frequency_mhz,
+                force_dimension=force_dimension,
+            )
         with self._lock:
             self._results.setdefault(key, copy.deepcopy(result))
         return result
@@ -254,6 +283,13 @@ class SimulationContext:
         """
         with self._lock:
             return sum(model.simulations_executed for model in self._models.values())
+
+    @property
+    def disk_stats(self) -> CacheStats:
+        """Hit/miss counters of the persistent cache (zeros when disabled)."""
+        if self.disk_cache is None:
+            return CacheStats()
+        return self.disk_cache.stats
 
     # -------------------------------------------------------------- parallel map
 

@@ -1,0 +1,367 @@
+"""Persistent, content-addressed on-disk cache for simulation results.
+
+The in-memory caches (:class:`~repro.engine.context.SimulationContext`,
+:class:`~repro.core.accelerator.PIMCapsNet`) only live for one process; a
+design-space sweep re-running the same ``(scenario, benchmark, design)``
+points across invocations -- or fanning points out over a process pool --
+pays for every simulation again.  :class:`SimulationCache` memoizes those
+results on disk instead:
+
+* **Content-addressed keys.**  An entry is keyed by the SHA-256 digest of a
+  canonical JSON payload: the cache schema version, the scenario's hardware
+  hash (:meth:`~repro.api.scenario.Scenario.hardware_hash`), the resolved
+  benchmark's content hash, the simulation kind (``routing`` /
+  ``end_to_end``), the design-point key and the per-call overrides
+  (``pe_frequency_mhz``, ``force_dimension``).  Two scenarios that differ
+  only in their *name* share entries; any hardware or workload change misses.
+* **Scenario-sharded, versioned layout.**  All entries of one scenario live
+  in a single shard file, ``<dir>/v<schema>/<aa>/<scenario-hash>.json``
+  (``~/.cache/repro`` by default; override with ``directory=`` /
+  ``--cache-dir`` / ``$REPRO_CACHE_DIR``).  A sweep point touches exactly one
+  shard, so a whole grid costs one small file per point instead of one file
+  per simulation -- the difference between write-bound and compute-bound
+  cold runs.  Bumping :data:`CACHE_SCHEMA_VERSION` orphans old trees instead
+  of misreading them; stale trees can simply be deleted (every entry is
+  re-creatable).
+* **Buffered writes, atomic publish.**  ``put`` buffers in memory;
+  :meth:`SimulationCache.flush` merges each dirty shard with whatever
+  reached disk meanwhile (buffered entries win on conflict) and publishes it
+  through a temporary file and an atomic :func:`os.replace`.  Concurrent
+  workers therefore never observe half-written shards, and writers sharing a
+  shard keep each other's entries.  The engine flushes automatically at the
+  end of a runner/sweep-point execution.
+* **Exact round-trips.**  Results are stored with full float precision
+  (``repr`` round-trip through JSON is exact for IEEE doubles), so a report
+  rendered from a warm cache is byte-identical to a cold run's.
+
+Only the two engine result types (:class:`~repro.core.accelerator.
+RoutingComparison`, :class:`~repro.core.accelerator.EndToEndComparison`) are
+persisted; custom strategy result types are silently skipped (they still hit
+the in-memory caches).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+from repro.core.accelerator import EndToEndComparison, RoutingComparison
+from repro.core.pipeline import PipelineTiming
+from repro.engine.strategies import DesignLike, design_key, resolve_design
+from repro.workloads.benchmarks import BenchmarkConfig
+from repro.workloads.parallelism import Dimension
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scenario import Scenario
+    from repro.engine.context import CacheStats
+
+#: Version of the on-disk shard format.  Bump whenever the key payload or the
+#: result encoding changes shape; old shards are then never consulted.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The default persistent cache root (``$REPRO_CACHE_DIR`` wins).
+
+    Falls back to ``$XDG_CACHE_HOME/repro`` and finally ``~/.cache/repro``.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+def canonical_digest(payload: object) -> str:
+    """SHA-256 hex digest of a JSON-serializable payload (sorted keys)."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@functools.lru_cache(maxsize=256)
+def benchmark_hash(config: BenchmarkConfig) -> str:
+    """Content hash of one resolved benchmark/workload configuration.
+
+    Memoized (configs are frozen and hashable) so per-lookup keying stays
+    cheap even for sweeps with thousands of cache accesses.
+    """
+    return canonical_digest(dataclasses.asdict(config))
+
+
+class SimulationCache:
+    """Content-addressed on-disk memo of ``(scenario, benchmark, design)`` results.
+
+    Args:
+        directory: cache root (:func:`default_cache_dir` when ``None``);
+            shards live in a version subdirectory below it.
+        version: shard schema version (:data:`CACHE_SCHEMA_VERSION`; tests
+            override it to exercise invalidation).
+
+    Attributes:
+        stats: hit/miss counters of this cache instance
+            (:class:`~repro.engine.context.CacheStats`).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        version: int = CACHE_SCHEMA_VERSION,
+    ) -> None:
+        # Imported here: context imports this module at load time.
+        from repro.engine.context import CacheStats
+
+        self.root = Path(directory) if directory is not None else default_cache_dir()
+        self.version = int(version)
+        self.directory = self.root / f"v{self.version}"
+        self.stats: "CacheStats" = CacheStats()
+        self._lock = threading.RLock()
+        #: scenario hash -> {entry digest: {"key": ..., "result": ...}}
+        self._shards: Dict[str, Dict[str, dict]] = {}
+        self._dirty: Dict[str, bool] = {}
+
+    # ----------------------------------------------------------------- keying
+
+    def entry_key(
+        self,
+        scenario: "Scenario",
+        benchmark: BenchmarkConfig,
+        kind: str,
+        design: DesignLike,
+        pe_frequency_mhz: Optional[float],
+        force_dimension: Optional[Dimension],
+    ) -> dict:
+        """The canonical (JSON) key payload of one simulation."""
+        return {
+            "schema": self.version,
+            "scenario": scenario.hardware_hash(),
+            "workload": benchmark_hash(benchmark),
+            "kind": str(kind),
+            "design": design_key(design),
+            "pe_frequency_mhz": pe_frequency_mhz,
+            "force_dimension": (
+                force_dimension.value if force_dimension is not None else None
+            ),
+        }
+
+    def _shard_path(self, scenario_hash: str) -> Path:
+        return self.directory / scenario_hash[:2] / f"{scenario_hash}.json"
+
+    def _read_disk(self, scenario_hash: str) -> Dict[str, dict]:
+        """One scenario's entry map as currently on disk (fresh read)."""
+        try:
+            data = json.loads(
+                self._shard_path(scenario_hash).read_text(encoding="utf-8")
+            )
+            if (
+                data.get("schema") == self.version
+                and data.get("scenario") == scenario_hash
+                and isinstance(data.get("entries"), dict)
+            ):
+                return data["entries"]
+        except (OSError, ValueError):
+            # Missing, unreadable or corrupt shards count as empty; the
+            # next flush rewrites them wholesale.
+            pass
+        return {}
+
+    def _shard(self, scenario_hash: str) -> Dict[str, dict]:
+        """The (memoized) entry map of one scenario, loaded from disk once."""
+        with self._lock:
+            shard = self._shards.get(scenario_hash)
+            if shard is None:
+                shard = self._read_disk(scenario_hash)
+                self._shards[scenario_hash] = shard
+            return shard
+
+    # ---------------------------------------------------------------- get/put
+
+    def get(
+        self,
+        scenario: "Scenario",
+        benchmark: BenchmarkConfig,
+        kind: str,
+        design: DesignLike,
+        pe_frequency_mhz: Optional[float] = None,
+        force_dimension: Optional[Dimension] = None,
+    ) -> Optional[object]:
+        """The cached result for one simulation, or ``None`` on a miss.
+
+        Unreadable, corrupt or schema-mismatched entries count as misses.
+        """
+        key = self.entry_key(
+            scenario, benchmark, kind, design, pe_frequency_mhz, force_dimension
+        )
+        shard = self._shard(key["scenario"])
+        entry = shard.get(canonical_digest(key))
+        try:
+            if entry is None or entry.get("key") != key:
+                raise ValueError("missing or mismatched cache entry")
+            result = decode_result(entry["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(
+        self,
+        scenario: "Scenario",
+        benchmark: BenchmarkConfig,
+        kind: str,
+        design: DesignLike,
+        result: object,
+        pe_frequency_mhz: Optional[float] = None,
+        force_dimension: Optional[Dimension] = None,
+    ) -> bool:
+        """Buffer one simulation result; ``False`` if its type is uncacheable.
+
+        Buffered entries are immediately visible to :meth:`get` on this
+        instance and reach disk on the next :meth:`flush`.
+        """
+        payload = encode_result(result)
+        if payload is None:
+            return False
+        key = self.entry_key(
+            scenario, benchmark, kind, design, pe_frequency_mhz, force_dimension
+        )
+        with self._lock:
+            shard = self._shard(key["scenario"])
+            shard[canonical_digest(key)] = {"key": key, "result": payload}
+            self._dirty[key["scenario"]] = True
+        return True
+
+    def flush(self) -> int:
+        """Publish every dirty shard atomically; returns shards written.
+
+        A read-only or full cache directory degrades to a no-op cache
+        (entries stay buffered in memory).
+        """
+        written = 0
+        with self._lock:
+            dirty = [hash_ for hash_, flag in self._dirty.items() if flag]
+            for scenario_hash in dirty:
+                path = self._shard_path(scenario_hash)
+                # Merge what reached disk since we loaded (another worker may
+                # share this shard -- e.g. sweep axes over selections keep
+                # the hardware hash constant); our buffered entries win on
+                # conflict, and nothing another writer published is lost.
+                on_disk = self._read_disk(scenario_hash)
+                if on_disk:
+                    merged = {**on_disk, **self._shards[scenario_hash]}
+                    self._shards[scenario_hash] = merged
+                data = {
+                    "schema": self.version,
+                    "scenario": scenario_hash,
+                    "entries": self._shards[scenario_hash],
+                }
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    # Atomic publish: concurrent workers racing on one shard
+                    # keep one of two equivalent versions, and readers never
+                    # see partial files.
+                    fd, tmp = tempfile.mkstemp(
+                        prefix=path.stem, suffix=".tmp", dir=str(path.parent)
+                    )
+                    try:
+                        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                            handle.write(json.dumps(data))
+                        os.replace(tmp, path)
+                    except BaseException:
+                        try:
+                            os.unlink(tmp)
+                        except OSError:
+                            pass
+                        raise
+                except OSError:
+                    continue
+                self._dirty[scenario_hash] = False
+                written += 1
+        return written
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulationCache({str(self.directory)!r})"
+
+
+# ------------------------------------------------------------- result codecs
+
+
+def encode_result(result: object) -> Optional[dict]:
+    """Lower an engine result to its JSON entry payload (``None`` = uncacheable)."""
+    if type(result) is RoutingComparison:
+        return {
+            "type": "routing",
+            "design": design_key(result.design),
+            "benchmark": result.benchmark,
+            "time_seconds": result.time_seconds,
+            "energy_joules": result.energy_joules,
+            "time_components": dict(result.time_components),
+            "energy_components": dict(result.energy_components),
+            "dimension": result.dimension.value if result.dimension is not None else None,
+        }
+    if type(result) is EndToEndComparison:
+        return {
+            "type": "end_to_end",
+            "design": design_key(result.design),
+            "benchmark": result.benchmark,
+            "timing": {
+                "host_stage_time": result.timing.host_stage_time,
+                "routing_stage_time": result.timing.routing_stage_time,
+                "num_batches": result.timing.num_batches,
+                "pipelined": result.timing.pipelined,
+            },
+            "energy_joules": result.energy_joules,
+            "host_stage_seconds": result.host_stage_seconds,
+            "routing_stage_seconds": result.routing_stage_seconds,
+        }
+    return None
+
+
+def decode_result(payload: dict) -> object:
+    """Rebuild the typed engine result from its JSON entry payload."""
+    kind = payload["type"]
+    if kind == "routing":
+        dimension = payload["dimension"]
+        return RoutingComparison(
+            design=resolve_design(payload["design"]),
+            benchmark=payload["benchmark"],
+            time_seconds=float(payload["time_seconds"]),
+            energy_joules=float(payload["energy_joules"]),
+            time_components={
+                str(key): float(value)
+                for key, value in payload["time_components"].items()
+            },
+            energy_components={
+                str(key): float(value)
+                for key, value in payload["energy_components"].items()
+            },
+            dimension=Dimension(dimension) if dimension is not None else None,
+        )
+    if kind == "end_to_end":
+        timing = payload["timing"]
+        return EndToEndComparison(
+            design=resolve_design(payload["design"]),
+            benchmark=payload["benchmark"],
+            timing=PipelineTiming(
+                host_stage_time=float(timing["host_stage_time"]),
+                routing_stage_time=float(timing["routing_stage_time"]),
+                num_batches=int(timing["num_batches"]),
+                pipelined=bool(timing["pipelined"]),
+            ),
+            energy_joules=float(payload["energy_joules"]),
+            host_stage_seconds=float(payload["host_stage_seconds"]),
+            routing_stage_seconds=float(payload["routing_stage_seconds"]),
+        )
+    raise ValueError(f"unknown cache entry type {kind!r}")

@@ -95,10 +95,23 @@ def run_experiments(
             each experiment, and its scenario supplies the hardware.
         max_workers: pool width for the new default context (ignored when
             ``context`` is passed); ``1`` runs everything serially.
-        scenario: hardware scenario for the new default context (ignored when
-            ``context`` is passed -- the context already carries one).
+        scenario: hardware scenario for the new default context.  When
+            ``context`` is also passed the two must agree -- a differing
+            scenario raises :class:`ValueError` (it used to be silently
+            ignored, letting callers run under the wrong hardware unnoticed).
+
+    Raises:
+        ValueError: on unknown experiment names, or when ``context`` and
+            ``scenario`` disagree about the hardware.
     """
     names = select_experiments(only=only, skip=skip)
+    if context is not None and scenario is not None and scenario != context.scenario:
+        raise ValueError(
+            f"run_experiments got both a context (scenario "
+            f"{context.scenario.name!r}) and a different scenario "
+            f"({scenario.name!r}); pass one of them, or a context built "
+            f"from that scenario"
+        )
     ctx = (
         context
         if context is not None
@@ -127,4 +140,7 @@ def run_experiments(
     for name, (experiment_result, report) in zip(names, outcomes):
         result.results[name] = experiment_result
         result.reports[name] = report
+    if ctx.disk_cache is not None:
+        # Publish buffered entries so the next process starts warm.
+        ctx.disk_cache.flush()
     return result

@@ -8,7 +8,8 @@ lowers any of them to plain ``dict`` / ``list`` / scalar values acceptable to
 * dataclass instances -> ``{field: value}`` dicts,
 * enums -> their ``value``,
 * mappings -> string keys (enum keys use their ``value``; tuple keys are
-  joined with ``"/"``),
+  joined with ``"/"``; literal slashes and backslashes inside any string key
+  or tuple component are escaped, so distinct keys never collide),
 * sequences / sets -> lists,
 * objects exposing ``to_dict()`` or ``as_dict()`` -> that dict,
 * non-finite floats (``nan``, ``+/-inf``) -> ``None`` (strict JSON has no
@@ -66,9 +67,27 @@ def to_jsonable(value: Any, _seen: Optional[Set[int]] = None) -> Any:
 
 
 def _key_to_str(key: Any) -> str:
-    """Mapping keys must be strings in JSON."""
-    if isinstance(key, Enum):
-        return str(key.value)
+    """Mapping keys must be strings in JSON.
+
+    Literal separators inside string keys are escaped and tuple components
+    joined with an *unescaped* ``/``, so ``("a/b", "c")``, ``("a", "b/c")``
+    and the plain string ``"a/b"`` all serialize to distinct keys --
+    user-named WorkloadSpecs can legally contain ``/``.
+    """
     if isinstance(key, tuple):
-        return "/".join(_key_to_str(part) for part in key)
-    return str(key)
+        # Nested tuples get their joined form re-escaped (flattening one
+        # level, like the pre-escaping serializer did).
+        return "/".join(
+            _escape_key_part(_key_to_str(part))
+            if isinstance(part, tuple)
+            else _key_to_str(part)
+            for part in key
+        )
+    if isinstance(key, Enum):
+        return _escape_key_part(str(key.value))
+    return _escape_key_part(str(key))
+
+
+def _escape_key_part(part: str) -> str:
+    r"""Escape the tuple-key separator (``/`` -> ``\/``, ``\`` -> ``\\``)."""
+    return part.replace("\\", "\\\\").replace("/", "\\/")

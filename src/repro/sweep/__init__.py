@@ -1,0 +1,55 @@
+"""Generalized design-space sweeps over scenario axes.
+
+The evaluation figures are points in a much larger design space -- PE
+frequency, PE count per vault, pipeline depth, host GPU, ... -- and this
+package is the exploration tool for the rest of it:
+
+* :class:`~repro.sweep.spec.SweepSpec` declares a sweep: one or more axes
+  (dotted scenario override paths with the values to try), an optional
+  benchmark restriction, the design points to evaluate and the simulation
+  kind.  Specs are frozen, validated and JSON-round-trippable, like
+  :class:`~repro.api.scenario.Scenario` and
+  :class:`~repro.workloads.catalog.WorkloadSpec`; :func:`~repro.sweep.spec.
+  sweep_presets` ships Fig. 18 as the ``fig18-frequency`` preset.
+* :class:`~repro.sweep.runner.SweepRunner` expands the grid against a base
+  scenario, executes the points serially, over a thread pool, or over a
+  ``ProcessPoolExecutor`` (scenarios and results are frozen/JSON-serializable
+  and cross process boundaries cleanly), and memoizes every simulation in the
+  persistent :class:`~repro.engine.diskcache.SimulationCache`, so repeated
+  and overlapping sweeps are incremental.
+
+Quickstart::
+
+    from repro.api import Session
+    from repro.sweep import SweepSpec
+
+    spec = SweepSpec.from_axes({"hmc.pe_frequency_mhz": [312.5, 625, 1250]})
+    result = Session().sweep(spec, jobs=4)
+    print(result.format_report())
+"""
+
+from repro.sweep.spec import (
+    SweepAxis,
+    SweepSpec,
+    sweep_preset_names,
+    sweep_presets,
+)
+from repro.sweep.runner import (
+    SweepCell,
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
+    run_sweep,
+)
+
+__all__ = [
+    "SweepAxis",
+    "SweepCell",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "run_sweep",
+    "sweep_preset_names",
+    "sweep_presets",
+]

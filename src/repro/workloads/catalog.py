@@ -315,6 +315,16 @@ class WorkloadSpec:
             json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
         )
 
+    def content_hash(self) -> str:
+        """Content hash (SHA-256 hex) of the spec's canonical JSON form.
+
+        Two specs hash equal exactly when :meth:`to_dict` matches -- the
+        workload half of the persistent simulation cache's key.
+        """
+        from repro.engine.diskcache import canonical_digest
+
+        return canonical_digest(self.to_dict())
+
     # ------------------------------------------------------------ convenience
 
     @property

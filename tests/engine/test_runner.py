@@ -88,3 +88,23 @@ def test_legacy_experiments_table_matches_registry():
     run_fn, format_fn = runner.EXPERIMENTS["overhead"]
     report = format_fn(run_fn())
     assert "mm^2" in report
+
+
+def test_context_with_conflicting_scenario_raises():
+    # Regression: the scenario argument used to be silently ignored when a
+    # context was passed, running under the wrong hardware unnoticed.
+    from repro.api.scenario import Scenario
+
+    context = SimulationContext(max_workers=1)
+    other = Scenario.preset("hmc-625mhz")
+    with pytest.raises(ValueError, match="different scenario"):
+        run_experiments(only=["overhead"], context=context, scenario=other)
+
+
+def test_context_with_matching_scenario_is_accepted():
+    from repro.api.scenario import Scenario
+
+    scenario = Scenario.default()
+    context = SimulationContext(max_workers=1, scenario=scenario)
+    result = run_experiments(only=["overhead"], context=context, scenario=scenario)
+    assert result.context is context

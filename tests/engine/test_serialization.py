@@ -117,3 +117,27 @@ def test_to_jsonable_keeps_shared_acyclic_objects():
         "first": {"value": 3.0},
         "second": {"value": 3.0},
     }
+
+
+def test_tuple_keys_with_separator_components_do_not_collide():
+    # Regression: ("a/b", "c") and ("a", "b/c") used to both serialize to
+    # "a/b/c"; user-named WorkloadSpecs make slashes in components reachable.
+    lowered = to_jsonable({("a/b", "c"): 1, ("a", "b/c"): 2})
+    assert len(lowered) == 2
+    assert lowered == {"a\\/b/c": 1, "a/b\\/c": 2}
+
+
+def test_tuple_key_backslashes_are_escaped():
+    lowered = to_jsonable({("a\\b", "c"): 1})
+    assert lowered == {"a\\\\b/c": 1}
+
+
+def test_plain_tuple_keys_keep_their_classic_form():
+    # The golden reports rely on ("Caps-MN1", 312.5) -> "Caps-MN1/312.5".
+    assert to_jsonable({("Caps-MN1", 312.5): 1}) == {"Caps-MN1/312.5": 1}
+
+
+def test_string_key_with_separator_does_not_collide_with_tuple_key():
+    # A plain "a/b" string key and the ("a", "b") tuple key must both survive.
+    lowered = to_jsonable({("a", "b"): 1, "a/b": 2})
+    assert lowered == {"a/b": 1, "a\\/b": 2}

@@ -1,0 +1,158 @@
+"""Tests for :mod:`repro.sweep.spec` (axes, validation, JSON, presets)."""
+
+import json
+
+import pytest
+
+from repro.api.scenario import Scenario
+from repro.sweep import SweepAxis, SweepSpec, sweep_preset_names, sweep_presets
+
+
+# ------------------------------------------------------------------- axes
+
+
+def test_axis_canonicalizes_abbreviated_keys():
+    axis = SweepAxis("hmc.pe_frequency", (312.5, 625.0))
+    assert axis.key == "hmc.pe_frequency_mhz"
+
+
+def test_axis_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown sweep axis"):
+        SweepAxis("hmc.warp_core_mhz", (1.0,))
+
+
+def test_axis_rejects_ambiguous_keys():
+    # "hmc.p" abbreviates several HMC fields (packet_overhead_bytes,
+    # pes_per_vault, pe_frequency_mhz).
+    with pytest.raises(ValueError, match="ambiguous sweep axis"):
+        SweepAxis("hmc.p", (1.0,))
+
+
+def test_axis_rejects_empty_and_duplicate_values():
+    with pytest.raises(ValueError, match="no values"):
+        SweepAxis("hmc.pe_frequency_mhz", ())
+    with pytest.raises(ValueError, match="duplicate values"):
+        SweepAxis("hmc.pe_frequency_mhz", (625.0, 625.0))
+
+
+def test_axis_rejects_non_scalar_values():
+    with pytest.raises(ValueError, match="scalars"):
+        SweepAxis("hmc.pe_frequency_mhz", ((312.5, 625.0),))
+
+
+# ------------------------------------------------------------------- spec
+
+
+def test_spec_requires_an_axis():
+    with pytest.raises(ValueError, match="at least one axis"):
+        SweepSpec(name="empty")
+
+
+def test_spec_rejects_duplicate_axes():
+    with pytest.raises(ValueError, match="duplicate sweep axes"):
+        SweepSpec.from_axes(
+            {"hmc.pe_frequency": [312.5], "hmc.pe_frequency_mhz": [625.0]}
+        )
+
+
+def test_spec_rejects_unknown_kind_and_design():
+    with pytest.raises(ValueError, match="unknown sweep kind"):
+        SweepSpec.from_axes({"hmc.pe_frequency_mhz": [625.0]}, kind="latency")
+    with pytest.raises(ValueError, match="unknown design point"):
+        SweepSpec.from_axes({"hmc.pe_frequency_mhz": [625.0]}, designs=("warp",))
+
+
+def test_spec_normalizes_kind_spelling():
+    spec = SweepSpec.from_axes({"hmc.pe_frequency_mhz": [625.0]}, kind="end_to_end")
+    assert spec.kind == "end-to-end"
+
+
+def test_spec_drops_baseline_from_designs():
+    spec = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": [625.0]}, designs=("baseline", "pim-capsnet")
+    )
+    assert spec.designs == ("pim-capsnet",)
+    with pytest.raises(ValueError, match="non-baseline"):
+        SweepSpec.from_axes({"hmc.pe_frequency_mhz": [625.0]}, designs=("baseline",))
+
+
+def test_grid_expansion_is_row_major():
+    spec = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": [312.5, 625.0], "hmc.pes_per_vault": [8, 16]}
+    )
+    assert spec.grid_size() == 4
+    assignments = spec.assignments()
+    assert assignments == [
+        {"hmc.pe_frequency_mhz": 312.5, "hmc.pes_per_vault": 8},
+        {"hmc.pe_frequency_mhz": 312.5, "hmc.pes_per_vault": 16},
+        {"hmc.pe_frequency_mhz": 625.0, "hmc.pes_per_vault": 8},
+        {"hmc.pe_frequency_mhz": 625.0, "hmc.pes_per_vault": 16},
+    ]
+
+
+def test_scenario_for_applies_overrides_and_names_points():
+    spec = SweepSpec.from_axes({"hmc.pe_frequency_mhz": [625.0]})
+    base = Scenario.default()
+    variant = spec.scenario_for(base, spec.assignments()[0])
+    assert variant.hmc.pe_frequency_mhz == 625.0
+    assert variant.name == "paper-default+hmc.pe_frequency_mhz=625"
+
+
+# ------------------------------------------------------------ serialization
+
+
+def test_spec_round_trips_through_dict():
+    spec = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": [312.5, 625.0]},
+        name="rt",
+        benchmarks=("Caps-MN1",),
+        designs=("pim-intra",),
+        kind="end-to-end",
+    )
+    assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_spec_from_dict_accepts_axis_mapping_and_entries():
+    from_mapping = SweepSpec.from_dict(
+        {"name": "m", "axes": {"hmc.pe_frequency_mhz": [312.5]}}
+    )
+    from_entries = SweepSpec.from_dict(
+        {"name": "m", "axes": [{"key": "hmc.pe_frequency_mhz", "values": [312.5]}]}
+    )
+    assert from_mapping == from_entries
+
+
+def test_spec_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown sweep key"):
+        SweepSpec.from_dict({"axes": {"hmc.pe_frequency_mhz": [1.0]}, "turbo": True})
+    with pytest.raises(ValueError, match="missing the required 'axes'"):
+        SweepSpec.from_dict({"name": "no-axes"})
+
+
+def test_spec_from_file_defaults_name_to_stem(tmp_path):
+    path = tmp_path / "freq_scan.json"
+    path.write_text(json.dumps({"axes": {"hmc.pe_frequency_mhz": [312.5, 625]}}))
+    spec = SweepSpec.from_file(path)
+    assert spec.name == "freq_scan"
+    assert spec.axis_keys == ["hmc.pe_frequency_mhz"]
+
+
+def test_spec_load_resolves_presets_and_files(tmp_path):
+    preset = SweepSpec.load("fig18-frequency")
+    assert preset.axis_keys == ["hmc.pe_frequency_mhz"]
+    # The preset's grid is exactly the Fig. 18 frequency list.
+    from repro.experiments.fig18_frequency_sweep import FIG18_FREQUENCIES_MHZ
+
+    assert preset.axes[0].values == tuple(FIG18_FREQUENCIES_MHZ)
+    path = tmp_path / "mine.json"
+    SweepSpec.from_axes({"pipeline_batches": [4, 8]}).to_file(path)
+    assert SweepSpec.load(str(path)).axis_keys == ["pipeline_batches"]
+    with pytest.raises(ValueError, match="unknown sweep spec"):
+        SweepSpec.load("no-such-sweep")
+
+
+def test_preset_registry_is_copied_and_listed():
+    presets = sweep_presets()
+    presets["fig18-frequency"] = None  # mutating the copy must not leak
+    assert sweep_presets()["fig18-frequency"] is not None
+    assert "fig18-frequency" in sweep_preset_names()

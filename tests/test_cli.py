@@ -366,3 +366,133 @@ def test_compare_with_custom_workload(workload_file, capsys):
 def test_unknown_workload_file_rejected():
     with pytest.raises(SystemExit, match="cannot read workload file"):
         main(["evaluate", "--workload", "/no/such/workload.json"])
+
+
+# ------------------------------------------------------- generalized sweeps
+
+
+def test_sweep_axis_grid(capsys, tmp_path):
+    assert main([
+        "sweep",
+        "--axis", "hmc.pe_frequency_mhz=312.5,625",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "Sweep 'cli-sweep'" in captured.out
+    assert "312.5" in captured.out and "625" in captured.out
+    # Execution statistics go to stderr, never stdout.
+    assert "disk cache" in captured.err
+    assert "disk cache" not in captured.out
+
+
+def test_sweep_warm_cache_runs_zero_simulations(capsys, tmp_path):
+    argv = [
+        "sweep",
+        "--axis", "hmc.pe_frequency_mhz=312.5,625",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out  # byte-identical report
+    assert "0 simulations executed" in warm.err
+    assert "0 misses" in warm.err
+
+
+def test_sweep_spec_preset(capsys, tmp_path):
+    assert main([
+        "sweep", "--spec", "fig18-frequency",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+        "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["spec"]["name"] == "fig18-frequency"
+    frequencies = [point["assignment"]["hmc.pe_frequency_mhz"] for point in payload["points"]]
+    assert frequencies == [312.5, 625.0, 937.5]
+
+
+def test_sweep_spec_file_with_extra_axis(capsys, tmp_path):
+    spec_path = tmp_path / "mine.json"
+    spec_path.write_text(json.dumps({"axes": {"hmc.pe_frequency_mhz": [312.5, 625]}}))
+    assert main([
+        "sweep", "--spec", str(spec_path),
+        "--axis", "hmc.pes_per_vault=8,16",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["points"]) == 4
+
+
+def test_sweep_rejects_bad_axis_and_unknown_spec(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--axis", "nonsense", "--cache-dir", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--axis", "hmc.warp=1,2", "--cache-dir", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", "no-such-sweep", "--cache-dir", str(tmp_path)])
+
+
+def test_sweep_no_cache_flag(capsys, tmp_path):
+    argv = [
+        "sweep",
+        "--axis", "hmc.pe_frequency_mhz=312.5",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+        "--no-cache",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "0 hits, 0 misses" in warm.err  # cache disabled: nothing persisted
+
+
+def test_classic_sweep_unchanged_without_spec_or_axis(capsys):
+    assert main(["sweep", "--benchmarks", "Caps-MN1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 18" in out
+
+
+# ---------------------------------------------------------- --jobs validation
+
+
+@pytest.mark.parametrize("value", ["0", "-3", "two"])
+def test_jobs_rejects_non_positive_values(capsys, value):
+    with pytest.raises(SystemExit):
+        main(["reproduce", "--only", "overhead", "--jobs", value])
+    err = capsys.readouterr().err
+    assert "positive integer" in err
+
+
+def test_jobs_rejected_across_subcommands(capsys):
+    for argv in (
+        ["characterize", "--jobs", "0"],
+        ["evaluate", "--jobs", "-1"],
+        ["sweep", "--jobs", "0"],
+        ["compare", "--jobs", "0"],
+        ["workloads", "list", "--jobs", "0"],
+    ):
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "positive integer" in capsys.readouterr().err
+
+
+def test_jobs_one_still_accepted(capsys):
+    assert main(["reproduce", "--only", "overhead", "--jobs", "1"]) == 0
+    assert "mm^2" in capsys.readouterr().out
+
+
+def test_sweep_bad_axis_value_exits_cleanly(capsys, tmp_path):
+    # Axis values only coerce when each point's overrides apply; the CLI
+    # must turn that ValueError into a clean exit, not a traceback.
+    with pytest.raises(SystemExit):
+        main([
+            "sweep", "--axis", "hmc.num_vaults=8,abc",
+            "--benchmarks", "Caps-MN1", "--cache-dir", str(tmp_path),
+        ])
