@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arithmetic.fp32 import FP32_BIAS, FP32_FRACTION_BITS, bits_to_float, float_to_bits
+from repro.arithmetic.fp32 import as_f32, FP32_BIAS, FP32_FRACTION_BITS, bits_to_float, float_to_bits
 
 #: ``log2(e)`` pre-computed offline (Sec. 5.2.2: "a constant that is computed offline").
 LOG2_E = float(np.log2(np.e))
@@ -68,12 +68,12 @@ def exact_exp(x: np.ndarray | float) -> np.ndarray:
 
 def exact_inv_sqrt(x: np.ndarray | float) -> np.ndarray:
     """Reference inverse square root in FP32."""
-    return (np.float32(1.0) / np.sqrt(_as_fp32(x), dtype=np.float32)).astype(np.float32)
+    return as_f32(np.float32(1.0) / np.sqrt(_as_fp32(x), dtype=np.float32))
 
 
 def exact_reciprocal(x: np.ndarray | float) -> np.ndarray:
     """Reference reciprocal in FP32."""
-    return (np.float32(1.0) / _as_fp32(x)).astype(np.float32)
+    return as_f32(np.float32(1.0) / _as_fp32(x))
 
 
 # ---------------------------------------------------------------------------
@@ -104,7 +104,7 @@ def approx_exp(x: np.ndarray | float, correction: float = EXP_AVG_CORRECTION) ->
     fixed = (y + (FP32_BIAS - 1) + 1.0 + correction) * (1 << FP32_FRACTION_BITS)
     fixed = np.clip(fixed, 1.0, np.float64(0x7F7FFFFF))
     bits = fixed.astype(np.uint32)
-    return bits_to_float(bits).astype(np.float32)
+    return as_f32(bits_to_float(bits))
 
 
 def approx_inv_sqrt(x: np.ndarray | float, newton_steps: int = 1) -> np.ndarray:
@@ -123,10 +123,10 @@ def approx_inv_sqrt(x: np.ndarray | float, newton_steps: int = 1) -> np.ndarray:
     half = np.float32(0.5) * x
     bits = float_to_bits(x)
     bits = INV_SQRT_MAGIC - (bits >> np.uint32(1))
-    y = bits_to_float(bits).astype(np.float32)
+    y = as_f32(bits_to_float(bits))
     for _ in range(max(0, int(newton_steps))):
         y = y * (np.float32(1.5) - half * y * y)
-    return y.astype(np.float32)
+    return as_f32(y)
 
 
 def approx_reciprocal(x: np.ndarray | float, newton_steps: int = 1) -> np.ndarray:
@@ -142,11 +142,11 @@ def approx_reciprocal(x: np.ndarray | float, newton_steps: int = 1) -> np.ndarra
     mag = np.abs(x)
     bits = float_to_bits(mag)
     bits = RECIPROCAL_MAGIC - bits
-    y = bits_to_float(bits).astype(np.float32)
+    y = as_f32(bits_to_float(bits))
     for _ in range(max(0, int(newton_steps))):
         y = y * (np.float32(2.0) - mag * y)
     y = np.where(sign, -y, y)
-    return y.astype(np.float32)
+    return as_f32(y)
 
 
 def approx_div(
@@ -156,7 +156,7 @@ def approx_div(
 ) -> np.ndarray:
     """Approximate ``numerator / denominator`` using :func:`approx_reciprocal`."""
     num = _as_fp32(numerator)
-    return (num * approx_reciprocal(denominator, newton_steps=newton_steps)).astype(np.float32)
+    return as_f32(num * approx_reciprocal(denominator, newton_steps=newton_steps))
 
 
 def approx_softmax(logits: np.ndarray, axis: int = -1, newton_steps: int = 1) -> np.ndarray:
@@ -169,7 +169,7 @@ def approx_softmax(logits: np.ndarray, axis: int = -1, newton_steps: int = 1) ->
     shifted = logits - np.max(logits, axis=axis, keepdims=True)
     exp = approx_exp(shifted)
     total = np.sum(exp, axis=axis, keepdims=True, dtype=np.float32)
-    return (exp * approx_reciprocal(total, newton_steps=newton_steps)).astype(np.float32)
+    return as_f32(exp * approx_reciprocal(total, newton_steps=newton_steps))
 
 
 def approx_squash(vectors: np.ndarray, axis: int = -1, newton_steps: int = 1) -> np.ndarray:
@@ -182,4 +182,4 @@ def approx_squash(vectors: np.ndarray, axis: int = -1, newton_steps: int = 1) ->
     norm_sq = np.maximum(norm_sq, np.float32(1e-12))
     inv_norm = approx_inv_sqrt(norm_sq, newton_steps=newton_steps)
     scale = norm_sq * approx_reciprocal(np.float32(1.0) + norm_sq, newton_steps=newton_steps)
-    return (vectors * scale * inv_norm).astype(np.float32)
+    return as_f32(vectors * scale * inv_norm)

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.arithmetic import approx
+from repro.arithmetic.fp32 import as_f32
 from repro.arithmetic.recovery import AccuracyRecovery, calibrate_exp_recovery
 
 
@@ -94,10 +95,10 @@ class MathContext:
     def divide(self, numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
         """Division ``numerator / denominator``."""
         if not self.use_approximations:
-            return (
+            return as_f32(
                 np.asarray(numerator, dtype=np.float32)
                 / np.asarray(denominator, dtype=np.float32)
-            ).astype(np.float32)
+            )
         return approx.approx_div(numerator, denominator, newton_steps=self.newton_steps)
 
     def inv_sqrt(self, x: np.ndarray) -> np.ndarray:
@@ -114,7 +115,7 @@ class MathContext:
         shifted = logits - np.max(logits, axis=axis, keepdims=True)
         exp = self.exp(shifted)
         total = np.sum(exp, axis=axis, keepdims=True, dtype=np.float32)
-        return (exp * self.reciprocal(total)).astype(np.float32)
+        return as_f32(exp * self.reciprocal(total))
 
     def squash(self, vectors: np.ndarray, axis: int = -1) -> np.ndarray:
         """Squash non-linearity (Eq. 3) along ``axis``."""
@@ -123,7 +124,7 @@ class MathContext:
         norm_sq = np.maximum(norm_sq, np.float32(1e-12))
         inv_norm = self.inv_sqrt(norm_sq)
         scale = norm_sq * self.reciprocal(np.float32(1.0) + norm_sq)
-        return (vectors * scale * inv_norm).astype(np.float32)
+        return as_f32(vectors * scale * inv_norm)
 
 
 #: Convenience module-level instances.

@@ -58,6 +58,19 @@ class FloatFields:
         return (np.uint32(1) << FP32_FRACTION_BITS) | self.fraction
 
 
+def as_f32(array: np.ndarray) -> np.ndarray:
+    """``array`` as float32 *without copying* when it already is float32.
+
+    The repository-wide no-copy dtype policy: ``ndarray.astype`` copies even
+    for a matching dtype, and the CapsNet training hot path paid ~2s per
+    cold Table-5 run in such redundant copies.  Non-float32 inputs go
+    through :func:`numpy.asarray` (itself copy-free where possible).
+    """
+    if isinstance(array, np.ndarray) and array.dtype == np.float32:
+        return array
+    return np.asarray(array, dtype=np.float32)
+
+
 def float_to_bits(value: np.ndarray | float) -> np.ndarray:
     """Reinterpret FP32 value(s) as their raw 32-bit unsigned representation."""
     arr = np.asarray(value, dtype=np.float32)

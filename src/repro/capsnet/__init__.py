@@ -27,7 +27,7 @@ from repro.capsnet.layers import (
     ReLU,
     Sigmoid,
 )
-from repro.capsnet.model import CapsNet, CapsNetConfig, DecoderConfig
+from repro.capsnet.model import CapsNet, CapsNetConfig, DecoderConfig, evaluate_accuracies
 from repro.capsnet.datasets import (
     DatasetSpec,
     SyntheticImageDataset,
@@ -55,6 +55,7 @@ __all__ = [
     "CapsNet",
     "CapsNetConfig",
     "DecoderConfig",
+    "evaluate_accuracies",
     "DatasetSpec",
     "SyntheticImageDataset",
     "dataset_for_benchmark",

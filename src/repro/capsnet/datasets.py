@@ -41,6 +41,25 @@ class DatasetSpec:
         c, h, w = self.image_shape
         return c * h * w
 
+    def content_hash(self) -> str:
+        """Content hash (SHA-256 hex) of everything that shapes the dataset.
+
+        Together with the synthetic generator parameters this fully
+        determines the generated samples, so the trained-model disk cache
+        keys on it: two specs that differ in any field (including the name,
+        which seeds the prototypes indirectly through none of the fields --
+        but keeps user-named custom datasets from aliasing) hash apart.
+        """
+        from repro.engine.diskcache import canonical_digest
+
+        return canonical_digest(
+            {
+                "name": self.name,
+                "image_shape": list(self.image_shape),
+                "num_classes": self.num_classes,
+            }
+        )
+
 
 #: Dataset specs for all datasets referenced in Table 1 of the paper.
 DATASET_SPECS: Dict[str, DatasetSpec] = {

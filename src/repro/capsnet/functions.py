@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.arithmetic.context import MathContext
+from repro.arithmetic.fp32 import as_f32
 
 _EPS = np.float32(1e-12)
 
@@ -59,13 +60,13 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     exp_x = np.exp(x[~pos])
     out[~pos] = exp_x / (1.0 + exp_x)
-    return out.astype(np.float32)
+    return as_f32(out)
 
 
 def sigmoid_grad(y: np.ndarray) -> np.ndarray:
     """Derivative of the sigmoid given its *output* ``y``."""
     y = np.asarray(y, dtype=np.float32)
-    return (y * (1.0 - y)).astype(np.float32)
+    return as_f32(y * (1.0 - y))
 
 
 def capsule_lengths(capsules: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -117,7 +118,7 @@ def margin_loss_grad(
     grad_present = -2.0 * np.maximum(0.0, m_plus - lengths)
     grad_absent = 2.0 * np.maximum(0.0, lengths - m_minus)
     grad = t * grad_present + lambda_down * (1.0 - t) * grad_absent
-    return (grad / np.float32(batch)).astype(np.float32)
+    return as_f32(grad / np.float32(batch))
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

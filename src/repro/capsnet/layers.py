@@ -25,6 +25,8 @@ import numpy as np
 
 from repro.arithmetic.context import MathContext
 from repro.capsnet import functions as F
+from repro.capsnet import kernels
+from repro.capsnet.kernels import as_f32
 from repro.capsnet.routing import DynamicRouting, RoutingResult
 
 
@@ -57,80 +59,12 @@ class Layer:
 # ---------------------------------------------------------------------------
 
 
-def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a convolution along one dimension."""
-    out = (size + 2 * padding - kernel) // stride + 1
-    if out <= 0:
-        raise ValueError(
-            f"invalid convolution geometry: size={size} kernel={kernel} "
-            f"stride={stride} padding={padding}"
-        )
-    return out
-
-
-def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
-) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold image patches into columns.
-
-    Args:
-        x: input of shape ``(batch, channels, height, width)``.
-        kernel: ``(kh, kw)``.
-        stride: stride in both dimensions.
-        padding: zero padding in both dimensions.
-
-    Returns:
-        ``(columns, (out_h, out_w))`` where columns has shape
-        ``(batch, out_h*out_w, channels*kh*kw)``.
-    """
-    batch, channels, height, width = x.shape
-    kh, kw = kernel
-    out_h = conv_output_size(height, kh, stride, padding)
-    out_w = conv_output_size(width, kw, stride, padding)
-    if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
-    strides = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(batch, channels, out_h, out_w, kh, kw),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * stride,
-            strides[3] * stride,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, channels * kh * kw)
-    return np.ascontiguousarray(cols, dtype=np.float32), (out_h, out_w)
-
-
-def col2im(
-    cols: np.ndarray,
-    input_shape: Tuple[int, int, int, int],
-    kernel: Tuple[int, int],
-    stride: int,
-    padding: int,
-) -> np.ndarray:
-    """Fold column gradients back into an image gradient (inverse of :func:`im2col`)."""
-    batch, channels, height, width = input_shape
-    kh, kw = kernel
-    out_h = conv_output_size(height, kh, stride, padding)
-    out_w = conv_output_size(width, kw, stride, padding)
-    padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float32
-    )
-    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
-                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
-            )
-    if padding:
-        return padded[:, :, padding:-padding, padding:-padding]
-    return padded
+#: Re-exported from :mod:`repro.capsnet.kernels` (their historical home);
+#: the vectorized implementations live there next to their bit-exactness
+#: documentation and regression tests.
+conv_output_size = kernels.conv_output_size
+im2col = kernels.im2col
+col2im = kernels.col2im
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +82,9 @@ class Conv2D(Layer):
         stride: stride in both dimensions.
         padding: zero padding in both dimensions.
         rng: RNG used for He-uniform weight initialization.
+        init_weights: set to False to skip parameter allocation entirely --
+            the caller then shares another layer's ``params``
+            (:meth:`repro.capsnet.model.CapsNet.with_context`).
     """
 
     def __init__(
@@ -158,6 +95,7 @@ class Conv2D(Layer):
         stride: int = 1,
         padding: int = 0,
         rng: Optional[np.random.Generator] = None,
+        init_weights: bool = True,
     ) -> None:
         super().__init__()
         if min(in_channels, out_channels, kernel_size, stride) < 1:
@@ -167,14 +105,15 @@ class Conv2D(Layer):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        rng = rng or np.random.default_rng(0)
-        fan_in = in_channels * kernel_size * kernel_size
-        bound = float(np.sqrt(6.0 / fan_in))
-        self.params["weight"] = rng.uniform(
-            -bound, bound, size=(out_channels, in_channels, kernel_size, kernel_size)
-        ).astype(np.float32)
-        self.params["bias"] = np.zeros(out_channels, dtype=np.float32)
-        self.zero_grads()
+        if init_weights:
+            rng = rng or np.random.default_rng(0)
+            fan_in = in_channels * kernel_size * kernel_size
+            bound = float(np.sqrt(6.0 / fan_in))
+            self.params["weight"] = rng.uniform(
+                -bound, bound, size=(out_channels, in_channels, kernel_size, kernel_size)
+            ).astype(np.float32)
+            self.params["bias"] = np.zeros(out_channels, dtype=np.float32)
+            self.zero_grads()
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int], Tuple[int, int, int, int]]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -192,17 +131,32 @@ class Conv2D(Layer):
         self._cache = (cols, (out_h, out_w), x.shape)
         return np.ascontiguousarray(out, dtype=np.float32)
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad: np.ndarray, compute_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Accumulate parameter gradients; return the input gradient.
+
+        Args:
+            grad: output gradient ``(batch, out_channels, out_h, out_w)``.
+            compute_input_grad: pass ``False`` when this is the model's first
+                layer -- the ``col2im`` fold producing the input gradient is
+                the single most expensive backward kernel and its result
+                would be discarded (``None`` is returned instead).
+        """
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         cols, (out_h, out_w), input_shape = self._cache
         grad = np.asarray(grad, dtype=np.float32)
-        grad_cols_out = grad.transpose(0, 2, 3, 1).reshape(input_shape[0], out_h * out_w, -1)
+        grad_cols_out = np.ascontiguousarray(grad.transpose(0, 2, 3, 1)).reshape(
+            input_shape[0], out_h * out_w, -1
+        )
         weight = self.params["weight"].reshape(self.out_channels, -1)
         self.grads["weight"] += (
             np.einsum("bpo,bpk->ok", grad_cols_out, cols).reshape(self.params["weight"].shape)
         )
         self.grads["bias"] += grad_cols_out.sum(axis=(0, 1))
+        if not compute_input_grad:
+            return None
         grad_cols = grad_cols_out @ weight
         return col2im(
             grad_cols,
@@ -280,19 +234,21 @@ class Dense(Layer):
         in_features: int,
         out_features: int,
         rng: Optional[np.random.Generator] = None,
+        init_weights: bool = True,
     ) -> None:
         super().__init__()
         if min(in_features, out_features) < 1:
             raise ValueError("Dense dimensions must be positive")
         self.in_features = in_features
         self.out_features = out_features
-        rng = rng or np.random.default_rng(0)
-        bound = float(np.sqrt(6.0 / in_features))
-        self.params["weight"] = rng.uniform(
-            -bound, bound, size=(in_features, out_features)
-        ).astype(np.float32)
-        self.params["bias"] = np.zeros(out_features, dtype=np.float32)
-        self.zero_grads()
+        if init_weights:
+            rng = rng or np.random.default_rng(0)
+            bound = float(np.sqrt(6.0 / in_features))
+            self.params["weight"] = rng.uniform(
+                -bound, bound, size=(in_features, out_features)
+            ).astype(np.float32)
+            self.params["bias"] = np.zeros(out_features, dtype=np.float32)
+            self.zero_grads()
         self._input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -325,7 +281,7 @@ def _squash_backward(s: np.ndarray, v_grad: np.ndarray, axis: int = -1) -> np.nd
     g = norm / (1.0 + norm_sq)
     g_prime = (1.0 - norm_sq) / (1.0 + norm_sq) ** 2
     dot = np.sum(s * v_grad, axis=axis, keepdims=True, dtype=np.float32)
-    return (g * v_grad + (g_prime / norm) * dot * s).astype(np.float32)
+    return as_f32(g * v_grad + (g_prime / norm) * dot * s)
 
 
 class PrimaryCaps(Layer):
@@ -355,6 +311,7 @@ class PrimaryCaps(Layer):
         stride: int = 2,
         rng: Optional[np.random.Generator] = None,
         context: Optional[MathContext] = None,
+        init_weights: bool = True,
     ) -> None:
         super().__init__()
         self.capsule_channels = capsule_channels
@@ -367,15 +324,20 @@ class PrimaryCaps(Layer):
             stride=stride,
             padding=0,
             rng=rng,
+            init_weights=init_weights,
         )
         self.params = self.conv.params
         self.grads = self.conv.grads
         self._pre_squash: Optional[np.ndarray] = None
         self._conv_shape: Optional[Tuple[int, ...]] = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        """Return low-level capsules of shape ``(batch, num_capsules, capsule_dim)``."""
-        features = self.conv.forward(x)
+    def capsules_pre_squash(self, features: np.ndarray) -> np.ndarray:
+        """Group conv feature maps into capsules (the pre-squash trunk output).
+
+        Exposed separately from :meth:`forward` so multi-context evaluation
+        can share the (context-independent) convolution trunk and apply only
+        the context-dependent squash per arithmetic context.
+        """
         batch, channels, height, width = features.shape
         self._conv_shape = features.shape
         capsules = features.reshape(
@@ -383,6 +345,11 @@ class PrimaryCaps(Layer):
         )
         capsules = capsules.transpose(0, 1, 3, 4, 2).reshape(batch, -1, self.capsule_dim)
         self._pre_squash = capsules
+        return capsules
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Return low-level capsules of shape ``(batch, num_capsules, capsule_dim)``."""
+        capsules = self.capsules_pre_squash(self.conv.forward(x))
         return self.context.squash(capsules, axis=-1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -424,6 +391,7 @@ class CapsuleLayer(Layer):
         high_dim: int,
         routing: Optional[DynamicRouting] = None,
         rng: Optional[np.random.Generator] = None,
+        init_weights: bool = True,
     ) -> None:
         super().__init__()
         if min(num_low, num_high, low_dim, high_dim) < 1:
@@ -433,11 +401,12 @@ class CapsuleLayer(Layer):
         self.low_dim = low_dim
         self.high_dim = high_dim
         self.routing = routing or DynamicRouting()
-        rng = rng or np.random.default_rng(0)
-        self.params["weight"] = (
-            rng.standard_normal((num_low, num_high, low_dim, high_dim)) * 0.05
-        ).astype(np.float32)
-        self.zero_grads()
+        if init_weights:
+            rng = rng or np.random.default_rng(0)
+            self.params["weight"] = (
+                rng.standard_normal((num_low, num_high, low_dim, high_dim)) * 0.05
+            ).astype(np.float32)
+            self.zero_grads()
         self._input: Optional[np.ndarray] = None
         self._u_hat: Optional[np.ndarray] = None
         self._result: Optional[RoutingResult] = None
@@ -458,7 +427,7 @@ class CapsuleLayer(Layer):
             )
         self._input = u
         # Eq. 1: u_hat_{j|i} = u_i x W_ij
-        u_hat = np.einsum("bld,ljdh->bljh", u, self.params["weight"]).astype(np.float32)
+        u_hat = kernels.predict_vectors(u, self.params["weight"])
         self._u_hat = u_hat
         self._result = self.routing(u_hat)
         return self._result.high_capsules
@@ -473,24 +442,16 @@ class CapsuleLayer(Layer):
             raise RuntimeError("backward called before forward")
         grad = np.asarray(grad, dtype=np.float32)
         c = self._result.coefficients
-        # Recompute s_j from the cached u_hat and final coefficients so the
-        # squash backward has its input available.
-        if c.ndim == 2:
-            weighted = self._u_hat * c[np.newaxis, :, :, np.newaxis]
-        else:
-            weighted = self._u_hat * c[:, :, :, np.newaxis]
-        s = np.sum(weighted, axis=1, dtype=np.float32)
+        # The squash backward needs s_j; the routing pass already computed it
+        # for its final iteration (s = sum_i c_ij u_hat_ij with exactly these
+        # coefficients), so reuse the cached value instead of recomputing the
+        # weighted sum.
+        s = self._result.pre_squash
+        if s is None:  # routing implementations that do not expose s
+            s = kernels.weighted_sum(self._u_hat, c)
         grad_s = _squash_backward(s, grad)
         # s_j = sum_i c_ij u_hat_ij  (c treated as constant).
-        if c.ndim == 2:
-            grad_u_hat = grad_s[:, np.newaxis, :, :] * c[np.newaxis, :, :, np.newaxis]
-        else:
-            grad_u_hat = grad_s[:, np.newaxis, :, :] * c[:, :, :, np.newaxis]
+        grad_u_hat = kernels.capsule_grad_u_hat(grad_s, c)
         # u_hat = einsum('bld,ljdh->bljh', u, W)
-        self.grads["weight"] += np.einsum(
-            "bld,bljh->ljdh", self._input, grad_u_hat
-        ).astype(np.float32)
-        grad_input = np.einsum(
-            "bljh,ljdh->bld", grad_u_hat, self.params["weight"]
-        ).astype(np.float32)
-        return grad_input
+        self.grads["weight"] += kernels.capsule_weight_gradient(self._input, grad_u_hat)
+        return kernels.capsule_input_gradient(grad_u_hat, self.params["weight"])

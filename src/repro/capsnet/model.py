@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.arithmetic.context import MathContext
+from repro.arithmetic.fp32 import as_f32
 from repro.capsnet import functions as F
 from repro.capsnet.layers import (
     CapsuleLayer,
@@ -180,6 +181,9 @@ class CapsNet:
             pass an approximate context to emulate inference on the
             PIM-CapsNet PEs.
         seed: RNG seed for weight initialization.
+        init_weights: set to False to build the layer structure without
+            allocating (or drawing) any parameters; the caller then shares
+            another model's parameter arrays (:meth:`with_context`).
     """
 
     def __init__(
@@ -187,6 +191,7 @@ class CapsNet:
         config: CapsNetConfig,
         context: Optional[MathContext] = None,
         seed: int = 0,
+        init_weights: bool = True,
     ) -> None:
         self.config = config
         self.context = context or MathContext.exact()
@@ -199,6 +204,7 @@ class CapsNet:
             config.conv_kernel,
             stride=config.conv_stride,
             rng=rng,
+            init_weights=init_weights,
         )
         self.relu = ReLU()
         self.primary = PrimaryCaps(
@@ -209,6 +215,7 @@ class CapsNet:
             stride=config.primary_stride,
             rng=rng,
             context=self.context,
+            init_weights=init_weights,
         )
         self.class_caps = CapsuleLayer(
             num_low=config.num_low_capsules,
@@ -219,6 +226,7 @@ class CapsNet:
                 iterations=config.routing_iterations, context=self.context
             ),
             rng=rng,
+            init_weights=init_weights,
         )
 
         self.decoder_layers: List[Layer] = []
@@ -226,11 +234,44 @@ class CapsNet:
             decoder_input = config.num_classes * config.class_caps_dim
             sizes = config.decoder.layer_sizes(decoder_input, config.num_pixels)
             for idx, (fan_in, fan_out) in enumerate(sizes):
-                self.decoder_layers.append(Dense(fan_in, fan_out, rng=rng))
+                self.decoder_layers.append(
+                    Dense(fan_in, fan_out, rng=rng, init_weights=init_weights)
+                )
                 if idx < len(sizes) - 1:
                     self.decoder_layers.append(ReLU())
                 else:
                     self.decoder_layers.append(Sigmoid())
+
+    def _parameterized_layers(self) -> List[Layer]:
+        """All layers *structurally* owning parameters, in forward order.
+
+        Unlike :attr:`trainable_layers` this does not filter on ``params``
+        being non-empty, so it also enumerates the (still parameter-less)
+        layers of an ``init_weights=False`` shell -- which is exactly what
+        :meth:`with_context` needs to pair layers for weight sharing.
+        """
+        layers: List[Layer] = [self.conv, self.primary, self.class_caps]
+        layers.extend(layer for layer in self.decoder_layers if isinstance(layer, Dense))
+        return layers
+
+    def with_context(self, context: Optional[MathContext]) -> "CapsNet":
+        """A view of this model evaluating under a different arithmetic context.
+
+        The clone shares this model's parameter *arrays* (no re-initialization,
+        no copies -- later training updates are visible to the clone) but owns
+        its own layer caches and gradients, so the Table-5 experiments can
+        evaluate one set of trained weights under the exact and approximate
+        PE arithmetics without rebuilding or reloading a network per context.
+        """
+        clone = CapsNet(self.config, context=context, init_weights=False)
+        for mine, theirs in zip(self._parameterized_layers(), clone._parameterized_layers()):
+            theirs.params = mine.params
+            theirs.zero_grads()
+        # PrimaryCaps aliases its inner convolution's parameter dict; re-link
+        # the clone's inner conv to the shared dict as well.
+        clone.primary.conv.params = clone.primary.params
+        clone.primary.conv.grads = clone.primary.grads
+        return clone
 
     # -- inference ------------------------------------------------------------
 
@@ -282,6 +323,33 @@ class CapsNet:
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Return class predictions for a batch of images (no decoder)."""
         return self.forward(images, run_decoder=False).predictions
+
+    # -- split inference (multi-context evaluation) ---------------------------
+
+    def primary_pre_squash(self, images: np.ndarray) -> np.ndarray:
+        """The context-independent trunk: conv features grouped into capsules.
+
+        Everything up to (but excluding) the PrimaryCaps squash uses plain
+        FP32 convolution arithmetic and therefore computes identical values
+        under every :class:`~repro.arithmetic.context.MathContext`; the
+        Table-5 evaluation computes it once per batch and shares it across
+        the exact / approximate / recovered contexts.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        features = self.relu.forward(self.conv.forward(images))
+        return self.primary.capsules_pre_squash(self.primary.conv.forward(features))
+
+    def predictions_from_pre_squash(self, pre_squash: np.ndarray) -> np.ndarray:
+        """The context-dependent head: squash, routing, and the class argmax.
+
+        Combined with :meth:`primary_pre_squash` this computes exactly what
+        :meth:`predict` computes (bit-identical), just split at the trunk
+        boundary.
+        """
+        low = self.primary.context.squash(pre_squash, axis=-1)
+        high = self.class_caps.forward(low)
+        lengths = F.capsule_lengths(high)
+        return np.argmax(lengths, axis=1)
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
         """Classification accuracy on ``images`` / ``labels``."""
@@ -347,10 +415,12 @@ class CapsNet:
             grad_masked = grad.reshape(batch, self.config.num_classes, self.config.class_caps_dim)
             grad_high = grad_high + grad_masked * self._decoder_mask[:, :, np.newaxis]
 
-        grad_low = self.class_caps.backward(grad_high.astype(np.float32))
+        grad_low = self.class_caps.backward(as_f32(grad_high))
         grad_features = self.primary.backward(grad_low)
         grad_features = self.relu.backward(grad_features)
-        self.conv.backward(grad_features)
+        # First layer: only the parameter gradients are needed -- skip the
+        # (expensive, otherwise-discarded) gradient wrt the input images.
+        self.conv.backward(grad_features, compute_input_grad=False)
 
     # -- persistence ----------------------------------------------------------
 
@@ -375,3 +445,32 @@ class CapsNet:
                         f"{state[key].shape} vs {layer.params[name].shape}"
                     )
                 layer.params[name][...] = state[key]
+
+
+def evaluate_accuracies(
+    models: Dict[str, "CapsNet"],
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 64,
+) -> Dict[str, float]:
+    """Accuracy of several context-variants of one model, sharing the trunk.
+
+    ``models`` maps labels (e.g. ``"origin"`` / ``"approx"``) to CapsNets
+    that share the *same weights* but evaluate under different arithmetic
+    contexts (:meth:`CapsNet.with_context`).  The context-independent
+    convolution trunk is computed once per batch and reused for every
+    context, which is where most of the evaluation time goes; the result is
+    bit-identical to calling :meth:`CapsNet.accuracy` once per model.
+    """
+    labels = np.asarray(labels)
+    first = next(iter(models.values()))
+    correct = {label: 0 for label in models}
+    for start in range(0, images.shape[0], batch_size):
+        batch = images[start : start + batch_size]
+        batch_labels = labels[start : start + batch_size]
+        pre_squash = first.primary_pre_squash(batch)
+        for label, model in models.items():
+            preds = model.predictions_from_pre_squash(pre_squash)
+            correct[label] += int(np.sum(preds == batch_labels))
+    total = float(images.shape[0])
+    return {label: count / total for label, count in correct.items()}

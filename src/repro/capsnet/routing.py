@@ -26,6 +26,8 @@ from typing import Optional
 import numpy as np
 
 from repro.arithmetic.context import MathContext
+from repro.capsnet import kernels
+from repro.capsnet.kernels import as_f32
 
 
 @dataclass
@@ -37,14 +39,20 @@ class RoutingResult:
         coefficients: final routing coefficients ``c_ij`` of shape
             ``(num_low, num_high)`` (dynamic routing) or per-batch
             responsibilities ``(batch, num_low, num_high)`` (EM routing).
-        logits: final agreement accumulators ``b_ij`` (dynamic routing only).
+        logits: the agreement accumulators ``b_ij`` that produced the final
+            coefficients (dynamic routing only).
         iterations: number of routing iterations executed.
+        pre_squash: the final weighted sum ``s_j`` (the squash input that
+            produced ``high_capsules``; dynamic routing only).  Cached so the
+            capsule layer's backward pass can reuse it instead of recomputing
+            the weighted sum.
     """
 
     high_capsules: np.ndarray
     coefficients: np.ndarray
     logits: Optional[np.ndarray]
     iterations: int
+    pre_squash: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -92,27 +100,36 @@ class DynamicRouting:
             b = np.zeros((batch, num_low, num_high), dtype=np.float32)
 
         v = np.zeros((batch, num_high, u_hat.shape[-1]), dtype=np.float32)
+        s = v
         c = None
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             # Eq. 5: c_ij = softmax_j(b_ij)
             c = ctx.softmax(b, axis=-1)
             # Eq. 2: s_j^k = sum_i u_hat_{j|i}^k * c_ij
-            if self.share_coefficients_across_batch:
-                weighted = u_hat * c[np.newaxis, :, :, np.newaxis]
-            else:
-                weighted = u_hat * c[:, :, :, np.newaxis]
-            s = np.sum(weighted, axis=1, dtype=np.float32)
+            s = kernels.weighted_sum(u_hat, c)
             # Eq. 3: v_j^k = squash(s_j^k)
             v = ctx.squash(s, axis=-1)
+            if iteration + 1 == self.iterations:
+                # The agreement update of the last iteration is dead work:
+                # the updated b would only feed the softmax of a further
+                # iteration that never runs.  ``logits`` therefore reports
+                # the accumulators that produced the *final* coefficients.
+                break
             # Eq. 4: b_ij += sum_k v_j^k . u_hat_{j|i}^k
-            agreement = np.einsum("bljh,bjh->blj", u_hat, v).astype(np.float32)
+            agreement = kernels.agreement(u_hat, v)
             if self.share_coefficients_across_batch:
                 b = b + np.sum(agreement, axis=0, dtype=np.float32)
             else:
                 b = b + agreement
 
         assert c is not None
-        return RoutingResult(high_capsules=v, coefficients=c, logits=b, iterations=self.iterations)
+        return RoutingResult(
+            high_capsules=v,
+            coefficients=c,
+            logits=b,
+            iterations=self.iterations,
+            pre_squash=s,
+        )
 
 
 @dataclass
@@ -161,19 +178,19 @@ class EMRouting:
             # ---- M-step: update Gaussian means/variances and activations.
             r_sum = np.sum(r, axis=1, dtype=np.float32) + np.float32(1e-8)  # (batch, H)
             mu = (
-                np.einsum("blj,bljh->bjh", r, u_hat).astype(np.float32)
+                as_f32(np.einsum("blj,bljh->bjh", r, u_hat))
                 / r_sum[:, :, np.newaxis]
             )
             diff = u_hat - mu[:, np.newaxis, :, :]
             var = (
-                np.einsum("blj,bljh->bjh", r, diff * diff).astype(np.float32)
+                as_f32(np.einsum("blj,bljh->bjh", r, diff * diff))
                 / r_sum[:, :, np.newaxis]
             )
             var = np.maximum(var, np.float32(self.min_variance))
             # Activation: capsules explaining more votes with lower variance activate.
             cost = np.sum(np.log(var), axis=-1) * r_sum / np.float32(num_low)
             activation = 1.0 / (1.0 + ctx.exp(cost - np.mean(cost, axis=-1, keepdims=True)))
-            activation = activation.astype(np.float32)
+            activation = as_f32(activation)
 
             # ---- E-step: recompute responsibilities from Gaussian likelihoods.
             diff = u_hat - mu[:, np.newaxis, :, :]
@@ -185,7 +202,7 @@ class EMRouting:
             logits = self.inverse_temperature * log_prob + np.log(
                 activation[:, np.newaxis, :] + np.float32(1e-8)
             )
-            r = ctx.softmax(logits.astype(np.float32), axis=-1)
+            r = ctx.softmax(as_f32(logits), axis=-1)
 
-        high = (mu * activation[:, :, np.newaxis]).astype(np.float32)
+        high = as_f32(mu * activation[:, :, np.newaxis])
         return RoutingResult(high_capsules=high, coefficients=r, logits=None, iterations=self.iterations)

@@ -148,8 +148,23 @@ def _run_and_emit(
     """
     scenario = _scenario_from_args(args)
     benchmarks = _validate_benchmarks(benchmarks, scenario.catalog)
-    context = SimulationContext(max_workers=args.jobs, scenario=scenario)
+    disk_cache = model_cache = None
+    if not getattr(args, "no_cache", False):
+        # Imported here: only experiment execution needs the cache layer.
+        from repro.engine.diskcache import SimulationCache, TrainedModelCache
+
+        cache_dir = getattr(args, "cache_dir", None)
+        disk_cache = SimulationCache(cache_dir)
+        model_cache = TrainedModelCache(cache_dir)
+    context = SimulationContext(
+        max_workers=args.jobs,
+        scenario=scenario,
+        disk_cache=disk_cache,
+        model_cache=model_cache,
+    )
     result = run_experiments(only=only, skip=skip, benchmarks=benchmarks, context=context)
+    if disk_cache is not None:
+        disk_cache.flush()
     if args.format == "json":
         text = json.dumps(result.to_dict(), indent=2)
     elif combined:
@@ -405,6 +420,31 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """Persistent-cache options shared by the experiment-running commands.
+
+    ``sweep`` declares its own copies (same flags) because it threads them
+    into the sweep runner rather than a simulation context.
+    """
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent cache root for simulation results and trained "
+            "CapsNet models (default: $REPRO_CACHE_DIR or ~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the persistent caches for this run (table5 then always "
+            "retrains its networks)"
+        ),
+    )
+
+
 def _add_scenario_options(parser: argparse.ArgumentParser, repeatable: bool = False) -> None:
     if repeatable:
         parser.add_argument(
@@ -466,12 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--benchmarks", nargs="*", default=None)
     _add_scenario_options(characterize)
     _add_output_options(characterize)
+    _add_cache_options(characterize)
     characterize.set_defaults(func=_cmd_characterize)
 
     evaluate = subparsers.add_parser("evaluate", help="PIM-CapsNet evaluation (Figs. 15-17)")
     evaluate.add_argument("--benchmarks", nargs="*", default=None)
     _add_scenario_options(evaluate)
     _add_output_options(evaluate)
+    _add_cache_options(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     sweep = subparsers.add_parser(
@@ -542,6 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--benchmarks", nargs="*", default=None)
     _add_scenario_options(reproduce)
     _add_output_options(reproduce)
+    _add_cache_options(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
 
     compare = subparsers.add_parser(

@@ -33,7 +33,7 @@ from repro.workloads.parallelism import Dimension
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.scenario import Scenario
-    from repro.engine.diskcache import SimulationCache
+    from repro.engine.diskcache import SimulationCache, TrainedModelCache
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -81,6 +81,11 @@ class SimulationContext:
             :class:`~repro.engine.diskcache.SimulationCache` consulted between
             the in-memory caches and an actual simulation; hits skip model
             construction entirely, misses are written back after simulating.
+        model_cache: optional persistent
+            :class:`~repro.engine.diskcache.TrainedModelCache` the training
+            experiments (Table 5) consult before training a functional
+            CapsNet; a warm cache makes ``reproduce`` execute zero training
+            steps.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class SimulationContext:
         max_workers: Optional[int] = None,
         scenario: Optional["Scenario"] = None,
         disk_cache: Optional["SimulationCache"] = None,
+        model_cache: Optional["TrainedModelCache"] = None,
     ) -> None:
         if scenario is None:
             # Imported lazily: repro.api.session imports this module at load time.
@@ -101,6 +107,8 @@ class SimulationContext:
         self.catalog: WorkloadCatalog = scenario.catalog
         self._factory = model_factory or PIMCapsNet
         self.disk_cache = disk_cache
+        #: Persistent trained-model store (``None`` disables model caching).
+        self.trained_models = model_cache
         self.max_workers = default_worker_count() if max_workers is None else max(1, max_workers)
         self._lock = threading.RLock()
         self._models: Dict[tuple, PIMCapsNet] = {}

@@ -49,7 +49,14 @@ import json
 import os
 import tempfile
 import threading
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
+
+try:  # POSIX-only; shard flushes degrade to best-effort elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.core.accelerator import EndToEndComparison, RoutingComparison
@@ -65,6 +72,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Version of the on-disk shard format.  Bump whenever the key payload or the
 #: result encoding changes shape; old shards are then never consulted.
 CACHE_SCHEMA_VERSION = 1
+
+#: Version of the trained-model artifact format (:class:`TrainedModelCache`).
+#: Bump whenever the key payload, the training pipeline's arithmetic, or the
+#: artifact encoding changes; old model trees are then never consulted.
+MODEL_CACHE_SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -158,6 +170,30 @@ class SimulationCache:
 
     def _shard_path(self, scenario_hash: str) -> Path:
         return self.directory / scenario_hash[:2] / f"{scenario_hash}.json"
+
+    @contextmanager
+    def _shard_write_lock(self, path: Path):
+        """Exclusive advisory lock serializing read-merge-publish on a shard.
+
+        Without it two writers sharing a shard (thread- or process-parallel
+        sweep points, e.g. over a ``benchmarks`` axis that keeps the hardware
+        hash constant) can interleave ``_read_disk`` and ``os.replace`` so
+        that the slower writer publishes a merge that never saw the faster
+        writer's entries -- a classic lost update, observed as a warm sweep
+        re-running simulations.  On platforms without :mod:`fcntl` the flush
+        stays best-effort (the cache remains correct, merely lossy under
+        concurrency).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        with open(lock_path, "a+", encoding="utf-8") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def _read_disk(self, scenario_hash: str) -> Dict[str, dict]:
         """One scenario's entry map as currently on disk (fresh read)."""
@@ -254,37 +290,42 @@ class SimulationCache:
             dirty = [hash_ for hash_, flag in self._dirty.items() if flag]
             for scenario_hash in dirty:
                 path = self._shard_path(scenario_hash)
-                # Merge what reached disk since we loaded (another worker may
-                # share this shard -- e.g. sweep axes over selections keep
-                # the hardware hash constant); our buffered entries win on
-                # conflict, and nothing another writer published is lost.
-                on_disk = self._read_disk(scenario_hash)
-                if on_disk:
-                    merged = {**on_disk, **self._shards[scenario_hash]}
-                    self._shards[scenario_hash] = merged
-                data = {
-                    "schema": self.version,
-                    "scenario": scenario_hash,
-                    "entries": self._shards[scenario_hash],
-                }
                 try:
                     path.parent.mkdir(parents=True, exist_ok=True)
-                    # Atomic publish: concurrent workers racing on one shard
-                    # keep one of two equivalent versions, and readers never
-                    # see partial files.
-                    fd, tmp = tempfile.mkstemp(
-                        prefix=path.stem, suffix=".tmp", dir=str(path.parent)
-                    )
-                    try:
-                        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                            handle.write(json.dumps(data))
-                        os.replace(tmp, path)
-                    except BaseException:
+                    # The read-merge-publish below must be one critical
+                    # section: without the shard lock, two writers sharing a
+                    # shard can both read, then both publish, and the second
+                    # replace silently drops the first writer's entries.
+                    with self._shard_write_lock(path):
+                        # Merge what reached disk since we loaded (another
+                        # worker may share this shard -- e.g. sweep axes over
+                        # selections keep the hardware hash constant); our
+                        # buffered entries win on conflict, and nothing
+                        # another writer published is lost.
+                        on_disk = self._read_disk(scenario_hash)
+                        if on_disk:
+                            merged = {**on_disk, **self._shards[scenario_hash]}
+                            self._shards[scenario_hash] = merged
+                        data = {
+                            "schema": self.version,
+                            "scenario": scenario_hash,
+                            "entries": self._shards[scenario_hash],
+                        }
+                        # Atomic publish: readers (which take no lock) never
+                        # see partial files.
+                        fd, tmp = tempfile.mkstemp(
+                            prefix=path.stem, suffix=".tmp", dir=str(path.parent)
+                        )
                         try:
-                            os.unlink(tmp)
-                        except OSError:
-                            pass
-                        raise
+                            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                                handle.write(json.dumps(data))
+                            os.replace(tmp, path)
+                        except BaseException:
+                            try:
+                                os.unlink(tmp)
+                            except OSError:
+                                pass
+                            raise
                 except OSError:
                     continue
                 self._dirty[scenario_hash] = False
@@ -365,3 +406,156 @@ def decode_result(payload: dict) -> object:
             routing_stage_seconds=float(payload["routing_stage_seconds"]),
         )
     raise ValueError(f"unknown cache entry type {kind!r}")
+
+
+# ---------------------------------------------------------- trained models
+
+
+@dataclasses.dataclass
+class TrainedModelArtifact:
+    """One cached Table-5 training run.
+
+    Attributes:
+        state: the trained network's parameters
+            (:meth:`~repro.capsnet.model.CapsNet.state_dict` layout).
+        accuracies: per-arithmetic-context test accuracies (e.g. ``origin`` /
+            ``approx`` / ``recovered``), stored with exact float round-trips
+            so reports rendered from a warm cache stay byte-identical.
+    """
+
+    state: Dict[str, "np.ndarray"]
+    accuracies: Dict[str, float]
+
+
+class TrainedModelCache:
+    """Persistent, content-addressed cache of trained CapsNet models.
+
+    The second artifact kind of the on-disk cache: where
+    :class:`SimulationCache` memoizes analytic simulation results,
+    this memoizes the *expensive* part of a reproduction -- the functional
+    CapsNet training behind Table 5 (~99.9% of a cold ``repro reproduce``).
+
+    * **Content-addressed keys.**  The caller provides a canonical JSON key
+      payload covering everything that determines the trained weights and
+      the measured accuracies: the dataset spec's content hash and split
+      sizes, the :class:`~repro.capsnet.model.CapsNetConfig`, the trainer
+      hyper-parameters (optimizer, learning rate, epochs, batch size,
+      seed), and a schema describing the arithmetic contexts evaluated.
+      The cache prepends its own schema version; any change misses.
+    * **One ``.npz`` per model**, under ``<root>/models-v<schema>/<aa>/``,
+      holding the full ``state_dict`` plus JSON metadata (the key, for
+      collision detection, and the per-context accuracies).  Artifacts are
+      published atomically (temp file + :func:`os.replace`), and corrupt or
+      mismatched files count as misses -- the caller simply retrains and
+      rewrites them.
+
+    Args:
+        directory: cache root (:func:`default_cache_dir` when ``None``);
+            model artifacts live in a ``models-v<schema>`` subdirectory.
+        version: artifact schema version (tests override to exercise
+            invalidation).
+
+    Attributes:
+        stats: hit/miss counters (:class:`~repro.engine.context.CacheStats`).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        version: int = MODEL_CACHE_SCHEMA_VERSION,
+    ) -> None:
+        from repro.engine.context import CacheStats
+
+        self.root = Path(directory) if directory is not None else default_cache_dir()
+        self.version = int(version)
+        self.directory = self.root / f"models-v{self.version}"
+        self.stats: "CacheStats" = CacheStats()
+        self._lock = threading.RLock()
+
+    @staticmethod
+    def _normalize(key: dict) -> dict:
+        # JSON round-trip so callers may use tuples etc.; the stored key (and
+        # the mismatch check in get) always sees the canonical JSON shape.
+        return json.loads(json.dumps(key, sort_keys=True))
+
+    def _digest(self, key: dict) -> str:
+        return canonical_digest({"schema": self.version, "key": key})
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / digest[:2] / f"{digest}.npz"
+
+    def get(self, key: dict) -> Optional[TrainedModelArtifact]:
+        """The cached artifact for one training key, or ``None`` on a miss.
+
+        Missing, unreadable, corrupt, truncated or key-mismatched artifacts
+        all count as misses (the caller falls back to training).
+        """
+        import numpy as np
+
+        key = self._normalize(key)
+        digest = self._digest(key)
+        try:
+            with np.load(self._path(digest), allow_pickle=False) as data:
+                meta = json.loads(str(data["__meta__"][()]))
+                if meta.get("schema") != self.version or meta.get("key") != key:
+                    raise ValueError("cache key mismatch")
+                accuracies = {
+                    str(label): float(value)
+                    for label, value in meta["accuracies"].items()
+                }
+                state = {
+                    name[len("param/"):]: data[name]
+                    for name in data.files
+                    if name.startswith("param/")
+                }
+        except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return TrainedModelArtifact(state=state, accuracies=accuracies)
+
+    def put(
+        self,
+        key: dict,
+        state: Dict[str, "np.ndarray"],
+        accuracies: Dict[str, float],
+    ) -> bool:
+        """Persist one trained model atomically; ``False`` if the disk refuses.
+
+        A read-only or full cache directory degrades to a no-op cache.
+        """
+        import numpy as np
+
+        key = self._normalize(key)
+        digest = self._digest(key)
+        path = self._path(digest)
+        meta = {
+            "schema": self.version,
+            "key": key,
+            "accuracies": {str(label): float(value) for label, value in accuracies.items()},
+        }
+        arrays = {f"param/{name}": value for name, value in state.items()}
+        arrays["__meta__"] = np.array(json.dumps(meta, sort_keys=True))
+        with self._lock:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    prefix=path.stem, suffix=".npz.tmp", dir=str(path.parent)
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        np.savez(handle, **arrays)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrainedModelCache({str(self.directory)!r})"

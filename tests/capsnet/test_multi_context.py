@@ -1,0 +1,137 @@
+"""Tests for weight-sharing context clones and the shared-trunk evaluation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.context import MathContext
+from repro.capsnet.datasets import DatasetSpec, SyntheticImageDataset
+from repro.capsnet.model import CapsNet, CapsNetConfig, evaluate_accuracies
+from repro.capsnet.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def small_config() -> CapsNetConfig:
+    return CapsNetConfig.scaled(input_shape=(1, 16, 16), num_classes=3, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def small_dataset() -> SyntheticImageDataset:
+    spec = DatasetSpec("TOY-CTX", (1, 16, 16), 3)
+    return SyntheticImageDataset(spec, num_train=24, num_test=18, seed=9)
+
+
+# ---------------------------------------------------------------------------
+# with_context
+# ---------------------------------------------------------------------------
+
+
+def test_with_context_shares_parameter_arrays(small_config):
+    model = CapsNet(small_config, seed=1)
+    clone = model.with_context(MathContext.approximate())
+    for mine, theirs in zip(model.trainable_layers, clone.trainable_layers):
+        assert set(mine.params) == set(theirs.params)
+        for name in mine.params:
+            assert theirs.params[name] is mine.params[name]
+    assert clone.primary.conv.params is clone.primary.params
+    assert clone.context.use_approximations
+    assert clone.config is model.config
+
+
+def test_with_context_sees_later_training_updates(small_config, small_dataset):
+    model = CapsNet(small_config, seed=1)
+    clone = model.with_context(MathContext.exact())
+    trainer = Trainer(model, learning_rate=0.01, optimizer="adam", reconstruction_weight=0.0)
+    images, _, onehot = next(small_dataset.train_batches(8, rng=np.random.default_rng(0)))
+    trainer.train_step(images, onehot)
+    # Shared arrays: the clone computes with the *updated* weights.
+    test_images, test_labels = small_dataset.test_set()
+    assert clone.accuracy(test_images, test_labels) == model.accuracy(test_images, test_labels)
+    assert np.array_equal(
+        clone.class_caps.params["weight"], model.class_caps.params["weight"]
+    )
+
+
+def test_with_context_shares_decoder_weights_too():
+    # Regression: the clone is built with init_weights=False, so pairing
+    # layers through the params-filtered `trainable_layers` silently dropped
+    # the decoder Dense layers (KeyError on the first decoder forward).
+    config = CapsNetConfig.scaled(input_shape=(1, 16, 16), num_classes=3, scale=0.05)
+    assert config.use_decoder
+    model = CapsNet(config, seed=7)
+    clone = model.with_context(MathContext.approximate())
+    assert len(clone.trainable_layers) == len(model.trainable_layers)
+    for mine, theirs in zip(model.trainable_layers, clone.trainable_layers):
+        for name in mine.params:
+            assert theirs.params[name] is mine.params[name]
+    images = np.random.default_rng(1).random((3, 1, 16, 16), dtype=np.float32)
+    result = clone.forward(images)  # runs the decoder
+    assert result.reconstruction is not None
+    assert set(clone.state_dict()) == set(model.state_dict())
+
+
+def test_with_context_keeps_gradients_private(small_config):
+    model = CapsNet(small_config, seed=1)
+    clone = model.with_context(MathContext.exact())
+    assert clone.class_caps.grads is not model.class_caps.grads
+
+
+def test_init_weights_false_builds_empty_model(small_config):
+    shell = CapsNet(small_config, init_weights=False)
+    assert all(not layer.params for layer in shell.trainable_layers)
+
+
+def test_with_context_predictions_match_fresh_model_with_loaded_state(small_config):
+    """The clone computes exactly what the old reload-per-context path did."""
+    model = CapsNet(small_config, seed=2)
+    images = np.random.default_rng(5).random((6, 1, 16, 16), dtype=np.float32)
+    for context in (MathContext.approximate(), MathContext.approximate_with_recovery()):
+        clone = model.with_context(context)
+        reloaded = CapsNet(small_config, context=context, seed=2)
+        reloaded.load_state_dict(model.state_dict())
+        assert np.array_equal(clone.predict(images), reloaded.predict(images))
+
+
+# ---------------------------------------------------------------------------
+# Shared-trunk multi-context evaluation
+# ---------------------------------------------------------------------------
+
+
+def test_split_inference_matches_full_forward(small_config):
+    model = CapsNet(small_config, seed=3)
+    images = np.random.default_rng(6).random((5, 1, 16, 16), dtype=np.float32)
+    pre = model.primary_pre_squash(images)
+    assert np.array_equal(model.predictions_from_pre_squash(pre), model.predict(images))
+
+
+def test_evaluate_accuracies_matches_per_model_accuracy(small_config, small_dataset):
+    model = CapsNet(small_config, seed=4)
+    contexts = {
+        "origin": MathContext.exact(),
+        "approx": MathContext.approximate(),
+        "recovered": MathContext.approximate_with_recovery(),
+    }
+    models = {label: model.with_context(ctx) for label, ctx in contexts.items()}
+    test_images, test_labels = small_dataset.test_set()
+    shared = evaluate_accuracies(models, test_images, test_labels, batch_size=8)
+    for label, clone in models.items():
+        assert shared[label] == clone.accuracy(test_images, test_labels, batch_size=8)
+
+
+def test_fit_evaluate_false_skips_accuracies(small_config, small_dataset):
+    model = CapsNet(small_config, seed=5)
+    trainer = Trainer(model, learning_rate=0.01, optimizer="adam", reconstruction_weight=0.0)
+    result = trainer.fit(small_dataset, epochs=1, batch_size=8, evaluate=False)
+    assert math.isnan(result.train_accuracy)
+    assert math.isnan(result.test_accuracy)
+    assert len(result.epoch_losses) == 1
+
+
+def test_trainer_counts_steps(small_config, small_dataset):
+    model = CapsNet(small_config, seed=6)
+    trainer = Trainer(model, learning_rate=0.01, optimizer="adam", reconstruction_weight=0.0)
+    trainer.fit(small_dataset, epochs=2, batch_size=8, evaluate=False)
+    assert trainer.steps_executed == 2 * 3  # 24 samples / 8 per batch, 2 epochs

@@ -11,6 +11,17 @@ from repro.hmc.config import HMCConfig
 from repro.workloads.benchmarks import BenchmarkConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the persistent caches at a per-test directory.
+
+    CLI-level runs construct :class:`~repro.engine.diskcache.SimulationCache`
+    / :class:`~repro.engine.diskcache.TrainedModelCache` by default; tests
+    must never read from (or pollute) the developer's real ``~/.cache/repro``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""
