@@ -1,20 +1,28 @@
 """Benchmark the sweep engine and record the result as BENCH_sweep.json.
 
-Times three configurations of one fixed reference grid (40 points x 12
-benchmarks x 4 designs, end-to-end metric):
+Times five configurations:
 
-* ``cold_serial``   -- fresh cache, ``jobs=1`` (the baseline the acceptance
-  criterion compares against),
-* ``cold_parallel`` -- fresh cache, process pool over the available cores,
+* ``cold_serial``   -- fixed reference grid, fresh cache, scalar path,
+  ``jobs=1`` (the baseline the acceptance criteria compare against),
+* ``cold_parallel`` -- reference grid, fresh cache, process pool,
 * ``warm``          -- same cache as ``cold_parallel``; must execute zero
-  simulations.
+  simulations.  ``warm_seconds / cells`` is the scalar warm per-cell
+  overhead: pure Python bookkeeping, every result a cache hit.
+* ``vectorized``    -- a 100k+-cell grid (the reference benchmarks/designs
+  with a long frequency axis) through the batched numpy backend, cache off:
+  every cell is *computed*, yet the per-cell overhead must be >= 10x lower
+  than the scalar warm path's.
+* ``queue``         -- the reference grid through the sharded work queue
+  with 2 workers, then resumed; the resumed run must execute zero
+  simulations (everything comes from done-files + disk cache).
+
+``parallel_speedup`` is only meaningful on multi-core machines; the report
+records ``cpu_count`` and the regression assertion is gated on it, so a
+single-core container records ~1.0x as context instead of failing.
 
 The JSON report lands next to this script (``benchmarks/BENCH_sweep.json``
 by default, override with argv[1]) so the perf trajectory of the sweep
 engine gets recorded across PRs; CI uploads it as a workflow artifact.
-``parallel_speedup`` is only meaningful on multi-core machines -- on a
-single-core container the process pool cannot win and the script says so
-rather than failing.
 
 Run with::
 
@@ -33,7 +41,7 @@ from pathlib import Path
 
 from repro import __version__
 from repro.engine.context import default_worker_count
-from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep import SweepRunner, SweepSpec, run_queued_sweep
 
 #: The fixed reference grid -- keep it stable so BENCH numbers stay comparable.
 SPEC = SweepSpec.from_axes(
@@ -48,20 +56,37 @@ SPEC = SweepSpec.from_axes(
     kind="end-to-end",
 )
 
+#: The vectorized-path grid: the reference benchmarks/designs with a long
+#: frequency axis -- 2100 points x 12 benchmarks x 4 designs = 100800 cells.
+VECTORIZED_SPEC = SweepSpec.from_axes(
+    {"hmc.pe_frequency_mhz": list(range(100, 2200))},
+    name="bench-sweep-vectorized",
+    designs=("pim-capsnet", "all-in-pim", "rmas-pim", "rmas-gpu"),
+    kind="end-to-end",
+)
 
-def _timed(**kwargs):
+
+def _timed(spec=SPEC, **kwargs):
     start = time.perf_counter()
-    result = SweepRunner(SPEC, **kwargs).run()
+    result = SweepRunner(spec, **kwargs).run()
     elapsed = time.perf_counter() - start
     return result, elapsed
+
+
+def _cells(result) -> int:
+    return sum(len(point.cells) for point in result.points)
 
 
 def main() -> int:
     output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent / "BENCH_sweep.json"
     jobs = default_worker_count()
+    cores = os.cpu_count() or 1
     print(f"grid: {SPEC.describe()}")
     with tempfile.TemporaryDirectory(prefix="bench-sweep-") as serial_dir, \
-            tempfile.TemporaryDirectory(prefix="bench-sweep-") as parallel_dir:
+            tempfile.TemporaryDirectory(prefix="bench-sweep-") as parallel_dir, \
+            tempfile.TemporaryDirectory(prefix="bench-sweep-") as queue_dir:
+        # Scalar reference numbers: explicit executors keep the scalar path
+        # even now that eligible auto sweeps vectorize.
         serial, serial_s = _timed(jobs=1, executor="serial", cache_dir=serial_dir)
         print(f"cold serial:   {serial_s:.3f}s  ({serial.describe_stats()})")
         parallel, parallel_s = _timed(jobs=jobs, executor="process", cache_dir=parallel_dir)
@@ -69,35 +94,104 @@ def main() -> int:
         warm, warm_s = _timed(jobs=jobs, executor="process", cache_dir=parallel_dir)
         print(f"warm:          {warm_s:.3f}s  ({warm.describe_stats()})")
 
+        # Vectorized backend on a 100k+-cell grid.  Cache off: this times the
+        # *computation* of every cell (plus the sampled scalar equivalence
+        # gate), not cache hits.
+        vec, vec_s = _timed(
+            VECTORIZED_SPEC, jobs=1, backend="vectorized", use_cache=False
+        )
+        vec_cells = _cells(vec)
+        print(f"vectorized:    {vec_s:.3f}s  ({vec.describe_stats()})")
+
+        # Sharded queue: cold with 2 workers, then a resume that must be free.
+        queue_start = time.perf_counter()
+        queue_cold = run_queued_sweep(
+            SPEC, workers=2, shard_size=5, cache_dir=queue_dir
+        )
+        queue_cold_s = time.perf_counter() - queue_start
+        queue_start = time.perf_counter()
+        queue_resume = run_queued_sweep(
+            SPEC, workers=2, shard_size=5, cache_dir=queue_dir, resume=True
+        )
+        queue_resume_s = time.perf_counter() - queue_start
+        print(
+            f"queue cold:    {queue_cold_s:.3f}s  ({queue_cold.describe_stats()})"
+        )
+        print(
+            f"queue resume:  {queue_resume_s:.3f}s  ({queue_resume.describe_stats()})"
+        )
+
     if warm.simulations_executed != 0 or warm.cache.misses != 0:
         raise SystemExit("warm run was not fully cached -- the cache is broken")
     if not (serial.format_report() == parallel.format_report() == warm.format_report()):
         raise SystemExit("executors disagreed -- sweep results are not deterministic")
+    if queue_resume.simulations_executed != 0 or queue_resume.cache.misses != 0:
+        raise SystemExit(
+            "resumed queued sweep re-executed simulations -- resume is broken"
+        )
+    if queue_cold.format_report() != serial.format_report():
+        raise SystemExit("queued sweep disagreed with the serial runner")
+    if queue_resume.format_report() != queue_cold.format_report():
+        raise SystemExit("resumed queued sweep disagreed with the cold run")
+
+    cells = _cells(warm)
+    scalar_warm_us = warm_s / cells * 1e6
+    vectorized_us = vec_s / vec_cells * 1e6
+    overhead_ratio = scalar_warm_us / vectorized_us if vectorized_us > 0 else float("inf")
+    print(
+        f"per-cell overhead: scalar warm {scalar_warm_us:.1f}us, "
+        f"vectorized {vectorized_us:.1f}us on {vec_cells} cells "
+        f"({overhead_ratio:.1f}x lower)"
+    )
+    if overhead_ratio < 10.0:
+        raise SystemExit(
+            f"vectorized per-cell overhead is only {overhead_ratio:.1f}x lower "
+            f"than the scalar warm path (needs >= 10x)"
+        )
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    cores = jobs
     if cores <= 1:
-        print(f"parallel speedup: {speedup:.2f}x (single core -- not meaningful)")
+        # A process pool cannot win on one core; record context, don't fail.
+        print(f"parallel speedup: {speedup:.2f}x (cpu_count={cores} -- not meaningful)")
     else:
-        print(f"parallel speedup: {speedup:.2f}x over --jobs 1 on {cores} workers")
+        print(f"parallel speedup: {speedup:.2f}x over --jobs 1 on {jobs} workers")
+        if speedup < 0.75:
+            raise SystemExit(
+                f"process pool is {speedup:.2f}x on {cores} cores -- a real "
+                f"parallel regression"
+            )
 
     payload = {
         "benchmark": "sweep",
         "version": __version__,
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cores,
         "jobs": jobs,
         "grid_points": len(serial.points),
-        "cells": sum(len(point.cells) for point in serial.points),
+        "cells": cells,
         "simulations": serial.simulations_executed,
         "cold_serial_seconds": serial_s,
         "cold_parallel_seconds": parallel_s,
         "warm_seconds": warm_s,
         "parallel_speedup": speedup,
+        "parallel_speedup_meaningful": cores > 1,
         "warm_speedup_over_cold_serial": serial_s / warm_s if warm_s > 0 else float("inf"),
         "warm_simulations": warm.simulations_executed,
         "warm_cache_hits": warm.cache.hits,
         "warm_cache_misses": warm.cache.misses,
+        "scalar_warm_per_point_us": scalar_warm_us,
+        "vectorized_grid_points": len(vec.points),
+        "vectorized_cells": vec_cells,
+        "vectorized_seconds": vec_s,
+        "vectorized_simulations": vec.simulations_executed,
+        "per_point_overhead_us": vectorized_us,
+        "vectorized_overhead_ratio": overhead_ratio,
+        "queue_workers": 2,
+        "queue_cold_seconds": queue_cold_s,
+        "queue_resume_seconds": queue_resume_s,
+        "queue_cold_simulations": queue_cold.simulations_executed,
+        "queue_resume_simulations": queue_resume.simulations_executed,
+        "queue_resume_cache_misses": queue_resume.cache.misses,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {output}")

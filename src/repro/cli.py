@@ -201,13 +201,21 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     # Imported here: only the generalized sweep needs the sweep engine.
     import dataclasses
 
-    from repro.sweep import SweepRunner, SweepSpec
+    from repro.sweep import SweepRunner, SweepSpec, run_queued_sweep
 
     if args.benchmark:
         raise SystemExit("--benchmark only applies to the classic Fig. 18 sweep")
     base = _scenario_from_args(args)
     try:
         axes = [_parse_axis(assignment) for assignment in (args.axis or [])]
+        seen_axes = set()
+        for axis in axes:
+            if axis.key in seen_axes:
+                raise ValueError(
+                    f"duplicate --axis key {axis.key!r}; merge the values "
+                    f"into one --axis {axis.key}=V1,V2,..."
+                )
+            seen_axes.add(axis.key)
         if args.spec:
             spec = SweepSpec.load(args.spec)
             if axes:
@@ -216,21 +224,39 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
             spec = SweepSpec(name="cli-sweep", axes=tuple(axes))
         if args.benchmarks:
             spec = dataclasses.replace(spec, benchmarks=tuple(args.benchmarks))
-        runner = SweepRunner(
-            spec,
-            base,
-            jobs=args.jobs,
-            executor=args.executor,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-        )
+        queued = args.workers is not None or args.resume
+        if not queued:
+            runner = SweepRunner(
+                spec,
+                base,
+                jobs=args.jobs,
+                executor=args.executor,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                backend=args.backend,
+                verify=args.verify,
+            )
     except ValueError as error:
         raise SystemExit(str(error)) from None
     try:
         # Axis *values* are only coerced when each grid point's overrides
         # apply, so bad values (--axis hmc.num_vaults=8,abc) surface here.
-        result = runner.run()
-    except ValueError as error:
+        if queued:
+            result = run_queued_sweep(
+                spec,
+                base,
+                workers=args.workers if args.workers is not None else 1,
+                resume=args.resume,
+                shard_size=args.shard_size,
+                workdir=args.workdir,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                backend=args.backend,
+                verify=args.verify,
+            )
+        else:
+            result = runner.run()
+    except (ValueError, FileNotFoundError, RuntimeError) as error:
         raise SystemExit(str(error)) from None
     if args.format == "json":
         text = json.dumps(result.to_dict(), indent=2)
@@ -247,15 +273,19 @@ def _parse_axis(assignment: str):
     """Parse one ``--axis KEY=V1,V2,...`` option into a sweep axis."""
     from repro.sweep import SweepAxis
 
+    # Split on the FIRST '=' only: axis values may themselves contain '='.
     key, sep, raw = str(assignment).partition("=")
     if not sep or not key.strip():
         raise ValueError(
-            f"invalid axis {assignment!r}; expected KEY=V1,V2,... "
-            f"(e.g. hmc.pe_frequency_mhz=312.5,625,1250)"
+            f"invalid --axis {assignment!r}; expected KEY=V1,V2,... "
+            f"(e.g. --axis hmc.pe_frequency_mhz=312.5,625,1250)"
         )
     values = tuple(part.strip() for part in raw.split(",") if part.strip())
     if not values:
-        raise ValueError(f"axis {key.strip()!r} has no values")
+        raise ValueError(
+            f"--axis {key.strip()!r} has no values; expected KEY=V1,V2,... "
+            f"(e.g. --axis hmc.pe_frequency_mhz=312.5,625,1250)"
+        )
     return SweepAxis(key.strip(), tuple(_parse_axis_value(value) for value in values))
 
 
@@ -570,6 +600,60 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "how grid points execute (default auto: processes when "
             "--jobs allows, else serial)"
+        ),
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("auto", "vectorized", "scalar"),
+        default="auto",
+        help=(
+            "evaluation backend (default auto: batch whole grid planes "
+            "through numpy when the sweep is eligible, bit-exact with the "
+            "scalar path; 'vectorized' demands it, 'scalar' forbids it)"
+        ),
+    )
+    sweep.add_argument(
+        "--verify",
+        choices=("full", "sample", "off"),
+        default="sample",
+        help=(
+            "vectorized equivalence gate: re-simulate freshly computed "
+            "points through the scalar path and require exact equality "
+            "(default sample: first+last fresh point per grid plane)"
+        ),
+    )
+    sweep.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "run through the sharded work queue with N worker processes "
+            "(resumable; workers coordinate via lease files only)"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume a killed/incomplete queued sweep: completed shards are "
+            "reused, only missing ones execute"
+        ),
+    )
+    sweep.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="grid points per work-queue shard (default 256)",
+    )
+    sweep.add_argument(
+        "--workdir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "work-queue directory (default: content-addressed dir under "
+            "the cache root, so --resume finds the previous run by itself)"
         ),
     )
     _add_scenario_options(sweep)

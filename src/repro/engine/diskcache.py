@@ -57,7 +57,7 @@ try:  # POSIX-only; shard flushes degrade to best-effort elsewhere.
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.accelerator import EndToEndComparison, RoutingComparison
 from repro.core.pipeline import PipelineTiming
@@ -148,17 +148,23 @@ class SimulationCache:
 
     def entry_key(
         self,
-        scenario: "Scenario",
+        scenario: Union["Scenario", str],
         benchmark: BenchmarkConfig,
         kind: str,
         design: DesignLike,
         pe_frequency_mhz: Optional[float],
         force_dimension: Optional[Dimension],
     ) -> dict:
-        """The canonical (JSON) key payload of one simulation."""
+        """The canonical (JSON) key payload of one simulation.
+
+        ``scenario`` may be a :class:`~repro.api.scenario.Scenario` or an
+        already-computed hardware hash string -- bulk callers (the vectorized
+        sweep backend) key thousands of grid points without building a
+        scenario object per point.
+        """
         return {
             "schema": self.version,
-            "scenario": scenario.hardware_hash(),
+            "scenario": scenario if isinstance(scenario, str) else scenario.hardware_hash(),
             "workload": benchmark_hash(benchmark),
             "kind": str(kind),
             "design": design_key(design),
@@ -278,6 +284,70 @@ class SimulationCache:
             shard[canonical_digest(key)] = {"key": key, "result": payload}
             self._dirty[key["scenario"]] = True
         return True
+
+    # -------------------------------------------------------------- bulk I/O
+
+    @staticmethod
+    def _split_request(request: Sequence[object]):
+        """Unpack one bulk request tuple, defaulting the per-call overrides."""
+        scenario, benchmark, kind, design = request[:4]
+        pe_frequency_mhz = request[4] if len(request) > 4 else None
+        force_dimension = request[5] if len(request) > 5 else None
+        return scenario, benchmark, kind, design, pe_frequency_mhz, force_dimension
+
+    def get_many(self, requests: Iterable[Sequence[object]]) -> List[Optional[object]]:
+        """Bulk :meth:`get`: one result (or ``None``) per request, in order.
+
+        Each request is a ``(scenario, benchmark, kind, design)`` tuple,
+        optionally extended with ``pe_frequency_mhz`` and ``force_dimension``;
+        ``scenario`` may be a hardware-hash string.  Requests are grouped by
+        scenario shard so a whole grid plane costs one shard load and one key
+        pass instead of a dictionary walk per entry.  Hit/miss accounting is
+        identical to issuing the gets one by one.
+        """
+        requests = list(requests)
+        results: List[Optional[object]] = [None] * len(requests)
+        grouped: Dict[str, List[tuple]] = {}
+        for index, request in enumerate(requests):
+            key = self.entry_key(*self._split_request(request))
+            grouped.setdefault(key["scenario"], []).append((index, key))
+        for scenario_hash, entries in grouped.items():
+            shard = self._shard(scenario_hash)
+            for index, key in entries:
+                entry = shard.get(canonical_digest(key))
+                try:
+                    if entry is None or entry.get("key") != key:
+                        raise ValueError("missing or mismatched cache entry")
+                    result = decode_result(entry["result"])
+                except (ValueError, KeyError, TypeError):
+                    self.stats.misses += 1
+                    continue
+                self.stats.hits += 1
+                results[index] = result
+        return results
+
+    def put_many(self, entries: Iterable[Sequence[object]]) -> int:
+        """Bulk :meth:`put` under one lock acquisition; returns entries stored.
+
+        Each entry is a ``(scenario, benchmark, kind, design, result)`` tuple
+        (optionally extended like :meth:`get_many` requests); ``scenario`` may
+        be a hardware-hash string.  Uncacheable result types are skipped, like
+        :meth:`put` returning ``False``.
+        """
+        stored = 0
+        with self._lock:
+            for entry in entries:
+                request, result = (*entry[:4], *entry[5:]), entry[4]
+                payload = encode_result(result)
+                if payload is None:
+                    continue
+                scenario, benchmark, kind, design, pe, dim = self._split_request(request)
+                key = self.entry_key(scenario, benchmark, kind, design, pe, dim)
+                shard = self._shard(key["scenario"])
+                shard[canonical_digest(key)] = {"key": key, "result": payload}
+                self._dirty[key["scenario"]] = True
+                stored += 1
+        return stored
 
     def flush(self) -> int:
         """Publish every dirty shard atomically; returns shards written.

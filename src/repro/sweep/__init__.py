@@ -17,6 +17,15 @@ package is the exploration tool for the rest of it:
   and cross process boundaries cleanly), and memoizes every simulation in the
   persistent :class:`~repro.engine.diskcache.SimulationCache`, so repeated
   and overlapping sweeps are incremental.
+* :mod:`~repro.sweep.vectorized` batches eligible sweeps: whole frequency
+  planes evaluate as single numpy expressions, bit-exact against the scalar
+  path (a hard equivalence gate re-checks fresh points).  ``SweepRunner``
+  picks it automatically (``backend="auto"``).
+* :mod:`~repro.sweep.queue` shards a grid into a filesystem work queue:
+  independent worker processes lease shards via atomic lockfiles, publish
+  results into the shared disk cache, and a merger aggregates a
+  :class:`~repro.sweep.runner.SweepResult`; killed sweeps resume
+  (``repro sweep --workers N --resume``).
 
 Quickstart::
 
@@ -35,21 +44,45 @@ from repro.sweep.spec import (
     sweep_presets,
 )
 from repro.sweep.runner import (
+    BACKENDS,
     SweepCell,
     SweepPoint,
     SweepResult,
     SweepRunner,
     run_sweep,
 )
+from repro.sweep.vectorized import (
+    VERIFY_MODES,
+    VectorizedMismatchError,
+    evaluate_grid,
+    vectorization_blocker,
+)
+from repro.sweep.queue import (
+    DEFAULT_SHARD_SIZE,
+    queue_workdir,
+    run_queued_sweep,
+    run_worker,
+    shard_ranges,
+)
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_SHARD_SIZE",
     "SweepAxis",
     "SweepCell",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "VERIFY_MODES",
+    "VectorizedMismatchError",
+    "evaluate_grid",
+    "queue_workdir",
+    "run_queued_sweep",
     "run_sweep",
+    "run_worker",
+    "shard_ranges",
     "sweep_preset_names",
     "sweep_presets",
+    "vectorization_blocker",
 ]

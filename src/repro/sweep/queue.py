@@ -1,0 +1,592 @@
+"""Sharded, resumable sweep execution over a filesystem work queue.
+
+Huge grids need two properties the in-process executors cannot give:
+
+* **scale-out** -- N independent worker *processes* (same host or many, on a
+  shared filesystem) chew through one grid without any shared runtime, and
+* **resume** -- a killed sweep restarts and completes without redoing work.
+
+Both come from one layout: a *workdir* holding a manifest plus two
+directories of tiny files, with the filesystem as the only coordination
+channel (the batch-job pattern of condor/slurm runners):
+
+``workdir/``
+    ``manifest.json``          the full job description: sweep spec, base
+                               scenario, resolved benchmarks, shard size,
+                               cache settings and a content digest.  Workers
+                               read *only* this file; they never need the
+                               merger process.
+    ``leases/shard-NNNNN.lock``  an **atomic claim** (``O_CREAT | O_EXCL``)
+                               naming the worker (pid + host).  At most one
+                               worker can ever hold a shard; leases of dead
+                               local processes are reclaimed.
+    ``done/shard-NNNNN.json``  the shard's published outcomes, written to a
+                               temp file and ``os.replace``-d so readers only
+                               ever see complete shards.
+
+Shards are deterministic, contiguous slices of the row-major grid
+(``spec.assignments()``), so any worker can recompute the whole partition
+from the manifest alone.  Results additionally flow into the shared
+content-addressed :class:`~repro.engine.diskcache.SimulationCache`, which
+means a *resumed* sweep finishes from done-files and cache hits with zero
+re-executed simulations -- and an unrelated ``repro compare`` benefits from a
+sweep that already visited its scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.api.scenario import Scenario
+from repro.engine.diskcache import (
+    CACHE_SCHEMA_VERSION,
+    SimulationCache,
+    canonical_digest,
+    default_cache_dir,
+)
+from repro.sweep.runner import (
+    _NO_CACHE,
+    BACKENDS,
+    SweepCell,
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
+    _execute_point,
+)
+from repro.sweep.spec import SweepSpec, _format_value
+from repro.sweep.vectorized import VERIFY_MODES, evaluate_grid, vectorization_blocker
+
+#: Version of the workdir layout; bumping it orphans old workdirs.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Default grid points per shard -- small enough that a killed worker loses
+#: little work, large enough that the vectorized backend sees whole planes.
+DEFAULT_SHARD_SIZE = 256
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Publish ``payload`` at ``path`` so readers never see partial JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream, sort_keys=True)
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def shard_ranges(grid_size: int, shard_size: int) -> List[tuple]:
+    """Deterministic ``(start, stop)`` partition of the row-major grid."""
+    shard_size = max(1, int(shard_size))
+    return [
+        (start, min(start + shard_size, grid_size))
+        for start in range(0, grid_size, shard_size)
+    ]
+
+
+def _shard_name(index: int) -> str:
+    return f"shard-{index:05d}"
+
+
+def _queue_digest(manifest: dict) -> str:
+    """Content digest identifying one queue job (spec + base + settings)."""
+    return canonical_digest(
+        {
+            "schema": manifest["schema"],
+            "sweep": manifest["sweep"],
+            "base_scenario": manifest["base_scenario"],
+            "benchmarks": manifest["benchmarks"],
+            "shard_size": manifest["shard_size"],
+            "kind_cache": [
+                manifest["cache_dir"],
+                manifest["use_cache"],
+                manifest["cache_version"],
+            ],
+        }
+    )
+
+
+def load_manifest(workdir: Union[str, Path]) -> dict:
+    """Read and validate a queue manifest."""
+    path = Path(workdir) / "manifest.json"
+    try:
+        with open(path) as stream:
+            manifest = json.load(stream)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no sweep manifest at {path}; run the sweep without --resume first"
+        ) from None
+    if manifest.get("schema") != QUEUE_SCHEMA_VERSION:
+        raise ValueError(
+            f"sweep workdir {workdir} uses queue schema "
+            f"{manifest.get('schema')!r}, expected {QUEUE_SCHEMA_VERSION}"
+        )
+    return manifest
+
+
+# ------------------------------------------------------------------- workers
+
+
+class _ShardQueue:
+    """One worker's view of the queue: claim, execute, publish."""
+
+    def __init__(self, workdir: Path, manifest: dict, worker_id: str) -> None:
+        self.workdir = workdir
+        self.manifest = manifest
+        self.worker_id = worker_id
+        self.leases = workdir / "leases"
+        self.done = workdir / "done"
+        self.leases.mkdir(parents=True, exist_ok=True)
+        self.done.mkdir(parents=True, exist_ok=True)
+        self.spec = SweepSpec.from_dict(manifest["sweep"])
+        self.base = Scenario.from_dict(manifest["base_scenario"])
+        self.benchmarks: Optional[List[str]] = manifest["benchmarks"]
+        self.assignments = self.spec.assignments()
+        self.ranges = shard_ranges(len(self.assignments), manifest["shard_size"])
+
+    # ----------------------------------------------------------- lease files
+
+    def done_path(self, shard: int) -> Path:
+        return self.done / f"{_shard_name(shard)}.json"
+
+    def lease_path(self, shard: int) -> Path:
+        return self.leases / f"{_shard_name(shard)}.lock"
+
+    def try_claim(self, shard: int) -> bool:
+        """Atomically claim one shard; reclaim a dead local worker's lease."""
+        for attempt in range(2):
+            try:
+                handle = os.open(
+                    str(self.lease_path(shard)),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                if attempt == 0 and self._lease_is_stale(shard):
+                    try:
+                        os.unlink(str(self.lease_path(shard)))
+                    except OSError:
+                        return False
+                    continue  # retry the claim once; another worker may race us
+                return False
+            with os.fdopen(handle, "w") as stream:
+                json.dump(
+                    {
+                        "worker": self.worker_id,
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                    },
+                    stream,
+                )
+            return True
+        return False
+
+    def _lease_is_stale(self, shard: int) -> bool:
+        """A lease is stale only for a provably dead *local* process.
+
+        Remote holders and unreadable leases are honored: wrongly stealing a
+        live worker's shard would double-execute it, while honoring a truly
+        dead remote lease merely leaves one shard for ``--resume``.
+        """
+        try:
+            with open(self.lease_path(shard)) as stream:
+                lease = json.load(stream)
+            pid = int(lease["pid"])
+            host = lease["host"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return False  # mid-write or corrupt: treat as live
+        if host != socket.gethostname() or pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            return False  # exists, owned by someone else
+        return False
+
+    def release(self, shard: int) -> None:
+        try:
+            os.unlink(str(self.lease_path(shard)))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, shard: int, backend: str, verify: str) -> dict:
+        """Evaluate one shard's grid slice and publish its done-file."""
+        start, stop = self.ranges[shard]
+        chunk = self.assignments[start:stop]
+        manifest = self.manifest
+        use_cache = manifest["use_cache"]
+        blocker = vectorization_blocker(self.spec, self.base)
+        if backend == "vectorized" and blocker is not None:
+            raise ValueError(f"sweep cannot be vectorized: {blocker}")
+        if backend != "scalar" and blocker is None:
+            cache = (
+                SimulationCache(
+                    manifest["cache_dir"], version=manifest["cache_version"]
+                )
+                if use_cache
+                else None
+            )
+            outcomes = evaluate_grid(
+                self.spec,
+                self.base,
+                self.benchmarks,
+                assignments=chunk,
+                cache=cache,
+                verify=verify,
+            )
+        else:
+            outcomes = []
+            for assignment in chunk:
+                variant = self.spec.scenario_for(self.base, assignment)
+                outcomes.append(
+                    _execute_point(
+                        {
+                            "scenario": variant.to_dict(),
+                            "benchmarks": self.benchmarks,
+                            "designs": list(self.spec.designs),
+                            "kind": self.spec.kind,
+                            "cache_dir": (
+                                manifest["cache_dir"] if use_cache else _NO_CACHE
+                            ),
+                            "cache_version": manifest["cache_version"],
+                        }
+                    )
+                )
+        payload = {
+            "schema": QUEUE_SCHEMA_VERSION,
+            "shard": shard,
+            "start": start,
+            "stop": stop,
+            "worker": self.worker_id,
+            "outcomes": outcomes,
+        }
+        _atomic_write_json(self.done_path(shard), payload)
+        return payload
+
+
+def run_worker(
+    workdir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    *,
+    max_shards: Optional[int] = None,
+    backend: str = "auto",
+    verify: str = "sample",
+) -> dict:
+    """Drain the queue at ``workdir``: claim shards until none remain.
+
+    Workers need nothing but the workdir path -- launch any number of
+    ``repro sweep --workers``/:func:`run_worker` processes against the same
+    directory (including from other hosts sharing the filesystem) and they
+    partition the grid among themselves through lease files alone.
+
+    Args:
+        workdir: queue directory holding ``manifest.json``.
+        worker_id: label recorded in leases/done-files (host-pid by default).
+        max_shards: stop after executing this many shards (simulates a
+            mid-flight kill in tests; ``None`` drains the queue).
+        backend: one of :data:`BACKENDS`.
+        verify: vectorized equivalence-gate mode (:data:`VERIFY_MODES`).
+
+    Returns:
+        A report dict: ``worker_id``, ``shards_executed``, ``simulations``,
+        ``disk_hits``, ``disk_misses``.
+    """
+    workdir = Path(workdir)
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {list(BACKENDS)}")
+    if verify not in VERIFY_MODES:
+        raise ValueError(f"unknown verify mode {verify!r}; choose from {list(VERIFY_MODES)}")
+    manifest = load_manifest(workdir)
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    queue = _ShardQueue(workdir, manifest, worker_id)
+    report = {
+        "worker_id": worker_id,
+        "shards_executed": 0,
+        "simulations": 0,
+        "disk_hits": 0,
+        "disk_misses": 0,
+    }
+    while True:
+        claimed_this_pass = 0
+        for shard in range(len(queue.ranges)):
+            if max_shards is not None and report["shards_executed"] >= max_shards:
+                return report
+            if queue.done_path(shard).exists():
+                continue
+            if not queue.try_claim(shard):
+                continue  # done or leased by a live worker
+            claimed_this_pass += 1
+            try:
+                # Re-check under the lease: another worker may have finished
+                # the shard between our existence check and the claim.
+                if not queue.done_path(shard).exists():
+                    payload = queue.execute(shard, backend, verify)
+                    report["shards_executed"] += 1
+                    for outcome in payload["outcomes"]:
+                        report["simulations"] += outcome["simulations"]
+                        report["disk_hits"] += outcome["disk_hits"]
+                        report["disk_misses"] += outcome["disk_misses"]
+            finally:
+                queue.release(shard)
+        pending = [
+            shard
+            for shard in range(len(queue.ranges))
+            if not queue.done_path(shard).exists()
+        ]
+        if not pending:
+            return report
+        if claimed_this_pass == 0:
+            # Everything left is leased by live workers; let them finish.
+            # The merger re-checks completeness (and reclaims stale leases).
+            return report
+        time.sleep(0)  # yield between passes when sharing a host
+
+
+def _worker_entry(payload: dict) -> dict:
+    """Picklable pool entry point for :func:`run_worker`."""
+    return run_worker(
+        payload["workdir"],
+        payload["worker_id"],
+        max_shards=payload["max_shards"],
+        backend=payload["backend"],
+        verify=payload["verify"],
+    )
+
+
+# -------------------------------------------------------------------- merger
+
+
+def queue_workdir(
+    spec: SweepSpec,
+    base: Scenario,
+    benchmarks: Optional[List[str]],
+    *,
+    shard_size: int,
+    cache_dir: Optional[str],
+    use_cache: bool,
+    cache_version: int,
+) -> Path:
+    """The default content-addressed workdir of one queue job.
+
+    Same spec + base + settings → same directory, which is what makes a bare
+    ``repro sweep --resume`` (no explicit workdir) find its predecessor.
+    """
+    manifest = _build_manifest(
+        spec,
+        base,
+        benchmarks,
+        shard_size=shard_size,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        cache_version=cache_version,
+    )
+    root = Path(cache_dir) if cache_dir is not None else Path(default_cache_dir())
+    return root / "sweeps" / manifest["digest"][:16]
+
+
+def _build_manifest(
+    spec: SweepSpec,
+    base: Scenario,
+    benchmarks: Optional[List[str]],
+    *,
+    shard_size: int,
+    cache_dir: Optional[str],
+    use_cache: bool,
+    cache_version: int,
+) -> dict:
+    manifest = {
+        "schema": QUEUE_SCHEMA_VERSION,
+        "sweep": spec.to_dict(),
+        "base_scenario": base.to_dict(),
+        "benchmarks": benchmarks,
+        "shard_size": max(1, int(shard_size)),
+        "grid_size": spec.grid_size(),
+        "cache_dir": cache_dir,
+        "use_cache": bool(use_cache),
+        "cache_version": int(cache_version),
+    }
+    manifest["num_shards"] = len(shard_ranges(manifest["grid_size"], shard_size))
+    manifest["digest"] = _queue_digest(manifest)
+    return manifest
+
+
+def run_queued_sweep(
+    spec: Union[SweepSpec, str],
+    base: Optional[Scenario] = None,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    shard_size: Optional[int] = None,
+    workdir: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
+    cache_version: int = CACHE_SCHEMA_VERSION,
+    backend: str = "auto",
+    verify: str = "sample",
+) -> SweepResult:
+    """Execute a sweep through the sharded work queue and merge the result.
+
+    Creates (or, with ``resume=True``, re-opens) the workdir, drives
+    ``workers`` worker processes against it (degrading to threads where the
+    platform lacks process pools), runs one final in-process drain to pick up
+    shards orphaned by killed workers, then merges every done-file into a
+    :class:`~repro.sweep.runner.SweepResult`.
+
+    The result's statistics count **this run only**: a resumed sweep whose
+    shards were all published before reports zero executed simulations.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {list(BACKENDS)}")
+    if verify not in VERIFY_MODES:
+        raise ValueError(f"unknown verify mode {verify!r}; choose from {list(VERIFY_MODES)}")
+    start_time = time.perf_counter()
+    shard_size = DEFAULT_SHARD_SIZE if shard_size is None else max(1, int(shard_size))
+    # SweepRunner owns spec loading and benchmark canonicalization.
+    runner = SweepRunner(
+        spec,
+        base,
+        jobs=max(1, int(workers)),
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        cache_version=cache_version,
+    )
+    spec, base = runner.spec, runner.base
+    workers = max(1, int(workers))
+    manifest = _build_manifest(
+        spec,
+        base,
+        runner.benchmarks,
+        shard_size=shard_size,
+        cache_dir=runner.cache_dir,
+        use_cache=runner.use_cache,
+        cache_version=runner.cache_version,
+    )
+    if workdir is None:
+        workdir = queue_workdir(
+            spec,
+            base,
+            runner.benchmarks,
+            shard_size=shard_size,
+            cache_dir=runner.cache_dir,
+            use_cache=runner.use_cache,
+            cache_version=runner.cache_version,
+        )
+    workdir = Path(workdir)
+    manifest_path = workdir / "manifest.json"
+    if manifest_path.exists():
+        existing = load_manifest(workdir)
+        if existing["digest"] != manifest["digest"]:
+            if resume:
+                raise ValueError(
+                    f"cannot resume: workdir {workdir} belongs to a different "
+                    f"sweep (digest {existing['digest'][:16]} != "
+                    f"{manifest['digest'][:16]})"
+                )
+            _clear_queue_state(workdir)
+            _atomic_write_json(manifest_path, manifest)
+        elif not resume:
+            _clear_queue_state(workdir)
+    else:
+        _atomic_write_json(manifest_path, manifest)
+    (workdir / "leases").mkdir(parents=True, exist_ok=True)
+    (workdir / "done").mkdir(parents=True, exist_ok=True)
+
+    payloads = [
+        {
+            "workdir": str(workdir),
+            "worker_id": f"worker-{index}",
+            "max_shards": None,
+            "backend": backend,
+            "verify": verify,
+        }
+        for index in range(workers)
+    ]
+    reports, mode = _run_workers(payloads)
+    # Final in-process drain: reclaims stale leases of killed workers and
+    # executes anything still missing, so the merge below cannot starve.
+    reports.append(
+        run_worker(workdir, "merger", backend=backend, verify=verify)
+    )
+
+    result = _merge(workdir, spec, base, manifest)
+    result.executor_used = f"queue-{mode}"
+    result.jobs = workers
+    for report in reports:
+        result.simulations_executed += report["simulations"]
+        result.cache.hits += report["disk_hits"]
+        result.cache.misses += report["disk_misses"]
+    result.elapsed_seconds = time.perf_counter() - start_time
+    return result
+
+
+def _clear_queue_state(workdir: Path) -> None:
+    """Drop leases and done-files (fresh, non-resume run)."""
+    for child in ("leases", "done"):
+        directory = workdir / child
+        if not directory.is_dir():
+            continue
+        for entry in directory.iterdir():
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+
+
+def _run_workers(payloads: List[dict]):
+    """Run worker entries over a process pool, degrading like the runner."""
+    if len(payloads) <= 1:
+        return [_worker_entry(payload) for payload in payloads], "serial"
+    try:
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            return list(pool.map(_worker_entry, payloads)), "process"
+    except (OSError, NotImplementedError):
+        with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
+            return list(pool.map(_worker_entry, payloads)), "thread"
+
+
+def _merge(workdir: Path, spec: SweepSpec, base: Scenario, manifest: dict) -> SweepResult:
+    """Assemble every done-file into an ordered :class:`SweepResult`."""
+    assignments = spec.assignments()
+    ranges = shard_ranges(len(assignments), manifest["shard_size"])
+    outcomes: List[Optional[dict]] = [None] * len(assignments)
+    for shard, (start, stop) in enumerate(ranges):
+        path = workdir / "done" / f"{_shard_name(shard)}.json"
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            raise RuntimeError(
+                f"sweep incomplete: shard {shard} ({start}:{stop}) has no "
+                f"published result in {workdir}; re-run with --resume"
+            ) from None
+        for offset, outcome in enumerate(payload["outcomes"]):
+            outcomes[start + offset] = outcome
+    points: List[SweepPoint] = []
+    for index, (assignment, outcome) in enumerate(zip(assignments, outcomes)):
+        label = ",".join(
+            f"{key}={_format_value(value)}" for key, value in assignment.items()
+        )
+        point = SweepPoint(
+            index=index,
+            assignment=assignment,
+            scenario_name=f"{base.name}+{label}",
+            cells=[SweepCell(**cell) for cell in outcome["cells"]],
+        )
+        points.append(point)
+    return SweepResult(spec=spec, base=base, points=points)

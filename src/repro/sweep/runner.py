@@ -40,9 +40,17 @@ from repro.core.accelerator import DesignPoint
 from repro.engine.context import CacheStats, SimulationContext, default_worker_count
 from repro.engine.diskcache import CACHE_SCHEMA_VERSION, SimulationCache
 from repro.sweep.spec import SweepSpec, _format_value
+from repro.sweep.vectorized import VERIFY_MODES, evaluate_grid, vectorization_blocker
 
 #: Executor modes accepted by :class:`SweepRunner`.
 EXECUTORS = ("auto", "process", "thread", "serial")
+
+#: Evaluation backends: ``"auto"`` batches whole grid planes through
+#: :mod:`repro.sweep.vectorized` whenever the sweep is eligible (and no
+#: explicit scalar executor was requested), ``"vectorized"`` demands the
+#: batched path (erroring with the blocker reason when ineligible) and
+#: ``"scalar"`` always evaluates point by point.
+BACKENDS = ("auto", "vectorized", "scalar")
 
 
 @dataclass(frozen=True)
@@ -218,6 +226,10 @@ class SweepRunner:
             (:func:`~repro.engine.diskcache.default_cache_dir` when ``None``).
         use_cache: disable the persistent cache entirely with ``False``.
         cache_version: entry schema version (tests exercise invalidation).
+        backend: evaluation backend (:data:`BACKENDS`).
+        verify: vectorized equivalence-gate mode
+            (:data:`~repro.sweep.vectorized.VERIFY_MODES`; ignored by the
+            scalar path).
     """
 
     def __init__(
@@ -230,6 +242,8 @@ class SweepRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
         cache_version: int = CACHE_SCHEMA_VERSION,
+        backend: str = "auto",
+        verify: str = "sample",
     ) -> None:
         self.spec = spec if isinstance(spec, SweepSpec) else SweepSpec.load(str(spec))
         self.base = base if base is not None else Scenario.default()
@@ -238,6 +252,16 @@ class SweepRunner:
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; choose from {list(EXECUTORS)}")
         self.executor = executor
+        backend = str(backend).strip().lower()
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {list(BACKENDS)}")
+        self.backend = backend
+        verify = str(verify).strip().lower()
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {verify!r}; choose from {list(VERIFY_MODES)}"
+            )
+        self.verify = verify
         self.use_cache = bool(use_cache)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.cache_version = int(cache_version)
@@ -260,6 +284,10 @@ class SweepRunner:
         """Execute the grid and aggregate cells + execution statistics."""
         start = time.perf_counter()
         assignments = self.spec.assignments()
+        if self._use_vectorized():
+            result = self._run_vectorized(assignments)
+            result.elapsed_seconds = time.perf_counter() - start
+            return result
         variants = [
             self.spec.scenario_for(self.base, assignment) for assignment in assignments
         ]
@@ -297,6 +325,76 @@ class SweepRunner:
             result.cache.hits += outcome["disk_hits"]
             result.cache.misses += outcome["disk_misses"]
         result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------- vectorized
+
+    def _use_vectorized(self) -> bool:
+        """Whether this run takes the batched plane evaluator.
+
+        ``backend="vectorized"`` forces it (:func:`evaluate_grid` raises the
+        blocker reason when the sweep is ineligible).  ``"auto"`` takes it
+        only for eligible sweeps when no explicit executor was requested --
+        asking for ``executor="process"`` & friends keeps the per-point path
+        so executor comparisons keep comparing what they claim to.
+        """
+        if self.backend == "vectorized":
+            return True
+        if self.backend == "scalar" or self.executor != "auto":
+            return False
+        return vectorization_blocker(self.spec, self.base) is None
+
+    def _run_vectorized(self, assignments: List[Dict[str, object]]) -> SweepResult:
+        """Evaluate the whole grid through :func:`evaluate_grid`.
+
+        Point names are composed directly from the assignment labels --
+        provably what :meth:`SweepSpec.scenario_for` names each variant --
+        so no per-point ``Scenario`` is ever built; on 100k-point grids the
+        scenario objects alone would dwarf the model arithmetic.
+        """
+        # One formatted string per distinct axis value, not per grid point.
+        formatted = {
+            axis.key: {value: _format_value(value) for value in axis.values}
+            for axis in self.spec.axes
+        }
+        prefix = f"{self.base.name}+"
+        points = []
+        for index, assignment in enumerate(assignments):
+            label = ",".join(
+                f"{key}={formatted[key][value]}" for key, value in assignment.items()
+            )
+            points.append(
+                SweepPoint(
+                    index=index,
+                    assignment=assignment,
+                    scenario_name=prefix + label,
+                )
+            )
+        cache = (
+            SimulationCache(self.cache_dir, version=self.cache_version)
+            if self.use_cache
+            else None
+        )
+        outcomes = evaluate_grid(
+            self.spec,
+            self.base,
+            self.benchmarks,
+            assignments=assignments,
+            cache=cache,
+            verify=self.verify,
+        )
+        result = SweepResult(
+            spec=self.spec,
+            base=self.base,
+            points=points,
+            executor_used="vectorized",
+            jobs=self.jobs,
+        )
+        for point, outcome in zip(points, outcomes):
+            point.cells = [SweepCell(**cell) for cell in outcome["cells"]]
+            result.simulations_executed += outcome["simulations"]
+            result.cache.hits += outcome["disk_hits"]
+            result.cache.misses += outcome["disk_misses"]
         return result
 
 

@@ -1,0 +1,333 @@
+"""Tests for :mod:`repro.sweep.vectorized` (bit-exact plane batching)."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import Scenario
+from repro.api.scenario import preset_names
+from repro.core.accelerator import DesignPoint, PIMCapsNet
+from repro.engine.diskcache import SimulationCache
+from repro.engine.strategies import (
+    DesignPointStrategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.sweep import (
+    SweepRunner,
+    SweepSpec,
+    VectorizedMismatchError,
+    evaluate_grid,
+    vectorization_blocker,
+)
+from repro.sweep.vectorized import _assert_results_equal, _plane_hashes
+
+FREQUENCIES = [156.25, 312.5, 625.0, 1250.0]
+
+#: Every built-in non-baseline design point: covers the GPU strategy, all
+#: three PIM-pipelined placements, the scheduler-policy variants and the
+#: all-in-PIM offload.
+ALL_DESIGNS = (
+    "gpu-icp",
+    "pim-capsnet",
+    "pim-intra",
+    "pim-inter",
+    "all-in-pim",
+    "rmas-pim",
+    "rmas-gpu",
+)
+
+
+def _spec(kind="routing", benchmarks=("Caps-MN1", "Caps-SV2"), designs=ALL_DESIGNS):
+    return SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": FREQUENCIES},
+        benchmarks=benchmarks,
+        designs=designs,
+        kind=kind,
+    )
+
+
+def _run(spec, base=None, **kwargs):
+    kwargs.setdefault("use_cache", False)
+    kwargs.setdefault("jobs", 1)
+    return SweepRunner(spec, base, **kwargs).run()
+
+
+# --------------------------------------------------------------- equivalence
+
+
+@pytest.mark.parametrize("preset", preset_names())
+@pytest.mark.parametrize("kind", ["routing", "end-to-end"])
+def test_vectorized_equals_scalar_on_every_preset(preset, kind):
+    """Cell metrics match the scalar path exactly on every preset scenario.
+
+    ``verify="full"`` additionally re-simulates *every* grid point through
+    the scalar path inside the evaluator and requires exact equality of all
+    result fields (components, dimensions, timings) -- so a clean run is
+    itself the bit-exactness proof; the to_dict comparison then pins the
+    aggregated output too.
+    """
+    base = Scenario.preset(preset)
+    spec = _spec(kind=kind)
+    vectorized = _run(spec, base, backend="vectorized", verify="full")
+    scalar = _run(spec, base, backend="scalar", executor="serial")
+    assert vectorized.executor_used == "vectorized"
+    assert vectorized.to_dict() == scalar.to_dict()
+    assert vectorized.format_report() == scalar.format_report()
+
+
+def test_vectorized_covers_every_table1_workload():
+    """All 12 Table-1 benchmarks, all built-in designs, exact equality."""
+    spec = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": [312.5, 1250.0]}, designs=ALL_DESIGNS
+    )
+    vectorized = _run(spec, backend="vectorized", verify="full")
+    scalar = _run(spec, backend="scalar", executor="serial")
+    assert len(vectorized.benchmarks) == 12
+    assert vectorized.to_dict() == scalar.to_dict()
+
+
+@pytest.mark.parametrize("kind", ["routing", "end-to-end"])
+def test_vectorized_handles_em_routing_workloads(kind):
+    """EM routing (Hinton et al.) flows through the batched path bit-exact."""
+    base = Scenario.default().with_workloads(
+        [
+            {
+                "name": "Caps-EM",
+                "dataset": "MNIST",
+                "batch_size": 64,
+                "num_low_capsules": 512,
+                "num_high_capsules": 10,
+                "routing": "em",
+            }
+        ]
+    )
+    spec = _spec(kind=kind, benchmarks=("Caps-EM",))
+    vectorized = _run(spec, base, backend="vectorized", verify="full")
+    scalar = _run(spec, base, backend="scalar", executor="serial")
+    assert vectorized.to_dict() == scalar.to_dict()
+
+
+def test_vectorized_matches_across_plane_axes():
+    """Multi-axis grids (several planes per sweep) stay exact, both orders."""
+    for axes in (
+        {"hmc.pes_per_vault": [8, 16], "hmc.pe_frequency_mhz": [312.5, 625.0]},
+        {"hmc.pe_frequency_mhz": [312.5, 625.0], "hmc.pes_per_vault": [8, 16]},
+    ):
+        spec = SweepSpec.from_axes(
+            axes, benchmarks=("Caps-MN1",), designs=("pim-capsnet", "all-in-pim")
+        )
+        vectorized = _run(spec, backend="vectorized", verify="full")
+        scalar = _run(spec, backend="scalar", executor="serial")
+        assert vectorized.to_dict() == scalar.to_dict()
+
+
+def test_vectorized_reproduces_the_dimension_flip():
+    """The Fig. 18 effect: the chosen distribution dimension flips with
+    frequency, and the batched argmax picks the same winner as the scalar
+    ``best_plan`` at every point (ties included)."""
+    spec = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": [100.0, 200.0, 312.5, 625.0, 1250.0, 2500.0]},
+        benchmarks=("Caps-MN1", "Caps-CF3", "Caps-EN3", "Caps-SV3"),
+        designs=("pim-capsnet",),
+    )
+    # verify="full" re-checks RoutingComparison.dimension at every point.
+    result = _run(spec, backend="vectorized", verify="full")
+    assert result.executor_used == "vectorized"
+
+
+# ------------------------------------------------------- eligibility/fallback
+
+
+def test_auto_backend_vectorizes_eligible_sweeps(tmp_path):
+    result = SweepRunner(
+        _spec(benchmarks=("Caps-MN1",), designs=("pim-capsnet",)),
+        jobs=1,
+        cache_dir=tmp_path,
+    ).run()
+    assert result.executor_used == "vectorized"
+
+
+def test_sweeps_without_a_frequency_axis_fall_back_to_scalar(tmp_path):
+    spec = SweepSpec.from_axes(
+        {"hmc.pes_per_vault": [8, 16]}, benchmarks=("Caps-MN1",)
+    )
+    assert "hmc.pe_frequency_mhz" in vectorization_blocker(spec)
+    result = SweepRunner(spec, jobs=1, cache_dir=tmp_path).run()
+    assert result.executor_used != "vectorized"
+    with pytest.raises(ValueError, match="cannot be vectorized"):
+        SweepRunner(spec, jobs=1, cache_dir=tmp_path, backend="vectorized").run()
+
+
+def test_selection_axes_block_vectorization():
+    spec = SweepSpec.from_axes(
+        {
+            "hmc.pe_frequency_mhz": [312.5, 625.0],
+            "benchmarks": ["Caps-MN1", "Caps-SV1"],
+        }
+    )
+    assert "selection" in vectorization_blocker(spec)
+
+
+def test_explicit_executor_requests_keep_the_scalar_path(tmp_path):
+    spec = _spec(benchmarks=("Caps-MN1",), designs=("pim-capsnet",))
+    result = SweepRunner(
+        spec, jobs=1, executor="serial", cache_dir=tmp_path
+    ).run()
+    assert result.executor_used == "serial"
+
+
+@pytest.fixture
+def custom_design():
+    """A registered strategy the vectorized backend does not understand."""
+
+    class TweakedStrategy(DesignPointStrategy):
+        key = "test-vec-custom"
+
+        def simulate_routing(self, model, design=None):
+            from repro.engine.design_points import routing_on_hmc
+
+            result = routing_on_hmc(model, design or self.key)
+            result.time_seconds *= 1.5
+            return result
+
+        def simulate_end_to_end(self, model, design=None):
+            from repro.engine.strategies import get_strategy
+
+            delegate = get_strategy(DesignPoint.PIM_CAPSNET)
+            return delegate.simulate_end_to_end(model, design or self.key)
+
+    strategy = TweakedStrategy()
+    register_strategy(strategy)
+    yield strategy.key
+    unregister_strategy(strategy.key)
+
+
+def test_custom_strategies_trigger_the_scalar_fallback(tmp_path, custom_design):
+    spec = _spec(benchmarks=("Caps-MN1",), designs=("pim-capsnet", custom_design))
+    blocker = vectorization_blocker(spec)
+    assert "custom strategy" in blocker and custom_design in blocker
+    auto = SweepRunner(spec, jobs=1, cache_dir=tmp_path / "auto").run()
+    assert auto.executor_used != "vectorized"  # fallback engaged
+    scalar = SweepRunner(
+        spec, jobs=1, executor="serial", cache_dir=tmp_path / "scalar"
+    ).run()
+    assert auto.to_dict() == scalar.to_dict()
+    with pytest.raises(ValueError, match="custom strategy"):
+        SweepRunner(spec, jobs=1, backend="vectorized").run()
+
+
+def test_unknown_backend_and_verify_are_rejected():
+    spec = _spec(benchmarks=("Caps-MN1",), designs=("pim-capsnet",))
+    with pytest.raises(ValueError, match="unknown backend"):
+        SweepRunner(spec, backend="simd")
+    with pytest.raises(ValueError, match="unknown verify mode"):
+        SweepRunner(spec, verify="sometimes")
+    with pytest.raises(ValueError, match="unknown verify mode"):
+        evaluate_grid(spec, verify="sometimes")
+
+
+# ----------------------------------------------------------- equivalence gate
+
+
+def test_mismatch_gate_raises_on_divergence():
+    model = PIMCapsNet("Caps-MN1")
+    reference = model.simulate_routing(DesignPoint.PIM_CAPSNET)
+    tampered = model.simulate_routing(DesignPoint.PIM_CAPSNET)
+    tampered.time_seconds = reference.time_seconds * (1.0 + 1e-15)
+    with pytest.raises(VectorizedMismatchError, match="time_seconds"):
+        _assert_results_equal(tampered, reference, "unit test")
+    # Identical results pass silently.
+    _assert_results_equal(
+        model.simulate_routing(DesignPoint.PIM_CAPSNET), reference, "unit test"
+    )
+
+
+# ----------------------------------------------------------- cache integration
+
+
+def test_plane_hashes_equal_full_scenario_hashes():
+    spec = _spec(benchmarks=("Caps-MN1",), designs=("pim-capsnet",))
+    base = Scenario.default()
+    anchor = spec.scenario_for(base, {"hmc.pe_frequency_mhz": FREQUENCIES[0]})
+    fast = _plane_hashes(anchor, FREQUENCIES)
+    slow = [
+        spec.scenario_for(base, {"hmc.pe_frequency_mhz": mhz}).hardware_hash()
+        for mhz in FREQUENCIES
+    ]
+    assert fast == slow
+
+
+def test_vectorized_and_scalar_share_one_cache(tmp_path):
+    """Entries written by either backend are warm hits for the other."""
+    spec = _spec(benchmarks=("Caps-MN1",), designs=("pim-capsnet", "all-in-pim"))
+    cold = SweepRunner(
+        spec, jobs=1, executor="serial", cache_dir=tmp_path
+    ).run()  # scalar writes
+    warm = SweepRunner(
+        spec, jobs=1, backend="vectorized", cache_dir=tmp_path
+    ).run()  # vectorized reads
+    assert cold.simulations_executed > 0
+    assert warm.simulations_executed == 0
+    assert warm.cache.misses == 0
+    assert warm.cache.hits == cold.cache.misses
+    assert warm.to_dict() == cold.to_dict()
+    assert warm.format_report() == cold.format_report()
+    # And the reverse direction: vectorized writes, scalar reads.
+    other = tmp_path / "reverse"
+    SweepRunner(spec, jobs=1, backend="vectorized", cache_dir=other).run()
+    scalar_warm = SweepRunner(
+        spec, jobs=1, executor="serial", backend="scalar", cache_dir=other
+    ).run()
+    assert scalar_warm.simulations_executed == 0
+    assert scalar_warm.cache.misses == 0
+
+
+def test_partial_cache_only_computes_missing_points(tmp_path):
+    narrow = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": FREQUENCIES[:2]},
+        benchmarks=("Caps-MN1",),
+        designs=("pim-capsnet",),
+    )
+    wide = dataclasses.replace(
+        narrow,
+        axes=(
+            dataclasses.replace(narrow.axes[0], values=tuple(FREQUENCIES)),
+        ),
+    )
+    SweepRunner(narrow, jobs=1, backend="vectorized", cache_dir=tmp_path).run()
+    result = SweepRunner(wide, jobs=1, backend="vectorized", cache_dir=tmp_path).run()
+    # 2 cached points x (baseline + design) hit; 2 new points miss.
+    assert result.cache.hits == 4
+    assert result.cache.misses == 4
+
+
+def test_bulk_cache_roundtrip_matches_single_entry_api(tmp_path):
+    scenario = Scenario.default()
+    model = PIMCapsNet("Caps-MN1")
+    routing = model.simulate_routing(DesignPoint.PIM_CAPSNET)
+    config = model.benchmark
+    cache = SimulationCache(tmp_path)
+    stored = cache.put_many(
+        [(scenario, config, "routing", DesignPoint.PIM_CAPSNET, routing)]
+    )
+    assert stored == 1
+    cache.flush()
+    fresh = SimulationCache(tmp_path)
+    # get_many accepts full scenarios and bare hardware-hash strings alike,
+    # returns one slot per request in order, and misses surface as None.
+    results = fresh.get_many(
+        [
+            (scenario, config, "routing", DesignPoint.PIM_CAPSNET),
+            (scenario.hardware_hash(), config, "routing", DesignPoint.PIM_CAPSNET),
+            (scenario, config, "routing", DesignPoint.ALL_IN_PIM),
+        ]
+    )
+    assert results[2] is None
+    for got in results[:2]:
+        assert got.time_seconds == routing.time_seconds
+        assert got.energy_joules == routing.energy_joules
+        assert got.time_components == routing.time_components
+    assert fresh.stats.hits == 2 and fresh.stats.misses == 1
+    single = fresh.get(scenario, config, "routing", DesignPoint.PIM_CAPSNET)
+    assert single.time_seconds == routing.time_seconds
