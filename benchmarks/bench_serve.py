@@ -1,0 +1,188 @@
+"""Benchmark the ``repro serve`` HTTP service; records BENCH_serve.json.
+
+Measures, against one in-process server (real sockets on a loopback port):
+
+* ``warm``      -- sequential ``POST /v1/run`` latency (p50/p99) and
+  requests/sec once the session LRU and disk caches are hot; the warm phase
+  must execute **zero** simulations (asserted).
+* ``coalesce``  -- bursts of identical concurrent ``POST /v1/run`` requests
+  against cold scenarios: each burst should execute the underlying run once
+  and coalesce the rest.  The report records the executed/coalesced split;
+  effectiveness is a ratio in ``[0, 1]``.
+* ``healthz``   -- control-plane overhead (p50 of ``GET /healthz``).
+
+All pass/fail checks are count-based (wall-clock assertions would flake on
+shared CI runners); latency numbers are recorded for trajectory only.
+
+Run with::
+
+    python benchmarks/bench_serve.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro import __version__
+from repro.serve import ReproServer, ServeConfig
+
+#: Fixed reference request -- keep it stable so BENCH numbers stay comparable.
+RUN_BODY = {"experiments": ["fig15", "fig16", "fig17"]}
+WARM_REQUESTS = 50
+HEALTHZ_REQUESTS = 100
+BURSTS = 5
+BURST_CONCURRENCY = 8
+
+
+def _post(url: str, path: str, body: dict) -> dict:
+    data = json.dumps(body).encode()
+    request = urllib.request.Request(
+        url + path,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return json.loads(response.read().decode())
+
+
+def _get(url: str, path: str) -> dict:
+    with urllib.request.urlopen(url + path, timeout=60) as response:
+        return json.loads(response.read().decode())
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[int(index)]
+
+
+def _burst(url: str, body: dict, concurrency: int) -> None:
+    """Fire ``concurrency`` identical requests as simultaneously as possible."""
+    barrier = threading.Barrier(concurrency, timeout=60)
+    errors = []
+
+    def invoke():
+        try:
+            barrier.wait()
+            _post(url, "/v1/run", body)
+        except Exception as error:  # pragma: no cover - diagnostic only
+            errors.append(error)
+
+    threads = [threading.Thread(target=invoke) for _ in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    if errors:
+        raise errors[0]
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent / "BENCH_serve.json"
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        server = ReproServer(
+            ServeConfig(port=0, quiet=True, cache_dir=cache_dir)
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = server.url
+        try:
+            # ---- cold warm-up: first request pays every simulation once.
+            cold_started = time.perf_counter()
+            _post(url, "/v1/run", RUN_BODY)
+            cold_seconds = time.perf_counter() - cold_started
+            cold_simulations = _get(url, "/metrics")["simulations_executed"]
+
+            # ---- warm phase: p50/p99 latency + requests/sec.
+            latencies = []
+            warm_started = time.perf_counter()
+            for _ in range(WARM_REQUESTS):
+                request_started = time.perf_counter()
+                _post(url, "/v1/run", RUN_BODY)
+                latencies.append(time.perf_counter() - request_started)
+            warm_elapsed = time.perf_counter() - warm_started
+            warm_simulations = (
+                _get(url, "/metrics")["simulations_executed"] - cold_simulations
+            )
+
+            # ---- healthz: control-plane overhead.
+            health_latencies = []
+            for _ in range(HEALTHZ_REQUESTS):
+                request_started = time.perf_counter()
+                _get(url, "/healthz")
+                health_latencies.append(time.perf_counter() - request_started)
+
+            # ---- coalescing: identical concurrent bursts on cold scenarios.
+            before = _get(url, "/metrics")["runs"]
+            for burst in range(BURSTS):
+                body = dict(RUN_BODY)
+                # A distinct frequency per burst keeps each burst cold, so
+                # the leader's run is slow enough for followers to coalesce.
+                body["set"] = [f"hmc.pe_frequency_mhz={500 + burst}"]
+                _burst(url, body, BURST_CONCURRENCY)
+            after = _get(url, "/metrics")["runs"]
+            burst_requests = BURSTS * BURST_CONCURRENCY
+            burst_executed = after["executed"] - before["executed"]
+            burst_coalesced = after["coalesced"] - before["coalesced"]
+            metrics = _get(url, "/metrics")
+        finally:
+            server.shutdown()
+            server.wait_stopped(timeout=60)
+
+    # ---- count-based smoke checks (never wall-clock).
+    assert warm_simulations == 0, (
+        f"warm /v1/run re-simulated: {warm_simulations} simulations"
+    )
+    assert burst_executed + burst_coalesced == burst_requests, (burst_executed, burst_coalesced)
+    assert burst_executed >= BURSTS  # at least one real run per burst
+    server_overall = metrics["latency_seconds"]["overall"]
+
+    report = {
+        "benchmark": "serve",
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "cold_run_seconds": cold_seconds,
+        "warm_requests": WARM_REQUESTS,
+        "warm_p50_seconds": _percentile(latencies, 0.50),
+        "warm_p99_seconds": _percentile(latencies, 0.99),
+        "warm_requests_per_sec": WARM_REQUESTS / warm_elapsed,
+        "warm_simulations": warm_simulations,
+        "warm_speedup_over_cold": cold_seconds / _percentile(latencies, 0.50),
+        "healthz_p50_seconds": _percentile(health_latencies, 0.50),
+        "burst_count": BURSTS,
+        "burst_concurrency": BURST_CONCURRENCY,
+        "burst_requests": burst_requests,
+        "burst_runs_executed": burst_executed,
+        "burst_runs_coalesced": burst_coalesced,
+        "coalescing_effectiveness": (
+            burst_coalesced / (burst_requests - BURSTS)
+            if burst_requests > BURSTS
+            else 0.0
+        ),
+        "server_overall_p50_seconds": server_overall["p50_seconds"],
+        "server_overall_p99_seconds": server_overall["p99_seconds"],
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(
+        f"\nwarm p50 {report['warm_p50_seconds'] * 1e3:.2f} ms, "
+        f"{report['warm_requests_per_sec']:.0f} req/s, "
+        f"coalesced {burst_coalesced}/{burst_requests - BURSTS} "
+        f"({report['coalescing_effectiveness']:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

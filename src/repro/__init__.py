@@ -35,7 +35,7 @@ from repro.workloads.catalog import (
     default_catalog,
 )
 
-__version__ = "0.3.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "Scenario",

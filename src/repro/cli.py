@@ -1,6 +1,6 @@
 """Command line interface for the PIM-CapsNet reproduction.
 
-Six subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     python -m repro characterize [--benchmarks ...]      # Figs. 4-7 (GPU bottleneck)
     python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
@@ -8,6 +8,15 @@ Six subcommands cover the common workflows::
     python -m repro reproduce [--skip ...] [--only ...]  # everything via the engine
     python -m repro compare --scenario A --scenario B    # N scenarios side by side
     python -m repro workloads list|show NAME             # the workload catalog
+    python -m repro serve [--host H] [--port P]          # HTTP/JSON service
+
+``serve`` starts the long-running HTTP/JSON simulation service
+(:mod:`repro.serve`): ``POST /v1/run`` / ``/v1/compare`` answer the same
+reports the CLI prints, ``POST /v1/sweep`` streams NDJSON progress events,
+and ``GET /healthz`` / ``GET /metrics`` expose liveness and counters.
+Handler threads share warm per-scenario sessions plus the persistent disk
+caches, identical in-flight requests coalesce onto one underlying run, and
+SIGINT/SIGTERM drain in-flight work before exiting 0.
 
 ``sweep`` without ``--spec``/``--axis`` prints the classic Fig. 18 frequency
 heat map.  With them it runs a generalized design-space sweep: every axis is
@@ -408,6 +417,35 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the HTTP/JSON service until drained shutdown."""
+    # Imported here: only this subcommand needs the serve subsystem.
+    from repro.serve import ReproServer, ServeConfig
+
+    scenario = _scenario_from_args(args)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            scenario=scenario,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            max_sessions=args.max_sessions,
+            drain_timeout=args.drain_timeout,
+            quiet=args.quiet,
+        )
+        server = ReproServer(config)
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error)) from None
+    print(
+        f"repro serve listening on {server.url} "
+        f"(base scenario {scenario.name!r}; SIGTERM/Ctrl-C drains and exits)",
+        file=sys.stderr,
+    )
+    return server.serve_forever()
+
+
 def _positive_int(text: str) -> int:
     """Argparse type for ``--jobs``: a strictly positive integer.
 
@@ -527,7 +565,14 @@ def build_parser() -> argparse.ArgumentParser:
     against the registry only after parsing, so startup never imports the
     experiment modules.
     """
+    # Imported here (cheap -- repro/__init__ pulls no experiment modules)
+    # so --version always matches the installed package.
+    from repro import __version__
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     characterize = subparsers.add_parser(
@@ -680,6 +725,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_options(compare, repeatable=True)
     _add_output_options(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the HTTP/JSON simulation service (request coalescing, "
+            "shared warm caches, streaming sweep progress)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; use 0.0.0.0 to serve remotely)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8752,
+        metavar="N",
+        help="TCP port (default 8752; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="warm per-scenario sessions kept in the LRU (default 8)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds shutdown waits for in-flight requests (default 30)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="per-session worker count (1 = serial; default: bounded CPU count)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging on stderr",
+    )
+    _add_scenario_options(serve)
+    _add_cache_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     workloads = subparsers.add_parser(
         "workloads", help="list or inspect the run's workload catalog"

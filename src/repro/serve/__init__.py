@@ -1,0 +1,25 @@
+"""``repro serve``: the long-running HTTP/JSON simulation service.
+
+Pure stdlib (``http.server``) on top of the library's warm layers: requests
+multiplex onto shared :class:`~repro.api.session.Session` contexts and the
+persistent disk caches, identical in-flight requests coalesce onto one
+underlying run, sweeps stream NDJSON progress, and SIGINT/SIGTERM drain
+gracefully.  See :mod:`repro.serve.app` for the endpoint reference.
+"""
+
+from repro.serve.app import ReproRequestHandler, ReproServer
+from repro.serve.coalesce import Coalescer
+from repro.serve.errors import BadRequest, Draining, NotFound, ServeError
+from repro.serve.state import ServeConfig, ServerState
+
+__all__ = [
+    "ReproServer",
+    "ReproRequestHandler",
+    "ServeConfig",
+    "ServerState",
+    "Coalescer",
+    "ServeError",
+    "BadRequest",
+    "NotFound",
+    "Draining",
+]

@@ -1,0 +1,100 @@
+"""In-flight request coalescing.
+
+Identical requests that arrive while an equivalent one is still executing
+must not redo its work: the first caller (the *leader*) executes the
+function, every later identical caller (a *follower*) blocks until the
+leader finishes and receives the very same result object.  The serve layer
+keys requests by scenario content hash plus the experiment/benchmark
+selection, so K clients asking for the same cold report trigger exactly one
+underlying simulation run.
+
+The result is shared by reference; callers must treat it as immutable
+(the serve handlers only serialize it to JSON).
+
+Completed keys are removed from the in-flight table *before* followers are
+woken, so a request arriving after completion starts a fresh execution --
+coalescing only ever merges genuinely overlapping work, it is not a cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class _InFlight:
+    """One running execution and the followers waiting on it."""
+
+    __slots__ = ("event", "result", "error", "followers")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+class Coalescer:
+    """Deduplicate concurrent executions of identical work.
+
+    Attributes:
+        executed: completed leader executions (each ran the function once).
+        coalesced: total follower requests served from a leader's result.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, _InFlight] = {}
+        self.executed = 0
+        self.coalesced = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Distinct keys currently executing."""
+        with self._lock:
+            return len(self._inflight)
+
+    @property
+    def waiting(self) -> int:
+        """Follower requests currently blocked on a leader."""
+        with self._lock:
+            return sum(entry.followers for entry in self._inflight.values())
+
+    def run(self, key: Hashable, fn: Callable[[], T]) -> Tuple[T, bool]:
+        """Execute ``fn`` once per concurrently-requested ``key``.
+
+        Returns ``(result, coalesced)``: ``coalesced`` is ``False`` for the
+        leader that actually executed ``fn`` and ``True`` for followers that
+        received the leader's result.  If the leader raised, every follower
+        re-raises the same exception.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InFlight()
+                self._inflight[key] = entry
+                leader = True
+            else:
+                entry.followers += 1
+                leader = False
+        if not leader:
+            entry.event.wait()
+            with self._lock:
+                self.coalesced += 1
+            if entry.error is not None:
+                raise entry.error
+            return entry.result, True  # type: ignore[return-value]
+        try:
+            entry.result = fn()
+        except BaseException as error:
+            entry.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+                if entry.error is None:
+                    self.executed += 1
+            entry.event.set()
+        return entry.result, False  # type: ignore[return-value]

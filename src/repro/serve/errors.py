@@ -1,0 +1,99 @@
+"""Structured errors of the serve layer.
+
+Every error a handler raises intentionally is a :class:`ServeError`: it
+carries the HTTP status, a stable machine-readable ``code`` and a
+human-readable message, and renders as the JSON body every non-2xx response
+uses::
+
+    {"error": {"code": "unknown_experiment", "status": 400,
+               "message": "unknown experiment name(s) ..."}}
+
+Anything else a handler raises is a bug; the app layer logs it server-side
+and answers with an opaque ``internal`` 500 -- stack traces never reach a
+client.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServeError(Exception):
+    """Base class of every intentional (structured) service error."""
+
+    #: Default HTTP status of this error class.
+    status = 400
+    #: Default machine-readable error code of this error class.
+    code = "bad_request"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        code: Optional[str] = None,
+        details: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = str(message)
+        if status is not None:
+            self.status = int(status)
+        if code is not None:
+            self.code = str(code)
+        self.details = details
+
+    def to_dict(self) -> dict:
+        """The structured JSON error body."""
+        error = {
+            "code": self.code,
+            "status": self.status,
+            "message": self.message,
+        }
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
+
+
+class BadRequest(ServeError):
+    """Malformed or invalid request content (400)."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFound(ServeError):
+    """Unknown endpoint path (404)."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowed(ServeError):
+    """Known path, wrong HTTP method (405)."""
+
+    status = 405
+    code = "method_not_allowed"
+
+
+class PayloadTooLarge(ServeError):
+    """Request body over the configured limit (413)."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class Draining(ServeError):
+    """Server is shutting down and no longer admits work (503)."""
+
+    status = 503
+    code = "draining"
+
+    def __init__(self, message: str = "server is draining for shutdown") -> None:
+        super().__init__(message)
+
+
+class InternalError(ServeError):
+    """Opaque internal failure (500); details stay server-side."""
+
+    status = 500
+    code = "internal"

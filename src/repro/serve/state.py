@@ -1,0 +1,297 @@
+"""Shared warm context of the serve process.
+
+One :class:`ServerState` is shared by every handler thread of a
+:class:`~repro.serve.app.ReproServer`:
+
+* a bounded LRU of warm :class:`~repro.api.session.Session` objects, keyed
+  by :meth:`~repro.api.scenario.Scenario.content_hash` -- every request for
+  the same scenario (regardless of its name) lands on the same memoizing
+  :class:`~repro.engine.context.SimulationContext`, whose ``RLock`` makes
+  concurrent simulation lookups safe;
+* the process-wide persistent caches
+  (:class:`~repro.engine.diskcache.SimulationCache` /
+  :class:`~repro.engine.diskcache.TrainedModelCache`) threaded into every
+  session's context, so warm state survives restarts and is shared across
+  scenarios;
+* the request :class:`~repro.serve.coalesce.Coalescer`;
+* request metrics (per-endpoint/status counters, p50/p99 latency); and
+* the drain lifecycle: once :meth:`ServerState.start_draining` is called no
+  new work is admitted (:class:`~repro.serve.errors.Draining`), and
+  :meth:`ServerState.drain` blocks until every in-flight work request has
+  finished.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.api.scenario import Scenario
+from repro.api.session import Session
+from repro.engine.context import SimulationContext
+from repro.serve.coalesce import Coalescer
+from repro.serve.errors import Draining
+
+#: Default bound of the warm-session LRU.
+DEFAULT_MAX_SESSIONS = 8
+#: Latency samples kept per endpoint (a bounded sliding window).
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class ServeConfig:
+    """Configuration of one serve process.
+
+    Attributes:
+        host: bind address (loopback by default; bind ``0.0.0.0`` explicitly
+            to serve other machines).
+        port: TCP port (``0`` picks a free one -- used by tests/benchmarks).
+        scenario: base scenario requests default to when they send none.
+        cache_dir: persistent cache root (``None``: ``$REPRO_CACHE_DIR`` or
+            ``~/.cache/repro``).
+        use_cache: disable both persistent caches with ``False``.
+        jobs: per-session thread-pool width (``None``: bounded CPU count).
+        max_sessions: warm sessions kept in the LRU.
+        drain_timeout: seconds shutdown waits for in-flight work before
+            closing anyway.
+        quiet: suppress per-request access logging.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8752
+    scenario: Optional[Scenario] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    jobs: Optional[int] = None
+    max_sessions: int = DEFAULT_MAX_SESSIONS
+    drain_timeout: float = 30.0
+    quiet: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scenario is None:
+            self.scenario = Scenario.default()
+        if int(self.max_sessions) < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = int(self.max_sessions)
+
+
+def _percentile(samples: list, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    index = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+    return samples[int(index)]
+
+
+class Metrics:
+    """Thread-safe request counters and latency windows."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started = time.time()
+        #: ``"POST /v1/run" -> {"200": count, ...}``
+        self._requests: Dict[str, Dict[str, int]] = {}
+        self._latency: Dict[str, Deque[float]] = {}
+        self.in_flight = 0
+
+    def begin(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            self.in_flight = max(0, self.in_flight - 1)
+            by_status = self._requests.setdefault(endpoint, {})
+            key = str(int(status))
+            by_status[key] = by_status.get(key, 0) + 1
+            window = self._latency.setdefault(endpoint, deque(maxlen=LATENCY_WINDOW))
+            window.append(float(seconds))
+
+    def snapshot(self) -> dict:
+        """Counters plus p50/p99 latency per endpoint and overall."""
+        with self._lock:
+            requests = {
+                endpoint: dict(by_status)
+                for endpoint, by_status in self._requests.items()
+            }
+            windows = {
+                endpoint: list(window) for endpoint, window in self._latency.items()
+            }
+            in_flight = self.in_flight
+        latency: Dict[str, dict] = {}
+        combined: list = []
+        for endpoint, samples in windows.items():
+            combined.extend(samples)
+            samples.sort()
+            latency[endpoint] = {
+                "count": len(samples),
+                "p50_seconds": _percentile(samples, 0.50),
+                "p99_seconds": _percentile(samples, 0.99),
+            }
+        if combined:
+            combined.sort()
+            latency["overall"] = {
+                "count": len(combined),
+                "p50_seconds": _percentile(combined, 0.50),
+                "p99_seconds": _percentile(combined, 0.99),
+            }
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "requests_in_flight": in_flight,
+            "requests": requests,
+            "latency_seconds": latency,
+        }
+
+
+class ServerState:
+    """Everything the handler threads share (see module docstring)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.base_scenario: Scenario = self.config.scenario  # type: ignore[assignment]
+        self.disk_cache = None
+        self.model_cache = None
+        if self.config.use_cache:
+            # Imported here: only cache-enabled servers need the disk layer.
+            from repro.engine.diskcache import SimulationCache, TrainedModelCache
+
+            self.disk_cache = SimulationCache(self.config.cache_dir)
+            self.model_cache = TrainedModelCache(self.config.cache_dir)
+        self.metrics = Metrics()
+        self.coalescer = Coalescer()
+        self._lock = threading.RLock()
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        self.sessions_evicted = 0
+        self._draining = threading.Event()
+        self._work_done = threading.Condition()
+        self._active_work = 0
+
+    # ---------------------------------------------------------------- sessions
+
+    def session_for(self, scenario: Scenario) -> Session:
+        """The warm session of one scenario (created and LRU-tracked on demand).
+
+        Sessions are keyed by content hash, so two scenarios differing only
+        in name share one warm context.  Evicting the least-recently-used
+        session drops only in-memory memos; everything it simulated stays in
+        the persistent caches.
+        """
+        key = scenario.content_hash()
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                if session.scenario == scenario:
+                    self._sessions.move_to_end(key)
+                    return session
+                # Same content, different name: the name is only a label,
+                # but downstream consumers (compare legends) must see the
+                # requested one, so rebuild under it.  The persistent caches
+                # keep the replacement warm.
+                del self._sessions[key]
+            context = SimulationContext(
+                max_workers=self.config.jobs,
+                scenario=scenario,
+                disk_cache=self.disk_cache,
+                model_cache=self.model_cache,
+            )
+            session = Session(scenario, context=context)
+            self._sessions[key] = session
+            while len(self._sessions) > self.config.max_sessions:
+                self._sessions.popitem(last=False)
+                self.sessions_evicted += 1
+            return session
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    @property
+    def simulations_executed(self) -> int:
+        """Simulations actually executed across every warm session."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return sum(session.context.simulations_executed for session in sessions)
+
+    # ------------------------------------------------------------------- drain
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def start_draining(self) -> None:
+        """Stop admitting work; already-running requests keep going."""
+        self._draining.set()
+        with self._work_done:
+            self._work_done.notify_all()
+
+    def begin_work(self) -> None:
+        """Admit one work (POST) request, or raise :class:`Draining`."""
+        with self._work_done:
+            if self._draining.is_set():
+                raise Draining()
+            self._active_work += 1
+
+    def end_work(self) -> None:
+        with self._work_done:
+            self._active_work = max(0, self._active_work - 1)
+            self._work_done.notify_all()
+
+    @property
+    def active_work(self) -> int:
+        with self._work_done:
+            return self._active_work
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every in-flight work request finished (or timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._work_done:
+            while self._active_work > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._work_done.wait(remaining)
+            return True
+
+    def flush(self) -> None:
+        """Publish buffered simulation results to disk."""
+        if self.disk_cache is not None:
+            self.disk_cache.flush()
+
+    # ----------------------------------------------------------------- metrics
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` payload: requests, latency, coalescing, caches."""
+        snapshot = self.metrics.snapshot()
+        snapshot["draining"] = self.draining
+        snapshot["runs"] = {
+            "executed": self.coalescer.executed,
+            "coalesced": self.coalescer.coalesced,
+            "in_flight": self.coalescer.in_flight,
+            "waiting": self.coalescer.waiting,
+        }
+        snapshot["sessions"] = {
+            "active": self.session_count,
+            "capacity": self.config.max_sessions,
+            "evicted": self.sessions_evicted,
+        }
+        snapshot["simulations_executed"] = self.simulations_executed
+        snapshot["disk_cache"] = _cache_stats(self.disk_cache)
+        snapshot["model_cache"] = _cache_stats(self.model_cache)
+        return snapshot
+
+
+def _cache_stats(cache) -> dict:
+    """Hit/miss counters of one persistent cache (``enabled: false`` when off)."""
+    if cache is None:
+        return {"enabled": False, "hits": 0, "misses": 0, "hit_rate": 0.0}
+    stats = cache.stats
+    return {
+        "enabled": True,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": stats.hit_rate,
+    }

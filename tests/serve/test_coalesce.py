@@ -1,0 +1,155 @@
+"""Deterministic unit tests for :mod:`repro.serve.coalesce`."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(0.002)
+
+
+def test_single_call_executes_directly():
+    coalescer = Coalescer()
+    result, coalesced = coalescer.run("key", lambda: {"value": 1})
+    assert result == {"value": 1}
+    assert coalesced is False
+    assert coalescer.executed == 1
+    assert coalescer.coalesced == 0
+    assert coalescer.in_flight == 0
+    assert coalescer.waiting == 0
+
+
+def test_identical_inflight_calls_share_one_execution():
+    coalescer = Coalescer()
+    gate = threading.Event()
+    entered = threading.Event()
+    calls = []
+
+    def work():
+        calls.append(threading.get_ident())
+        entered.set()
+        assert gate.wait(10)
+        return {"value": 42}
+
+    results = []
+    results_lock = threading.Lock()
+
+    def invoke():
+        outcome = coalescer.run("key", work)
+        with results_lock:
+            results.append(outcome)
+
+    threads = [threading.Thread(target=invoke) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    assert entered.wait(5)
+    _wait_until(lambda: coalescer.waiting == 3)
+    assert coalescer.in_flight == 1
+    gate.set()
+    for thread in threads:
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    assert len(calls) == 1  # the leader ran the work exactly once
+    objects = [result for result, _ in results]
+    assert all(obj is objects[0] for obj in objects)  # shared, not recomputed
+    assert sorted(flag for _, flag in results) == [False, True, True, True]
+    assert coalescer.executed == 1
+    assert coalescer.coalesced == 3
+    assert coalescer.in_flight == 0
+    assert coalescer.waiting == 0
+
+
+def test_sequential_identical_calls_do_not_coalesce():
+    # Coalescing is in-flight dedup, not a result cache: once the leader
+    # finishes, the next identical call runs the work again.
+    coalescer = Coalescer()
+    counter = []
+    for _ in range(3):
+        result, coalesced = coalescer.run("key", lambda: counter.append(1) or len(counter))
+        assert coalesced is False
+    assert len(counter) == 3
+    assert coalescer.executed == 3
+    assert coalescer.coalesced == 0
+
+
+def test_distinct_keys_run_independently():
+    coalescer = Coalescer()
+    gate = threading.Event()
+    entered = threading.Barrier(2, timeout=10)
+
+    def work(tag):
+        entered.wait()
+        assert gate.wait(10)
+        return tag
+
+    results = {}
+
+    def invoke(key):
+        results[key], _ = coalescer.run(key, lambda: work(key))
+
+    threads = [threading.Thread(target=invoke, args=(key,)) for key in ("a", "b")]
+    for thread in threads:
+        thread.start()
+    # Both leaders entered their work concurrently: no cross-key blocking.
+    _wait_until(lambda: coalescer.in_flight == 2)
+    gate.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert results == {"a": "a", "b": "b"}
+    assert coalescer.executed == 2
+    assert coalescer.coalesced == 0
+
+
+def test_leader_error_propagates_to_followers():
+    coalescer = Coalescer()
+    gate = threading.Event()
+    boom = ValueError("simulation exploded")
+
+    def work():
+        assert gate.wait(10)
+        raise boom
+
+    errors = []
+
+    def invoke():
+        try:
+            coalescer.run("key", work)
+        except ValueError as error:
+            errors.append(error)
+
+    threads = [threading.Thread(target=invoke) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    _wait_until(lambda: coalescer.waiting == 2)
+    gate.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert len(errors) == 3
+    assert all(error is boom for error in errors)
+    # A failed run is not counted as executed work.
+    assert coalescer.executed == 0
+    assert coalescer.in_flight == 0
+
+
+def test_failed_key_can_run_again():
+    coalescer = Coalescer()
+
+    def fail():
+        raise RuntimeError("transient")
+
+    with pytest.raises(RuntimeError):
+        coalescer.run("key", fail)
+    result, coalesced = coalescer.run("key", lambda: "recovered")
+    assert (result, coalesced) == ("recovered", False)
+    assert coalescer.executed == 1

@@ -1,0 +1,151 @@
+"""Unit tests for :mod:`repro.serve.state` (sessions, metrics, drain)."""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro.api.scenario import Scenario
+from repro.serve.errors import Draining
+from repro.serve.state import Metrics, ServeConfig, ServerState, _percentile
+
+
+@pytest.fixture
+def state(tmp_path):
+    return ServerState(ServeConfig(port=0, cache_dir=str(tmp_path / "cache")))
+
+
+# ---------------------------------------------------------------- sessions
+
+
+def test_session_for_reuses_warm_sessions(state):
+    scenario = Scenario.default()
+    first = state.session_for(scenario)
+    second = state.session_for(scenario)
+    assert first is second
+    assert state.session_count == 1
+
+
+def test_sessions_keyed_by_content_not_name(state):
+    base = Scenario.default()
+    renamed = dataclasses.replace(base, name="renamed")
+    assert renamed.content_hash() == base.content_hash()
+    state.session_for(base)
+    session = state.session_for(renamed)
+    # Same content slot (no second warm context), but the session carries
+    # the requested name so compare legends and reports stay truthful.
+    assert state.session_count == 1
+    assert session.scenario.name == "renamed"
+
+
+def test_session_lru_evicts_past_capacity(tmp_path):
+    state = ServerState(
+        ServeConfig(port=0, max_sessions=2, cache_dir=str(tmp_path / "cache"))
+    )
+    base = Scenario.default()
+    first = base.with_set(["hmc.pe_frequency_mhz=100"])
+    second = base.with_set(["hmc.pe_frequency_mhz=200"])
+    third = base.with_set(["hmc.pe_frequency_mhz=300"])
+    oldest = state.session_for(first)
+    state.session_for(second)
+    state.session_for(third)  # evicts `first`, the least recently used
+    assert state.session_count == 2
+    assert state.sessions_evicted == 1
+    assert state.session_for(third) is not oldest
+    assert state.session_for(first) is not oldest  # rebuilt, not resurrected
+
+
+def test_max_sessions_must_be_positive():
+    with pytest.raises(ValueError, match="max_sessions"):
+        ServeConfig(port=0, max_sessions=0)
+
+
+# ------------------------------------------------------------------- drain
+
+
+def test_begin_work_refused_while_draining(state):
+    state.begin_work()
+    state.start_draining()
+    with pytest.raises(Draining):
+        state.begin_work()
+    assert state.active_work == 1
+    state.end_work()
+    assert state.drain(timeout=1.0) is True
+
+
+def test_drain_waits_for_inflight_work(state):
+    state.begin_work()
+    released = threading.Event()
+    drained = threading.Event()
+
+    def drain():
+        assert state.drain(timeout=10.0) is True
+        assert released.is_set()  # drain only returned after end_work
+        drained.set()
+
+    state.start_draining()
+    thread = threading.Thread(target=drain)
+    thread.start()
+    assert state.drain(timeout=0.05) is False  # still one active request
+    released.set()
+    state.end_work()
+    assert drained.wait(5)
+    thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------- metrics
+
+
+def test_percentile_nearest_rank():
+    samples = [1.0, 2.0, 3.0, 4.0]
+    assert _percentile(samples, 0.0) == 1.0
+    assert _percentile(samples, 0.5) == 3.0  # round(0.5 * 3) == 2
+    assert _percentile(samples, 0.99) == 4.0
+    assert _percentile([7.0], 0.5) == 7.0
+
+
+def test_metrics_snapshot_counts_by_endpoint_and_status():
+    metrics = Metrics()
+    for seconds in (0.010, 0.020, 0.030):
+        metrics.begin()
+        metrics.record("POST /v1/run", 200, seconds)
+    metrics.begin()
+    metrics.record("POST /v1/run", 400, 0.001)
+    snapshot = metrics.snapshot()
+    assert snapshot["requests"] == {"POST /v1/run": {"200": 3, "400": 1}}
+    assert snapshot["requests_in_flight"] == 0
+    latency = snapshot["latency_seconds"]["POST /v1/run"]
+    assert latency["count"] == 4
+    assert latency["p50_seconds"] == 0.020
+    assert latency["p99_seconds"] == 0.030
+    assert snapshot["latency_seconds"]["overall"]["count"] == 4
+
+
+def test_state_snapshot_includes_cache_and_run_counters(state):
+    snapshot = state.metrics_snapshot()
+    assert snapshot["draining"] is False
+    assert snapshot["runs"] == {
+        "executed": 0,
+        "coalesced": 0,
+        "in_flight": 0,
+        "waiting": 0,
+    }
+    assert snapshot["sessions"]["capacity"] == state.config.max_sessions
+    assert snapshot["disk_cache"]["enabled"] is True
+    assert snapshot["model_cache"]["enabled"] is True
+    assert snapshot["simulations_executed"] == 0
+
+
+def test_caches_disabled_when_use_cache_false():
+    state = ServerState(ServeConfig(port=0, use_cache=False))
+    assert state.disk_cache is None
+    snapshot = state.metrics_snapshot()
+    assert snapshot["disk_cache"] == {
+        "enabled": False,
+        "hits": 0,
+        "misses": 0,
+        "hit_rate": 0.0,
+    }
+    state.flush()  # no-op without a disk cache

@@ -496,3 +496,41 @@ def test_sweep_bad_axis_value_exits_cleanly(capsys, tmp_path):
             "sweep", "--axis", "hmc.num_vaults=8,abc",
             "--benchmarks", "Caps-MN1", "--cache-dir", str(tmp_path),
         ])
+
+
+# ------------------------------------------------------------- --version
+
+
+def test_version_flag_prints_the_package_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.strip() == f"repro {repro.__version__}"
+
+
+def test_version_matches_pyproject():
+    import re
+
+    pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+    match = re.search(r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.M)
+    assert match is not None, "pyproject.toml lost its version field"
+    assert match.group(1) == repro.__version__
+
+
+# ------------------------------------------------------------------ serve
+
+
+def test_serve_subcommand_is_wired():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--port", "0", "--max-sessions", "4"])
+    assert args.port == 0
+    assert args.max_sessions == 4
+    assert args.host == "127.0.0.1"
+    assert args.drain_timeout == 30.0
+
+
+def test_serve_rejects_bad_max_sessions(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--max-sessions", "0"])
+    assert "positive integer" in capsys.readouterr().err
