@@ -25,7 +25,15 @@ Networks Processing Through A PIM-Based Architecture Design"* (HPCA 2020):
   :func:`~repro.api.compare_scenarios`.
 """
 
-from repro.api import Scenario, Session, SweepSpec, compare_scenarios, run_sweep
+from repro.api import (
+    ObjectiveSpec,
+    Scenario,
+    Session,
+    SweepSpec,
+    compare_scenarios,
+    run_optimize,
+    run_sweep,
+)
 from repro.core.accelerator import DesignPoint, PIMCapsNet
 from repro.workloads.benchmarks import BENCHMARKS, BenchmarkConfig, get_benchmark
 from repro.workloads.catalog import (
@@ -35,13 +43,15 @@ from repro.workloads.catalog import (
     default_catalog,
 )
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
+    "ObjectiveSpec",
     "Scenario",
     "Session",
     "SweepSpec",
     "compare_scenarios",
+    "run_optimize",
     "run_sweep",
     "DesignPoint",
     "PIMCapsNet",

@@ -54,6 +54,16 @@ from repro.sweep import (
     run_sweep,
     sweep_preset_names,
 )
+from repro.optimize import (
+    Constraint,
+    Objective,
+    ObjectiveSpec,
+    OptimizeDriver,
+    OptimizeResult,
+    cache_frontier,
+    run_optimize,
+    sweep_frontier,
+)
 from repro.workloads.catalog import (
     RoutingAlgorithm,
     WorkloadCatalog,
@@ -63,23 +73,31 @@ from repro.workloads.catalog import (
 
 __all__ = [
     "PRESETS",
+    "Constraint",
+    "MetricDelta",
+    "Objective",
+    "ObjectiveSpec",
+    "OptimizeDriver",
+    "OptimizeResult",
+    "RoutingAlgorithm",
     "Scenario",
+    "ScenarioComparison",
     "Session",
     "SessionResult",
-    "ScenarioComparison",
-    "MetricDelta",
-    "RoutingAlgorithm",
     "SweepAxis",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
     "WorkloadCatalog",
     "WorkloadSpec",
+    "cache_frontier",
     "compare_scenarios",
     "default_catalog",
     "headline_metrics",
     "override_keys",
     "preset_names",
+    "run_optimize",
     "run_sweep",
+    "sweep_frontier",
     "sweep_preset_names",
 ]

@@ -168,6 +168,23 @@ class Session:
 
         return SweepRunner(spec, self.scenario, **kwargs).run()
 
+    def optimize(self, objective, space, **kwargs):
+        """Search a design space with this session's scenario as the base.
+
+        ``objective`` is anything :meth:`~repro.optimize.objective.
+        ObjectiveSpec.coerce` accepts (``"fig17.average_speedup"``, an
+        :class:`~repro.optimize.objective.ObjectiveSpec`, ...); ``space`` is
+        a :class:`~repro.sweep.spec.SweepSpec`, a preset/file name or an
+        ``{axis: values}`` mapping; keyword arguments (``budget``,
+        ``driver``, ``constraints`` via the spec, ``cache_dir``, ...) pass
+        through to :class:`~repro.optimize.drivers.OptimizeDriver`.  Returns
+        the :class:`~repro.optimize.result.OptimizeResult`.
+        """
+        # Imported lazily: repro.optimize imports the scenario layer.
+        from repro.optimize.drivers import OptimizeDriver
+
+        return OptimizeDriver(objective, space, self.scenario, **kwargs).run()
+
     # ------------------------------------------------- simulation pass-throughs
 
     def model(self, benchmark, **kwargs):

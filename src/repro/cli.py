@@ -1,14 +1,25 @@
 """Command line interface for the PIM-CapsNet reproduction.
 
-Seven subcommands cover the common workflows::
+Eight subcommands cover the common workflows::
 
     python -m repro characterize [--benchmarks ...]      # Figs. 4-7 (GPU bottleneck)
     python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
     python -m repro sweep [--spec S | --axis K=V1,V2]    # design-space sweeps (Fig. 18)
+    python -m repro optimize --objective M [--axis ...]  # design-space search (DSE)
     python -m repro reproduce [--skip ...] [--only ...]  # everything via the engine
     python -m repro compare --scenario A --scenario B    # N scenarios side by side
     python -m repro workloads list|show NAME             # the workload catalog
     python -m repro serve [--host H] [--port P]          # HTTP/JSON service
+
+``optimize`` searches the grid ``--spec``/``--axis`` declare instead of
+enumerating it: repeatable ``--objective METRIC[:max|min]`` options name
+dotted metric paths into the experiments' headline numbers
+(``fig17.average_speedup``, ``overhead.total_area_mm2``), repeatable
+``--constraint METRIC:OP=VALUE`` options restrict the feasible set
+(``fig17.average_speedup:within_pct_of_best=5``), and the adaptive drivers
+(coordinate descent, successive halving) find the Pareto frontier and the
+best probe per objective in a fraction of the grid.  Probes share the sweep
+cache, so repeated searches execute zero simulations.
 
 ``serve`` starts the long-running HTTP/JSON simulation service
 (:mod:`repro.serve`): ``POST /v1/run`` / ``/v1/compare`` answer the same
@@ -268,7 +279,12 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     except (ValueError, FileNotFoundError, RuntimeError) as error:
         raise SystemExit(str(error)) from None
     if args.format == "json":
-        text = json.dumps(result.to_dict(), indent=2)
+        # to_jsonable keeps the dump loadable everywhere: non-finite floats
+        # (inf speedups on degenerate grids) become null instead of the
+        # non-standard `Infinity` token json.dumps would emit.
+        from repro.engine.serialize import to_jsonable
+
+        text = json.dumps(to_jsonable(result.to_dict()), indent=2)
     else:
         text = result.format_report()
     _emit(text, args.output)
@@ -276,6 +292,91 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     # byte-identical between cold and warm runs.
     print(result.describe_stats(), file=sys.stderr)
     return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    """``repro optimize``: adaptive design-space search over a sweep grid."""
+    # Imported here: only this subcommand needs the optimize subsystem.
+    import dataclasses
+
+    from repro.engine.serialize import to_jsonable
+    from repro.optimize import OptimizeDriver
+    from repro.sweep import SweepSpec
+
+    base = _scenario_from_args(args)
+    try:
+        objective = _objective_from_args(args)
+        axes = [_parse_axis(assignment) for assignment in (args.axis or [])]
+        seen_axes = set()
+        for axis in axes:
+            if axis.key in seen_axes:
+                raise ValueError(
+                    f"duplicate --axis key {axis.key!r}; merge the values "
+                    f"into one --axis {axis.key}=V1,V2,..."
+                )
+            seen_axes.add(axis.key)
+        if args.spec:
+            space = SweepSpec.load(args.spec)
+            if axes:
+                space = dataclasses.replace(space, axes=space.axes + tuple(axes))
+        elif axes:
+            space = SweepSpec(name="cli-optimize", axes=tuple(axes))
+        else:
+            raise ValueError(
+                "optimize needs a search space: --spec PATH|PRESET and/or "
+                "--axis KEY=V1,V2,..."
+            )
+        if args.benchmarks:
+            space = dataclasses.replace(space, benchmarks=tuple(args.benchmarks))
+        driver = OptimizeDriver(
+            objective,
+            space,
+            base,
+            budget=args.budget,
+            driver=args.driver,
+            refine=args.refine,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        # Axis values and metric paths are validated on the first probe, so
+        # bad ones (--axis hmc.num_vaults=abc, a metric typo) surface here.
+        result = driver.run()
+    except (ValueError, RuntimeError) as error:
+        raise SystemExit(str(error)) from None
+    if args.format == "json":
+        text = json.dumps(to_jsonable(result.to_dict()), indent=2)
+    else:
+        text = result.format_report()
+    _emit(text, args.output)
+    # Execution statistics go to stderr so stdout/--output stays
+    # byte-identical between cold and warm runs.
+    print(result.describe_stats(), file=sys.stderr)
+    return 0
+
+
+def _objective_from_args(args: argparse.Namespace):
+    """Build the :class:`ObjectiveSpec` selected by ``--objective``/``--constraint``.
+
+    A single ``--objective`` naming an existing file loads a full JSON
+    objective spec; otherwise every ``--objective`` is a ``METRIC[:max|min]``
+    path.  ``--constraint`` entries are merged either way.
+    """
+    from repro.optimize import ObjectiveSpec
+
+    if not args.objective:
+        raise ValueError(
+            "optimize needs at least one --objective METRIC[:max|min] "
+            "(e.g. --objective fig17.average_speedup) or an objective-spec "
+            "JSON file (--objective PATH)"
+        )
+    constraints = list(args.constraint or [])
+    if len(args.objective) == 1 and Path(args.objective[0]).exists():
+        spec = ObjectiveSpec.from_file(args.objective[0])
+        return ObjectiveSpec.coerce(spec, constraints=constraints)
+    return ObjectiveSpec.coerce(list(args.objective), constraints=constraints)
 
 
 def _parse_axis(assignment: str):
@@ -704,6 +805,104 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_options(sweep)
     _add_output_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help=(
+            "design-space search: find the best scenario variants under "
+            "--objective metrics (Pareto frontier, constraints, adaptive "
+            "drivers) without enumerating the whole grid"
+        ),
+    )
+    optimize.add_argument(
+        "--objective",
+        action="append",
+        default=None,
+        metavar="METRIC[:max|min]",
+        help=(
+            "optimization objective, repeatable: a dotted metric path into "
+            "the experiments' headline numbers (maximize by default, e.g. "
+            "--objective fig17.average_speedup "
+            "--objective overhead.total_area_mm2:min); a single PATH loads "
+            "a JSON objective-spec file instead"
+        ),
+    )
+    optimize.add_argument(
+        "--constraint",
+        action="append",
+        default=None,
+        metavar="METRIC:OP=VALUE",
+        help=(
+            "feasibility constraint, repeatable; OP is within_pct_of_best, "
+            "min or max (e.g. "
+            "--constraint fig17.average_speedup:within_pct_of_best=5)"
+        ),
+    )
+    optimize.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH|PRESET",
+        help=(
+            "search space: a sweep preset (fig18-frequency) or a JSON "
+            "sweep-spec file; --axis options extend it"
+        ),
+    )
+    optimize.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="KEY=V1,V2,...",
+        help=(
+            "searched scenario axis, repeatable; the candidate grid is the "
+            "cartesian product of all axes"
+        ),
+    )
+    optimize.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="maximum number of probes (default: unlimited)",
+    )
+    optimize.add_argument(
+        "--driver",
+        choices=("auto", "exhaustive", "halving", "descent"),
+        default="auto",
+        help=(
+            "search driver (default auto: coordinate descent on numeric "
+            "axes, successive halving otherwise; exhaustive probes the "
+            "whole grid)"
+        ),
+    )
+    optimize.add_argument(
+        "--refine",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "bracketing-refinement levels after coordinate descent: probe "
+            "midpoints between the winner and its grid neighbours "
+            "(0 disables; default 1)"
+        ),
+    )
+    optimize.add_argument("--benchmarks", nargs="*", default=None)
+    optimize.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent simulation cache root shared with sweeps "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)"
+        ),
+    )
+    optimize.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent simulation cache for this run",
+    )
+    _add_scenario_options(optimize)
+    _add_output_options(optimize)
+    optimize.set_defaults(func=_cmd_optimize)
 
     reproduce = subparsers.add_parser(
         "reproduce", aliases=["run"], help="run every experiment"

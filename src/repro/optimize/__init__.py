@@ -1,0 +1,48 @@
+"""Design-space optimization over the sweep/cache stack.
+
+The subsystem behind ``repro optimize``: declarative objectives
+(:mod:`repro.optimize.objective`), exact Pareto-frontier extraction over
+sweep results and the persistent simulation cache
+(:mod:`repro.optimize.pareto`), adaptive search drivers
+(:mod:`repro.optimize.drivers`) and the stable result type
+(:mod:`repro.optimize.result`).
+"""
+
+from repro.optimize.objective import (
+    CONSTRAINT_OPS,
+    SENSES,
+    Constraint,
+    Objective,
+    ObjectiveSpec,
+    extract_metric,
+    metric_paths,
+)
+from repro.optimize.pareto import (
+    cache_frontier,
+    dominates,
+    pareto_indices,
+    point_metrics,
+    sweep_frontier,
+)
+from repro.optimize.result import OptimizeResult, ProbePoint
+from repro.optimize.drivers import DRIVERS, OptimizeDriver, run_optimize
+
+__all__ = [
+    "CONSTRAINT_OPS",
+    "Constraint",
+    "DRIVERS",
+    "Objective",
+    "ObjectiveSpec",
+    "OptimizeDriver",
+    "OptimizeResult",
+    "ProbePoint",
+    "SENSES",
+    "cache_frontier",
+    "dominates",
+    "extract_metric",
+    "metric_paths",
+    "pareto_indices",
+    "point_metrics",
+    "run_optimize",
+    "sweep_frontier",
+]

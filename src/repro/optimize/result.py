@@ -1,0 +1,228 @@
+"""Optimization results: probes, frontier, best-per-objective, convergence.
+
+:class:`OptimizeResult` follows the :class:`~repro.sweep.runner.SweepResult`
+convention exactly: :meth:`~OptimizeResult.format_report` and
+:meth:`~OptimizeResult.to_dict` contain only search data -- probe
+assignments, metric values, frontier/feasible/best indices, the convergence
+trace -- and **no** execution statistics, so a warm re-run (every probe a
+cache hit) renders byte-identical output.  Timings and cache counters live
+in :meth:`~OptimizeResult.describe_stats`, which the CLI prints to stderr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.api.scenario import Scenario
+from repro.engine.context import CacheStats
+from repro.optimize.objective import ObjectiveSpec
+from repro.sweep.spec import SweepSpec, _format_value
+
+
+@dataclass
+class ProbePoint:
+    """One evaluated design point of an optimization run.
+
+    ``simulations`` and ``elapsed_seconds`` are execution statistics (zero /
+    near-zero on warm re-runs) and are excluded from serialized forms.
+    """
+
+    index: int
+    assignment: Dict[str, object]
+    scenario_name: str
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    values: Dict[str, float] = field(default_factory=dict)
+    simulations: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether this probe was served entirely from the caches."""
+        return self.simulations == 0
+
+    def to_dict(self) -> dict:
+        """Plain (JSON-ready) form -- stable across warm re-runs."""
+        return {
+            "index": self.index,
+            "assignment": dict(self.assignment),
+            "scenario": self.scenario_name,
+            "values": dict(self.values),
+            "metrics": {name: dict(bucket) for name, bucket in self.metrics.items()},
+        }
+
+
+@dataclass
+class OptimizeResult:
+    """One completed optimization: every probe plus the derived answers.
+
+    Attributes:
+        objective: the problem statement.
+        space: the searched grid (axes define the candidate set).
+        base: base scenario every probe overrides.
+        driver: the resolved driver that ran (never ``"auto"``).
+        budget: probe budget, ``None`` = unlimited.
+        budget_exhausted: the search stopped because the budget ran out.
+        probes: every evaluated point, in evaluation order.
+        feasible: probe indices satisfying all constraints.
+        frontier: feasible probe indices on the Pareto frontier.
+        best: per objective metric, the best feasible probe index.
+        thresholds: the resolved bound of every constraint.
+        trace: per search step, probe count and best primary value so far.
+    """
+
+    objective: ObjectiveSpec
+    space: SweepSpec
+    base: Scenario
+    driver: str
+    budget: Optional[int] = None
+    budget_exhausted: bool = False
+    probes: List[ProbePoint] = field(default_factory=list)
+    feasible: List[int] = field(default_factory=list)
+    frontier: List[int] = field(default_factory=list)
+    best: Dict[str, int] = field(default_factory=dict)
+    thresholds: List[Dict[str, object]] = field(default_factory=list)
+    trace: List[Dict[str, object]] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
+    simulations_executed: int = 0
+    elapsed_seconds: float = 0.0
+
+    def probe(self, index: int) -> ProbePoint:
+        """Look up one probe by its index."""
+        return self.probes[index]
+
+    def best_probe(self, metric: Optional[str] = None) -> Optional[ProbePoint]:
+        """The best feasible probe for one objective metric (the primary by
+        default); ``None`` when no probe is feasible."""
+        metric = metric if metric is not None else self.objective.primary.metric
+        if metric not in self.best:
+            if metric not in {obj.metric for obj in self.objective.objectives}:
+                raise KeyError(metric)
+            return None
+        return self.probes[self.best[metric]]
+
+    # ---------------------------------------------------------------- rendering
+
+    def format_report(self) -> str:
+        """Render the search as plain-text tables (search data only)."""
+        spec = self.objective
+        axis_keys = self.space.axis_keys
+        metric_paths = [obj.metric for obj in spec.objectives]
+        lines = [f"Optimization {spec.name!r}: " + "; ".join(
+            obj.describe() for obj in spec.objectives
+        )]
+        for constraint in spec.constraints:
+            lines.append(f"Constraint: {constraint.describe()}")
+        lines.append(f"Base scenario: {self.base.describe()}")
+        lines.append(f"Search space: {self.space.describe()}")
+        budget = "none" if self.budget is None else str(self.budget)
+        status = (
+            f"Driver: {self.driver}, budget: {budget}, probes: "
+            f"{len(self.probes)} of {self.space.grid_size()} grid points"
+        )
+        if self.budget_exhausted:
+            status += " (budget exhausted)"
+        lines.append(status)
+        lines.append("")
+
+        frontier_rows = [
+            [_format_value(probe.assignment[key]) for key in axis_keys]
+            + [probe.values[path] for path in metric_paths]
+            + [probe.index]
+            for probe in (self.probes[i] for i in self.frontier)
+        ]
+        lines.append(
+            format_table(
+                axis_keys + metric_paths + ["probe"],
+                frontier_rows,
+                title=(
+                    f"Pareto frontier ({len(self.frontier)} of "
+                    f"{len(self.feasible)} feasible probes)"
+                ),
+            )
+        )
+        lines.append("")
+
+        if self.best:
+            best_rows = []
+            for obj in spec.objectives:
+                index = self.best.get(obj.metric)
+                if index is None:
+                    continue
+                probe = self.probes[index]
+                best_rows.append(
+                    [obj.describe(), probe.values[obj.metric]]
+                    + [_format_value(probe.assignment[key]) for key in axis_keys]
+                    + [probe.index]
+                )
+            lines.append(
+                format_table(
+                    ["Objective", "Value"] + axis_keys + ["probe"],
+                    best_rows,
+                    title="Best probe per objective",
+                )
+            )
+        else:
+            lines.append("No probe satisfies the constraints.")
+
+        if self.thresholds:
+            lines.append("")
+            lines.append("Resolved constraint thresholds:")
+            for entry in self.thresholds:
+                bound = entry.get("bound")
+                rendered = "unresolved" if bound is None else f"{entry['op']} {bound:g}"
+                lines.append(f"  {entry['constraint']}: {entry['metric']} {rendered}")
+
+        if self.trace:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["Step", "Phase", "Probes", f"Best {spec.primary.metric}"],
+                    [
+                        [
+                            entry["step"],
+                            entry["phase"],
+                            entry["probes"],
+                            entry["best"],
+                        ]
+                        for entry in self.trace
+                    ],
+                    title="Convergence trace",
+                )
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Structured (JSON-ready) output -- stable across warm re-runs."""
+        return {
+            "objective": self.objective.to_dict(),
+            "space": self.space.to_dict(),
+            "base_scenario": self.base.to_dict(),
+            "driver": self.driver,
+            "budget": self.budget,
+            "budget_exhausted": self.budget_exhausted,
+            "grid_size": self.space.grid_size(),
+            "probes": [probe.to_dict() for probe in self.probes],
+            "feasible": list(self.feasible),
+            "frontier": list(self.frontier),
+            "best": {
+                metric: {
+                    "probe": index,
+                    "value": self.probes[index].values[metric],
+                    "assignment": dict(self.probes[index].assignment),
+                }
+                for metric, index in self.best.items()
+            },
+            "thresholds": [dict(entry) for entry in self.thresholds],
+            "trace": [dict(entry) for entry in self.trace],
+        }
+
+    def describe_stats(self) -> str:
+        """One-line execution summary (cache hits prove warm runs are free)."""
+        return (
+            f"optimize {self.objective.name!r}: {len(self.probes)} probes, "
+            f"{self.simulations_executed} simulations executed, "
+            f"disk cache: {self.cache.hits} hits, {self.cache.misses} misses, "
+            f"{self.elapsed_seconds:.2f}s ({self.driver})"
+        )

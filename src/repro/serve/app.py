@@ -13,8 +13,12 @@ library itself.  Endpoints:
                       side-by-side delta table of ``repro compare``.
 ``POST /v1/sweep``    sweep spec/axes -> streamed NDJSON progress events
                       (chunked transfer), terminated by a ``summary`` event.
+``POST /v1/optimize`` objective + search space -> adaptive design-space
+                      search; one NDJSON ``probe_completed`` event per
+                      evaluated probe, terminated by a ``summary`` event
+                      carrying the Pareto frontier and best probes.
 ``GET /v1/workloads`` the server's workload catalog.
-``GET /v1/presets``   scenario and sweep presets.
+``GET /v1/presets``   scenario and sweep presets, plus endpoint discovery.
 ``GET /healthz``      liveness; 503 + ``"draining"`` during shutdown drain.
 ``GET /metrics``      JSON counters: requests by endpoint/status, p50/p99
                       latency, coalescing, session LRU and persistent-cache
@@ -58,14 +62,14 @@ from repro.serve.errors import (
     PayloadTooLarge,
     ServeError,
 )
-from repro.serve.progress import sweep_events
+from repro.serve.progress import optimize_events, sweep_events
 from repro.serve.state import ServeConfig, ServerState
 
 #: Upper bound on accepted request bodies (inline workloads stay small).
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _GET_PATHS = ("/healthz", "/metrics", "/v1/workloads", "/v1/presets")
-_POST_PATHS = ("/v1/run", "/v1/compare", "/v1/sweep")
+_POST_PATHS = ("/v1/run", "/v1/compare", "/v1/sweep", "/v1/optimize")
 
 
 # ----------------------------------------------------------- request parsing
@@ -207,9 +211,10 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
-        started = time.perf_counter()
+        self._started = time.perf_counter()
         path = urlsplit(self.path).path.rstrip("/") or "/"
-        endpoint = f"{method} {path}"
+        self._endpoint = f"{method} {path}"
+        self._recorded = False
         self.state.metrics.begin()
         status = 500
         try:
@@ -220,9 +225,11 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                     status = result
                 else:
                     status, payload = result
+                    self._record(status)
                     self._send_json(status, payload)
             except ServeError as error:
                 status = error.status
+                self._record(status)
                 self._send_json(status, error.to_dict())
             except (BrokenPipeError, ConnectionResetError):
                 # The client went away mid-response; nothing left to send.
@@ -231,11 +238,25 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             except Exception:
                 traceback.print_exc(file=sys.stderr)
                 status = 500
+                self._record(status)
                 self._send_json(
                     status, InternalError("internal server error").to_dict()
                 )
         finally:
-            self.state.metrics.record(endpoint, status, time.perf_counter() - started)
+            # Fallback for paths that never reached a pre-send record (client
+            # disconnects); everything else recorded before its bytes left.
+            self._record(status)
+
+    def _record(self, status: int) -> None:
+        """Record the request's metrics exactly once, *before* the response
+        bytes hit the socket -- a client that has read its response is then
+        guaranteed to see the request in an immediate ``/metrics`` probe."""
+        if self._recorded:
+            return
+        self._recorded = True
+        self.state.metrics.record(
+            self._endpoint, status, time.perf_counter() - self._started
+        )
 
     def _route(self, method: str, path: str):
         routes = {
@@ -246,6 +267,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             "/v1/run": self._post_run,
             "/v1/compare": self._post_compare,
             "/v1/sweep": self._post_sweep,
+            "/v1/optimize": self._post_optimize,
         }
         handler = routes.get(path)
         if handler is None:
@@ -339,6 +361,10 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             },
             "sweeps": {
                 name: spec.describe() for name, spec in sorted(sweep_presets().items())
+            },
+            "endpoints": {
+                "GET": sorted(_GET_PATHS),
+                "POST": sorted(_POST_PATHS),
             },
         }
 
@@ -492,16 +518,89 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             events = sweep_events(
                 spec, base, benchmarks=benchmarks, disk_cache=state.disk_cache
             )
-            # Pull the first event before sending headers, so validation
-            # errors still answer as structured 4xx JSON.
-            first = next(events)
-            self.send_response(200)
-            self.send_header("Content-Type", "application/x-ndjson")
-            self.send_header("Transfer-Encoding", "chunked")
-            self.send_header("Connection", "close")
-            self.end_headers()
-            self.close_connection = True
-            event = first
+            return self._stream_ndjson(events)
+        finally:
+            state.end_work()
+
+    def _post_optimize(self) -> int:
+        """Streamed design-space search: NDJSON probe events per evaluation."""
+        state = self.state
+        body = self._json_body()
+        _check_fields(
+            body,
+            (
+                "objective",
+                "objectives",
+                "constraints",
+                "spec",
+                "axes",
+                "budget",
+                "driver",
+                "refine",
+                "scenario",
+                "set",
+                "workloads",
+                "benchmarks",
+            ),
+            "POST /v1/optimize",
+        )
+        state.begin_work()
+        try:
+            base = scenario_from_request(state, body)
+            spec = self._sweep_spec(body)
+            objective = self._objective_spec(body)
+            benchmarks = _string_list(body, "benchmarks")
+            budget = body.get("budget")
+            if budget is not None and (
+                isinstance(budget, bool) or not isinstance(budget, int) or budget < 1
+            ):
+                raise BadRequest(
+                    "field 'budget' must be a positive integer",
+                    code="invalid_budget",
+                )
+            driver = body.get("driver", "auto")
+            if not isinstance(driver, str):
+                raise BadRequest(
+                    "field 'driver' must be a string", code="invalid_driver"
+                )
+            refine = body.get("refine", 1)
+            if isinstance(refine, bool) or not isinstance(refine, int) or refine < 0:
+                raise BadRequest(
+                    "field 'refine' must be a non-negative integer",
+                    code="invalid_refine",
+                )
+            events = optimize_events(
+                objective,
+                spec,
+                base,
+                benchmarks=benchmarks,
+                budget=budget,
+                driver=driver,
+                refine=refine,
+                disk_cache=state.disk_cache,
+            )
+            return self._stream_ndjson(events)
+        finally:
+            state.end_work()
+
+    def _stream_ndjson(self, events) -> int:
+        """Send an event iterator as chunked NDJSON; returns the status.
+
+        The first event is pulled *before* headers go out, so validation
+        errors (including ones only a first probe can surface) still answer
+        as structured 4xx JSON.  Metrics are recorded immediately before the
+        terminal empty chunk -- a client that has read the whole stream sees
+        this request in ``/metrics`` without polling.
+        """
+        first = next(events)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        event = first
+        try:
             try:
                 while True:
                     line = json.dumps(to_jsonable(event)) + "\n"
@@ -513,20 +612,54 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 return 499
             except Exception as error:
                 # Headers are long gone; report the failure in-band as the
-                # stream's last event (no summary event = the sweep failed).
+                # stream's last event (no summary event = the run failed).
                 traceback.print_exc(file=sys.stderr)
                 failure = {
                     "event": "error",
                     "code": "internal",
                     "message": str(error) or type(error).__name__,
                 }
+                self._record(500)
                 self._write_chunk((json.dumps(failure) + "\n").encode("utf-8"))
                 self._write_chunk(b"")
                 return 500
+            self._record(200)
             self._write_chunk(b"")
             return 200
         finally:
-            state.end_work()
+            # Tear the generator down promptly: a streaming search stops its
+            # worker through the generator's own finally clause.
+            events.close()
+
+    @staticmethod
+    def _objective_spec(body: Mapping):
+        """The request's objective + constraints as an ``ObjectiveSpec``."""
+        raw = body.get("objectives", body.get("objective"))
+        if raw is None:
+            raise BadRequest(
+                "an optimization needs 'objectives' (or 'objective'): a "
+                "dotted metric path like 'fig17.average_speedup', optionally "
+                "with ':max'/':min', an objective object, or a list of them",
+                code="missing_objective",
+            )
+        constraints = body.get("constraints")
+        if constraints is not None:
+            if isinstance(constraints, (str, Mapping)):
+                constraints = [constraints]
+            elif not isinstance(constraints, (list, tuple)):
+                raise BadRequest(
+                    "field 'constraints' must be a constraint (string or "
+                    "object) or a list of them",
+                    code="invalid_constraint",
+                )
+        # Validate eagerly so malformed objectives answer 4xx here rather
+        # than surfacing from the driver's constructor.
+        from repro.optimize.objective import ObjectiveSpec
+
+        try:
+            return ObjectiveSpec.coerce(raw, constraints=constraints)
+        except (TypeError, ValueError) as error:
+            raise BadRequest(str(error), code="invalid_objective") from None
 
     @staticmethod
     def _sweep_spec(body: Mapping):

@@ -1,4 +1,4 @@
-"""Streaming sweep execution: one NDJSON event per grid-point milestone.
+"""Streaming sweep/optimize execution: one NDJSON event per milestone.
 
 ``POST /v1/sweep`` cannot buffer a whole grid before answering -- a sweep
 may run for minutes -- so the serve layer executes points one at a time and
@@ -13,6 +13,13 @@ streams progress as newline-delimited JSON over a chunked response:
   per-design average speedups; always the final event of a successful
   stream.
 
+``POST /v1/optimize`` streams the same way (``optimize_started`` /
+``probe_completed`` / ``summary``), but the probe sequence is decided by an
+adaptive :class:`~repro.optimize.drivers.OptimizeDriver` rather than a fixed
+grid, so :func:`optimize_events` runs the search on a worker thread and
+relays its ``on_probe`` callbacks; a closed consumer (disconnected client)
+stops the search through its ``should_stop`` hook.
+
 Every point runs over its own single-threaded
 :class:`~repro.engine.context.SimulationContext` sharing the server's
 process-wide :class:`~repro.engine.diskcache.SimulationCache`, so streamed
@@ -21,6 +28,8 @@ sweeps warm the same cache ``/v1/run`` and the CLI use.
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -112,6 +121,121 @@ def sweep_events(
         },
         "elapsed_seconds": time.perf_counter() - started,
     }
+
+
+def optimize_events(
+    objective: object,
+    spec: SweepSpec,
+    base: Scenario,
+    *,
+    constraints: Optional[Sequence[object]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    budget: Optional[int] = None,
+    driver: str = "auto",
+    refine: int = 1,
+    disk_cache=None,
+) -> Iterator[dict]:
+    """Run one optimization, yielding NDJSON-ready probe events.
+
+    The search runs on a worker thread; its ``on_probe`` callbacks are
+    relayed through a queue so the consumer sees one ``probe_completed``
+    event per evaluated probe as it happens.  The first queue item is
+    awaited *before* the first event is yielded, so a bad objective (e.g. a
+    mistyped metric path, which fails on the first probe) surfaces as a
+    structured :class:`BadRequest` while headers can still say 4xx.  Closing
+    the generator (client disconnect) flips the driver's ``should_stop``
+    flag and the worker abandons the search.
+    """
+    from repro.optimize.drivers import OptimizeDriver
+
+    try:
+        search = OptimizeDriver(
+            objective,
+            spec,
+            base,
+            constraints=constraints,
+            benchmarks=benchmarks,
+            budget=budget,
+            driver=driver,
+            refine=refine,
+            cache=disk_cache,
+            use_cache=disk_cache is not None,
+        )
+    except ValueError as error:
+        raise BadRequest(str(error), code="invalid_optimize") from None
+    events: "queue.Queue" = queue.Queue()
+    stop = threading.Event()
+    outcome: Dict[str, object] = {}
+    search.on_probe = lambda probe: events.put(("probe", probe))
+    search.should_stop = stop.is_set
+
+    def work() -> None:
+        try:
+            outcome["result"] = search.run()
+        except BaseException as error:
+            outcome["error"] = error
+        finally:
+            events.put(("done", None))
+
+    started = time.perf_counter()
+    worker = threading.Thread(
+        target=work, name="repro-serve-optimize", daemon=True
+    )
+    worker.start()
+    kind, payload = events.get()
+    if kind == "done" and outcome.get("error") is not None:
+        error = outcome["error"]
+        if isinstance(error, ValueError):
+            raise BadRequest(str(error), code="invalid_objective") from None
+        raise error  # type: ignore[misc]
+    try:
+        yield {
+            "event": "optimize_started",
+            "optimize": search.objective.name,
+            "objectives": [obj.describe() for obj in search.objective.objectives],
+            "constraints": [c.describe() for c in search.objective.constraints],
+            "axes": search.space.axis_keys,
+            "grid_size": search.space.grid_size(),
+            "budget": search.budget,
+            "driver": search.driver,
+            "base_scenario": base.name,
+        }
+        while kind == "probe":
+            probe = payload
+            yield {
+                "event": "probe_completed",
+                "index": probe.index,
+                "assignment": dict(probe.assignment),
+                "scenario": probe.scenario_name,
+                "values": dict(probe.values),
+                "cache_hit": probe.cache_hit,
+                "simulations": probe.simulations,
+                "elapsed_seconds": probe.elapsed_seconds,
+            }
+            kind, payload = events.get()
+        error = outcome.get("error")
+        if error is not None:
+            raise error  # type: ignore[misc]  # -> in-band stream error
+        result = outcome["result"]
+        data = result.to_dict()  # type: ignore[attr-defined]
+        yield {
+            "event": "summary",
+            "optimize": data["objective"]["name"],
+            "driver": data["driver"],
+            "probes": len(data["probes"]),
+            "grid_size": data["grid_size"],
+            "simulations": result.simulations_executed,  # type: ignore[attr-defined]
+            "probes_from_cache": sum(
+                1 for probe in result.probes if probe.cache_hit  # type: ignore[attr-defined]
+            ),
+            "feasible": data["feasible"],
+            "frontier": data["frontier"],
+            "best": data["best"],
+            "budget_exhausted": data["budget_exhausted"],
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+    finally:
+        stop.set()
 
 
 def _point_cells(

@@ -1,0 +1,267 @@
+"""Adaptive search drivers: determinism, correctness, budgets, caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, Session
+from repro.optimize import OptimizeDriver, run_optimize
+from repro.sweep import SweepSpec
+
+FREQS = [312.5, 625.0, 1250.0]
+GRID = {"hmc.pe_frequency_mhz": [312.5, 625.0, 937.5, 1250.0]}
+BENCH = ["Caps-MN1"]
+
+
+def _driver(objective, axes, cache_dir, **kwargs):
+    kwargs.setdefault("benchmarks", BENCH)
+    return OptimizeDriver(objective, axes, cache_dir=cache_dir, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """One shared cache: later tests ride the probes of earlier ones."""
+    return tmp_path_factory.mktemp("optimize-cache")
+
+
+# ------------------------------------------------------------- determinism
+
+
+def test_repeated_runs_are_byte_identical_and_warm(cache_dir):
+    axes = {"hmc.pe_frequency_mhz": FREQS}
+    cold = _driver("fig15.average_speedup", axes, cache_dir).run()
+    warm = _driver("fig15.average_speedup", axes, cache_dir).run()
+    assert warm.format_report() == cold.format_report()
+    assert warm.to_dict() == cold.to_dict()
+    # Every warm probe came from the persistent cache: zero simulations.
+    assert warm.simulations_executed == 0
+    assert warm.cache.misses == 0
+    assert warm.cache.hits > 0
+    assert all(probe.cache_hit for probe in warm.probes)
+
+
+def test_report_excludes_execution_statistics(cache_dir):
+    result = _driver("fig15.average_speedup", {"hmc.pe_frequency_mhz": FREQS}, cache_dir).run()
+    report = result.format_report()
+    assert "cache" not in report.lower()
+    assert "seconds" not in report.lower()
+    stats = result.describe_stats()
+    assert "disk cache" in stats
+    assert "probes" in stats
+
+
+# ------------------------------------------------- driver agreement / search
+
+
+def test_descent_and_exhaustive_agree_on_the_optimum(cache_dir):
+    axes = {"hmc.pe_frequency_mhz": FREQS}
+    descent = _driver(
+        "fig15.average_speedup", axes, cache_dir, driver="descent", refine=0
+    ).run()
+    full = _driver(
+        "fig15.average_speedup", axes, cache_dir, driver="exhaustive"
+    ).run()
+    metric = "fig15.average_speedup"
+    assert descent.best_probe().values[metric] == full.best_probe().values[metric]
+    assert descent.driver == "descent"
+    assert full.driver == "exhaustive"
+
+
+def test_halving_finds_the_brute_force_best_with_fewer_probes(cache_dir):
+    grid = {**GRID, "hmc.pes_per_vault": [8, 16]}
+    halving = _driver(
+        "fig15.average_speedup", grid, cache_dir, driver="halving"
+    ).run()
+    full = _driver(
+        "fig15.average_speedup", grid, cache_dir, driver="exhaustive"
+    ).run()
+    metric = "fig15.average_speedup"
+    assert halving.best_probe().values[metric] == full.best_probe().values[metric]
+    assert len(full.probes) == full.space.grid_size()
+    assert len(halving.probes) <= full.space.grid_size()
+
+
+def test_auto_picks_descent_for_numeric_axes(cache_dir):
+    result = _driver(
+        "fig15.average_speedup", {"hmc.pe_frequency_mhz": FREQS}, cache_dir
+    ).run()
+    assert result.driver == "descent"
+
+
+def test_refinement_probes_off_grid_values(cache_dir):
+    result = _driver(
+        "fig15.average_speedup",
+        {"hmc.pe_frequency_mhz": FREQS},
+        cache_dir,
+        driver="descent",
+        refine=1,
+    ).run()
+    probed = {probe.assignment["hmc.pe_frequency_mhz"] for probe in result.probes}
+    assert probed - set(FREQS), "refinement never left the declared grid"
+    assert any("refine" in str(entry["phase"]) for entry in result.trace)
+
+
+# ------------------------------------------------------------------ budgets
+
+
+def test_budget_exhaustion_yields_a_flagged_partial_result(cache_dir):
+    result = _driver(
+        "fig15.average_speedup",
+        GRID,
+        cache_dir,
+        driver="exhaustive",
+        budget=2,
+    ).run()
+    assert len(result.probes) == 2
+    assert result.budget_exhausted
+    assert "budget exhausted" in result.format_report()
+    assert result.best_probe() is not None  # partial but still an answer
+
+
+def test_budget_must_be_positive(cache_dir):
+    with pytest.raises(ValueError):
+        _driver("fig15.average_speedup", GRID, cache_dir, budget=0)
+
+
+# -------------------------------------------------------------- constraints
+
+
+def test_constraint_query_documents_the_cheapest_fast_config(cache_dir):
+    result = _driver(
+        {
+            "name": "cheapest-fast",
+            "objectives": ["overhead.total_area_mm2:min"],
+            "constraints": ["fig15.average_speedup:within_pct_of_best=5"],
+        },
+        {"hmc.pe_frequency_mhz": [625.0, 1250.0], "hmc.pes_per_vault": [8, 16]},
+        cache_dir,
+        driver="exhaustive",
+    ).run()
+    best = result.best_probe()
+    assert best is not None
+    # The documented config names every axis and satisfies the resolved bound.
+    assert set(best.assignment) == {"hmc.pe_frequency_mhz", "hmc.pes_per_vault"}
+    (threshold,) = result.thresholds
+    assert threshold["op"] == ">="
+    assert best.values["fig15.average_speedup"] >= threshold["bound"]
+    # The constrained winner is the cheapest *feasible* probe, not the
+    # globally cheapest one.
+    feasible = [result.probes[index] for index in result.feasible]
+    cheapest = min(p.values["overhead.total_area_mm2"] for p in feasible)
+    assert best.values["overhead.total_area_mm2"] == cheapest
+    assert best.index in result.frontier
+
+
+def test_infeasible_constraints_produce_an_empty_best(cache_dir):
+    result = _driver(
+        {
+            "objectives": ["fig15.average_speedup"],
+            "constraints": ["fig15.average_speedup:min=1e9"],
+        },
+        {"hmc.pe_frequency_mhz": [625.0]},
+        cache_dir,
+        driver="exhaustive",
+    ).run()
+    assert result.best_probe() is None
+    assert result.feasible == []
+    assert "No probe satisfies the constraints." in result.format_report()
+
+
+# --------------------------------------------------------- hooks and errors
+
+
+def test_on_probe_observer_sees_every_probe_in_order(cache_dir):
+    seen = []
+    _driver(
+        "fig15.average_speedup",
+        {"hmc.pe_frequency_mhz": FREQS},
+        cache_dir,
+        driver="exhaustive",
+        on_probe=seen.append,
+    ).run()
+    assert [probe.index for probe in seen] == [0, 1, 2]
+
+
+def test_should_stop_abandons_the_search_cleanly(cache_dir):
+    calls = []
+
+    def stop_after_one() -> bool:
+        calls.append(True)
+        return len(calls) > 1
+
+    result = _driver(
+        "fig15.average_speedup",
+        GRID,
+        cache_dir,
+        driver="exhaustive",
+        should_stop=stop_after_one,
+    ).run()
+    assert len(result.probes) == 1
+    assert not result.budget_exhausted
+
+
+def test_constructor_rejects_bad_arguments(cache_dir):
+    with pytest.raises(ValueError):
+        _driver("fig15.average_speedup", GRID, cache_dir, driver="annealing")
+    with pytest.raises(ValueError):
+        _driver("nosuch.metric", GRID, cache_dir)  # unknown experiment
+    with pytest.raises(ValueError):
+        OptimizeDriver(
+            "fig15.average_speedup", GRID, benchmarks=["Caps-Nope"],
+            cache_dir=cache_dir,
+        )
+    with pytest.raises(ValueError):
+        _driver(
+            "fig15.average_speedup",
+            {"core.distribution_dimension": ["batch", "capsule"]},
+            cache_dir,
+            driver="descent",  # categorical axis: descent refuses
+        )
+
+
+def test_bad_metric_path_fails_on_the_first_probe(cache_dir):
+    with pytest.raises(ValueError, match="available paths"):
+        _driver(
+            "fig15.no_such_metric", {"hmc.pe_frequency_mhz": [625.0]}, cache_dir
+        ).run()
+
+
+# -------------------------------------------------------------- public API
+
+
+def test_session_and_convenience_entrypoints(cache_dir):
+    import repro
+
+    space = {"hmc.pe_frequency_mhz": [625.0, 1250.0]}
+    via_session = Session(Scenario.default()).optimize(
+        "fig15.average_speedup",
+        space,
+        benchmarks=BENCH,
+        driver="exhaustive",
+        cache_dir=cache_dir,
+    )
+    via_function = run_optimize(
+        "fig15.average_speedup",
+        space,
+        benchmarks=BENCH,
+        driver="exhaustive",
+        cache_dir=cache_dir,
+    )
+    assert via_session.format_report() == via_function.format_report()
+    assert repro.run_optimize is run_optimize
+    assert repro.ObjectiveSpec is not None
+
+
+def test_space_accepts_a_sweep_spec_and_file(cache_dir, tmp_path):
+    spec = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": [625.0, 1250.0]}, name="my-space"
+    )
+    path = tmp_path / "space.json"
+    path.write_text(__import__("json").dumps(spec.to_dict()), encoding="utf-8")
+    from_spec = _driver(
+        "fig15.average_speedup", spec, cache_dir, driver="exhaustive"
+    ).run()
+    from_file = _driver(
+        "fig15.average_speedup", str(path), cache_dir, driver="exhaustive"
+    ).run()
+    assert from_spec.best_probe().values == from_file.best_probe().values

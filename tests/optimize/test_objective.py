@@ -1,0 +1,201 @@
+"""Unit tests for the declarative objective/constraint layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.optimize import (
+    CONSTRAINT_OPS,
+    Constraint,
+    Objective,
+    ObjectiveSpec,
+    extract_metric,
+    metric_paths,
+)
+
+
+# ---------------------------------------------------------------- Objective
+
+
+def test_objective_parse_forms():
+    assert Objective.parse("fig17.average_speedup") == Objective(
+        "fig17.average_speedup", "maximize"
+    )
+    assert Objective.parse("overhead.total_area_mm2:min").sense == "minimize"
+    assert Objective.parse("fig17.average_speedup:max").sense == "maximize"
+    # Long and short sense spellings are equivalent.
+    assert Objective.parse("x.y:minimize") == Objective.parse("x.y:min")
+
+
+def test_objective_rejects_bad_input():
+    with pytest.raises(ValueError):
+        Objective.parse("fig17.average_speedup:sideways")
+    with pytest.raises(ValueError):
+        Objective("")  # empty metric path
+    with pytest.raises(ValueError):
+        Objective("fig17..speedup")  # empty path segment
+    with pytest.raises(ValueError):
+        Objective.from_dict({"metric": "a.b", "bogus": 1})
+
+
+def test_objective_scalar_orients_by_sense():
+    maximize = Objective("a.b", "maximize")
+    minimize = Objective("a.b", "minimize")
+    assert maximize.scalar(2.0) == 2.0
+    assert minimize.scalar(2.0) == -2.0
+    assert maximize.describe() == "maximize a.b"
+
+
+def test_objective_json_roundtrip():
+    objective = Objective("fig17.average_speedup", "minimize")
+    assert Objective.from_dict(objective.to_dict()) == objective
+
+
+# --------------------------------------------------------------- Constraint
+
+
+def test_constraint_parse_each_operator():
+    relative = Constraint.parse("fig17.average_speedup:within_pct_of_best=5")
+    assert relative.within_pct_of_best == 5.0
+    assert relative.sense == "maximize"
+    low = Constraint.parse("fig17.average_speedup:min=2.5")
+    assert low.min_value == 2.5
+    high = Constraint.parse("overhead.total_area_mm2:max=40")
+    assert high.max_value == 40.0
+    # A sense tag between metric and operator flips the "best" direction.
+    lowest = Constraint.parse("overhead.total_area_mm2:min:within_pct_of_best=10")
+    assert lowest.sense == "minimize"
+    assert lowest.within_pct_of_best == 10.0
+
+
+def test_constraint_parse_rejects_garbage():
+    for bad in (
+        "no-operator",
+        "a.b:within_pct_of_best",  # no value
+        "a.b:between=1",  # unknown operator
+        "a.b:min=abc",  # non-numeric value
+    ):
+        with pytest.raises(ValueError):
+            Constraint.parse(bad)
+    assert "within_pct_of_best" in CONSTRAINT_OPS
+
+
+def test_constraint_families_are_exclusive():
+    with pytest.raises(ValueError):
+        Constraint("a.b", within_pct_of_best=5, min_value=1)
+    with pytest.raises(ValueError):
+        Constraint("a.b")  # no bound at all
+    with pytest.raises(ValueError):
+        Constraint("a.b", within_pct_of_best=-1)
+    # min+max together is one (absolute) family and is fine.
+    band = Constraint("a.b", min_value=1, max_value=2)
+    assert band.feasible(1.5)
+    assert not band.feasible(2.5)
+    assert not band.feasible(0.5)
+
+
+def test_relative_constraint_resolves_against_best():
+    constraint = Constraint("a.b", within_pct_of_best=5, sense="maximize")
+    # Unresolved (no best yet): cannot reject.
+    assert constraint.threshold(None) is None
+    assert constraint.feasible(0.001, None)
+    op, bound = constraint.threshold(4.0)
+    assert op == ">=" and bound == pytest.approx(3.8)
+    assert constraint.feasible(3.9, 4.0)
+    assert not constraint.feasible(3.7, 4.0)
+    # Minimize flips the band to "at most best + 5%".
+    cheap = Constraint("a.b", within_pct_of_best=5, sense="minimize")
+    op, bound = cheap.threshold(2.0)
+    assert op == "<=" and bound == pytest.approx(2.1)
+
+
+def test_constraint_json_roundtrip():
+    constraint = Constraint.parse("fig17.average_speedup:within_pct_of_best=5")
+    assert Constraint.from_dict(constraint.to_dict()) == constraint
+
+
+# ------------------------------------------------------------ ObjectiveSpec
+
+
+def test_spec_coerce_accepts_every_reasonable_form():
+    single = ObjectiveSpec.coerce("fig17.average_speedup")
+    assert single.primary.metric == "fig17.average_speedup"
+    multi = ObjectiveSpec.coerce(
+        ["fig17.average_speedup", "overhead.total_area_mm2:min"]
+    )
+    assert [obj.sense for obj in multi.objectives] == ["maximize", "minimize"]
+    mapped = ObjectiveSpec.coerce(
+        {
+            "name": "demo",
+            "objectives": ["fig17.average_speedup"],
+            "constraints": ["overhead.total_area_mm2:max=40"],
+        }
+    )
+    assert mapped.name == "demo"
+    assert mapped.constraints[0].max_value == 40.0
+    # Coercing a spec with extra constraints merges them in.
+    merged = ObjectiveSpec.coerce(mapped, constraints=["fig17.max_speedup:min=1"])
+    assert len(merged.constraints) == 2
+
+
+def test_spec_rejects_duplicates_and_empties():
+    with pytest.raises(ValueError):
+        ObjectiveSpec.coerce(["a.b", "a.b:min"])  # duplicate metric
+    with pytest.raises(ValueError):
+        ObjectiveSpec(objectives=())
+    with pytest.raises(ValueError):
+        ObjectiveSpec.from_dict({"objectives": ["a.b"], "bogus": 1})
+
+
+def test_spec_file_roundtrip_names_from_stem(tmp_path):
+    spec = ObjectiveSpec.coerce(
+        ["fig17.average_speedup", "overhead.total_area_mm2:min"],
+        constraints=["fig17.average_speedup:within_pct_of_best=5"],
+    )
+    path = tmp_path / "cheap-and-fast.json"
+    spec.to_file(path)
+    loaded = ObjectiveSpec.from_file(path)
+    assert loaded.objectives == spec.objectives
+    assert loaded.constraints == spec.constraints
+    # A file without an explicit name takes the file stem.
+    bare = tmp_path / "my-problem.json"
+    bare.write_text(json.dumps({"objectives": ["a.b"]}), encoding="utf-8")
+    assert ObjectiveSpec.from_file(bare).name == "my-problem"
+
+
+def test_spec_metric_paths_and_experiments_dedupe_in_order():
+    spec = ObjectiveSpec.coerce(
+        ["overhead.total_area_mm2:min", "fig17.average_speedup"],
+        constraints=["fig17.max_speedup:min=1", "overhead.total_area_mm2:max=40"],
+    )
+    assert spec.metric_paths() == [
+        "overhead.total_area_mm2",
+        "fig17.average_speedup",
+        "fig17.max_speedup",
+    ]
+    assert spec.experiments() == ["overhead", "fig17"]
+
+
+# -------------------------------------------------------------- path lookup
+
+
+def test_extract_metric_walks_dotted_paths():
+    metrics = {"fig17": {"average_speedup": 3.2, "nested": {"deep": 1}}}
+    assert extract_metric(metrics, "fig17.average_speedup") == 3.2
+    assert extract_metric(metrics, "fig17.nested.deep") == 1.0
+    assert metric_paths(metrics) == [
+        "fig17.average_speedup",
+        "fig17.nested.deep",
+    ]
+
+
+def test_extract_metric_errors_list_available_paths():
+    metrics = {"fig17": {"average_speedup": 3.2, "flag": True}}
+    with pytest.raises(ValueError, match="fig17.average_speedup"):
+        extract_metric(metrics, "fig17.no_such_metric")
+    with pytest.raises(ValueError, match="not a scalar"):
+        extract_metric(metrics, "fig17.flag")  # bools are not metrics
+    with pytest.raises(ValueError):
+        extract_metric(metrics, "fig17")  # non-leaf path

@@ -1,0 +1,136 @@
+"""Pareto-frontier extraction: plain rows, sweep results, the disk cache."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.optimize import (
+    cache_frontier,
+    dominates,
+    pareto_indices,
+    point_metrics,
+    sweep_frontier,
+)
+from repro.sweep import SweepRunner, SweepSpec
+
+
+@pytest.fixture(scope="module")
+def swept(tmp_path_factory):
+    """One small executed sweep plus the cache directory it populated."""
+    cache_dir = tmp_path_factory.mktemp("pareto-cache")
+    spec = SweepSpec.from_axes(
+        {"hmc.pe_frequency_mhz": [312.5, 625.0, 1250.0]},
+        name="pareto-grid",
+        benchmarks=["Caps-MN1"],
+    )
+    result = SweepRunner(spec, jobs=1, cache_dir=cache_dir).run()
+    return spec, result, cache_dir
+
+
+# ------------------------------------------------------------- plain rows
+
+
+def test_dominates_needs_weak_everywhere_strict_somewhere():
+    senses = ["maximize", "minimize"]
+    assert dominates([2.0, 1.0], [1.0, 1.0], senses)
+    assert dominates([2.0, 0.5], [1.0, 1.0], senses)
+    assert not dominates([2.0, 2.0], [1.0, 1.0], senses)  # worse in col 2
+    assert not dominates([1.0, 1.0], [1.0, 1.0], senses)  # equal: no strict win
+    with pytest.raises(ValueError):
+        dominates([1.0], [1.0, 2.0], senses)
+
+
+def test_pareto_indices_match_brute_force():
+    rows = [
+        [1.0, 4.0], [2.0, 3.0], [3.0, 3.0], [3.0, 1.0],
+        [0.5, 0.5], [2.0, 3.0],
+    ]
+    for senses in itertools.product(["maximize", "minimize"], repeat=2):
+        expected = [
+            i
+            for i, row in enumerate(rows)
+            if not any(
+                dominates(other, row, senses)
+                for j, other in enumerate(rows)
+                if j != i
+            )
+        ]
+        assert pareto_indices(rows, list(senses)) == expected
+
+
+def test_pareto_keeps_co_optimal_ties():
+    rows = [[1.0], [2.0], [2.0]]
+    assert pareto_indices(rows, ["maximize"]) == [1, 2]
+
+
+# ------------------------------------------------------------ sweep results
+
+
+def test_point_metrics_averages_and_mirrors_first_design(swept):
+    _, result, _ = swept
+    metrics = point_metrics(result.points[0])
+    design = str(result.spec.designs[0])
+    assert metrics["speedup"] == metrics[design]["speedup"]
+    assert metrics["speedup"] > 0
+
+
+def test_sweep_frontier_live_equals_offline_dict(swept):
+    _, result, _ = swept
+    live = sweep_frontier(result, ["speedup", "energy_saving"])
+    offline = sweep_frontier(result.to_dict(), ["speedup", "energy_saving"])
+    assert live == offline
+    assert live["frontier"]  # something is non-dominated
+    for entry in live["points"]:
+        assert set(entry["values"]) == {"speedup", "energy_saving"}
+
+
+def test_sweep_frontier_single_objective_picks_the_peak(swept):
+    _, result, _ = swept
+    data = sweep_frontier(result, "speedup")
+    values = [entry["values"]["speedup"] for entry in data["points"]]
+    peak = max(values)
+    assert data["frontier"] == [
+        i for i, value in enumerate(values) if value == peak
+    ]
+
+
+# ------------------------------------------------------------- disk cache
+
+
+def test_cache_frontier_reuses_the_sweep_with_zero_simulations(swept):
+    spec, result, cache_dir = swept
+    data = cache_frontier(spec, "speedup", cache_dir=cache_dir)
+    assert data["simulations_executed"] == 0
+    assert data["covered"] == spec.grid_size()
+    assert data["uncovered"] == 0
+    assert data["frontier"] == sweep_frontier(result, "speedup")["frontier"]
+
+
+def test_cache_frontier_over_a_cold_cache_covers_nothing(swept, tmp_path):
+    spec, _, _ = swept
+    data = cache_frontier(spec, "speedup", cache_dir=tmp_path / "empty")
+    assert data["covered"] == 0
+    assert data["uncovered"] == spec.grid_size()
+    assert data["frontier"] == []
+    assert data["simulations_executed"] == 0
+
+
+def test_cache_frontier_skips_unswept_points_by_grid_index(swept):
+    spec, _, cache_dir = swept
+    import dataclasses
+
+    wider = dataclasses.replace(
+        spec,
+        axes=(
+            dataclasses.replace(
+                spec.axes[0], values=spec.axes[0].values + (2500.0,)
+            ),
+        ),
+    )
+    data = cache_frontier(wider, "speedup", cache_dir=cache_dir)
+    assert data["covered"] == spec.grid_size()
+    assert data["uncovered"] == 1  # the frequency the sweep never ran
+    covered_indices = {entry["index"] for entry in data["points"]}
+    assert set(data["frontier"]) <= covered_indices

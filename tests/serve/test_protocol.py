@@ -50,11 +50,11 @@ def test_metrics_shape(client):
         "/v1/run", {"experiments": ["fig16"], "benchmarks": ["Caps-MN1"]}
     )
     assert status == 200
-    # The request counter is recorded just after the response bytes go out,
-    # so a fast client can race it: poll until the count lands.
-    payload = client.wait_metrics(
-        lambda m: m["requests"].get("POST /v1/run", {}).get("200") == 1
-    )
+    # Counters are recorded *before* the response bytes go out, so a client
+    # that has read its response sees the request on an immediate probe.
+    status, payload = client.get("/metrics")
+    assert status == 200
+    assert payload["requests"]["POST /v1/run"]["200"] == 1
     overall = payload["latency_seconds"]["overall"]
     assert overall["count"] >= 1
     assert overall["p99_seconds"] >= overall["p50_seconds"] >= 0
@@ -372,3 +372,144 @@ def test_graceful_drain_finishes_inflight_work(
     assert server.test_exit_code["value"] == 0
     with pytest.raises(urllib.error.URLError):
         urllib.request.urlopen(client.url + "/healthz", timeout=5)
+
+
+# ------------------------------------------------------------- /v1/optimize
+
+
+def test_optimize_streams_probe_events(client):
+    body = {
+        "objective": "fig15.average_speedup",
+        "axes": {"hmc.pe_frequency_mhz": [312.5, 625.0, 1250.0]},
+        "benchmarks": ["Caps-MN1"],
+        "driver": "exhaustive",
+    }
+    status, headers, events = client.stream("/v1/optimize", body)
+    assert status == 200
+    assert headers["Content-Type"] == "application/x-ndjson"
+    assert headers.get("Transfer-Encoding") == "chunked"
+
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "optimize_started"
+    assert kinds[-1] == "summary"
+    assert kinds.count("probe_completed") == 3
+    started = events[0]
+    assert started["objectives"] == ["maximize fig15.average_speedup"]
+    assert started["grid_size"] == 3
+    assert started["driver"] == "exhaustive"
+    probes = [event for event in events if event["event"] == "probe_completed"]
+    assert [probe["index"] for probe in probes] == [0, 1, 2]
+    for probe in probes:
+        assert "fig15.average_speedup" in probe["values"]
+    summary = events[-1]
+    assert summary["probes"] == 3
+    assert summary["best"]["fig15.average_speedup"]["assignment"]
+    assert summary["frontier"]
+
+
+def test_optimize_repeat_is_fully_cached(client):
+    body = {
+        "objective": "fig15.average_speedup",
+        "axes": {"hmc.pe_frequency_mhz": [200.0, 400.0]},
+        "benchmarks": ["Caps-MN1"],
+    }
+    status, _, cold = client.stream("/v1/optimize", body)
+    assert status == 200
+    status, _, warm = client.stream("/v1/optimize", body)
+    assert status == 200
+    summary = warm[-1]
+    assert summary["event"] == "summary"
+    assert summary["simulations"] == 0
+    assert summary["probes_from_cache"] == summary["probes"]
+    assert summary["best"] == cold[-1]["best"]
+    probes = [event for event in warm if event["event"] == "probe_completed"]
+    assert all(event["cache_hit"] for event in probes)
+    # The shared server cache also feeds /v1/sweep and vice versa.
+    status, _, events = client.stream(
+        "/v1/sweep", {"axes": {"hmc.pe_frequency_mhz": [200.0, 400.0]},
+                      "benchmarks": ["Caps-MN1"]}
+    )
+    assert status == 200
+
+
+def test_optimize_constrained_query(client):
+    body = {
+        "objectives": ["overhead.total_area_mm2:min"],
+        "constraints": ["fig15.average_speedup:within_pct_of_best=5"],
+        "axes": {"hmc.pe_frequency_mhz": [625.0, 1250.0]},
+        "benchmarks": ["Caps-MN1"],
+        "driver": "exhaustive",
+    }
+    status, _, events = client.stream("/v1/optimize", body)
+    assert status == 200
+    assert events[0]["constraints"] == [
+        "fig15.average_speedup within 5% of best"
+    ]
+    summary = events[-1]
+    best = summary["best"]["overhead.total_area_mm2"]
+    assert "hmc.pe_frequency_mhz" in best["assignment"]
+
+
+def test_optimize_validation_errors_arrive_before_the_stream(client):
+    status, payload = client.post(
+        "/v1/optimize", {"axes": {"hmc.pe_frequency_mhz": [625.0]}}
+    )
+    assert status == 400
+    assert _error_code(payload) == "missing_objective"
+    status, payload = client.post(
+        "/v1/optimize", {"objective": "fig15.average_speedup"}
+    )
+    assert status == 400
+    assert _error_code(payload) == "missing_spec"
+    # A metric typo only surfaces on the first probe -- still a 4xx, because
+    # the first event is awaited before headers go out.
+    status, payload = client.post(
+        "/v1/optimize",
+        {
+            "objective": "fig15.no_such_metric",
+            "axes": {"hmc.pe_frequency_mhz": [625.0]},
+            "benchmarks": ["Caps-MN1"],
+        },
+    )
+    assert status == 400
+    assert _error_code(payload) == "invalid_objective"
+    status, payload = client.post(
+        "/v1/optimize",
+        {
+            "objective": "fig15.average_speedup",
+            "axes": {"hmc.pe_frequency_mhz": [625.0]},
+            "budget": 0,
+        },
+    )
+    assert status == 400
+    assert _error_code(payload) == "invalid_budget"
+    status, payload = client.post(
+        "/v1/optimize",
+        {
+            "objective": "fig15.average_speedup",
+            "axes": {"hmc.pe_frequency_mhz": [625.0]},
+            "driver": "annealing",
+        },
+    )
+    assert status == 400
+    assert _error_code(payload) == "invalid_optimize"
+
+
+def test_optimize_is_discoverable_and_counted(client):
+    status, payload = client.get("/v1/presets")
+    assert status == 200
+    assert "/v1/optimize" in payload["endpoints"]["POST"]
+    assert "/metrics" in payload["endpoints"]["GET"]
+
+    body = {
+        "objective": "fig15.average_speedup",
+        "axes": {"hmc.pe_frequency_mhz": [625.0]},
+        "benchmarks": ["Caps-MN1"],
+    }
+    status, _, events = client.stream("/v1/optimize", body)
+    assert status == 200
+    assert events[-1]["event"] == "summary"
+    # Single shot: streamed requests are recorded before the terminal chunk.
+    status, metrics = client.get("/metrics")
+    assert status == 200
+    assert metrics["requests"]["POST /v1/optimize"]["200"] == 1

@@ -534,3 +534,145 @@ def test_serve_rejects_bad_max_sessions(capsys):
     with pytest.raises(SystemExit):
         main(["serve", "--max-sessions", "0"])
     assert "positive integer" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------- optimize
+
+
+def test_optimize_axis_search(capsys, tmp_path):
+    assert main([
+        "optimize",
+        "--objective", "fig15.average_speedup",
+        "--axis", "hmc.pe_frequency_mhz=312.5,625,1250",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "Optimization 'optimize'" in captured.out
+    assert "Pareto frontier" in captured.out
+    assert "Best probe per objective" in captured.out
+    # Execution statistics go to stderr, never stdout.
+    assert "disk cache" in captured.err
+    assert "disk cache" not in captured.out
+
+
+def test_optimize_warm_rerun_is_byte_identical(capsys, tmp_path):
+    argv = [
+        "optimize",
+        "--objective", "fig15.average_speedup",
+        "--axis", "hmc.pe_frequency_mhz=312.5,625,1250",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out  # byte-identical report
+    assert "0 simulations executed" in warm.err
+    assert "0 misses" in warm.err
+
+
+def test_optimize_json_constrained_query(capsys, tmp_path):
+    assert main([
+        "optimize",
+        "--objective", "overhead.total_area_mm2:min",
+        "--constraint", "fig15.average_speedup:within_pct_of_best=5",
+        "--axis", "hmc.pe_frequency_mhz=625,1250",
+        "--axis", "hmc.pes_per_vault=8,16",
+        "--driver", "exhaustive",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+        "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    best = payload["best"]["overhead.total_area_mm2"]
+    assert set(best["assignment"]) == {
+        "hmc.pe_frequency_mhz", "hmc.pes_per_vault",
+    }
+    (threshold,) = payload["thresholds"]
+    assert threshold["op"] == ">="
+    assert payload["grid_size"] == 4
+    assert payload["budget_exhausted"] is False
+
+
+def test_optimize_objective_spec_file(capsys, tmp_path):
+    objective_path = tmp_path / "problem.json"
+    objective_path.write_text(json.dumps({
+        "objectives": ["fig15.average_speedup"],
+        "constraints": ["fig15.average_speedup:min=0"],
+    }))
+    assert main([
+        "optimize",
+        "--objective", str(objective_path),
+        "--axis", "hmc.pe_frequency_mhz=625,1250",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Optimization 'problem'" in out  # name from the file stem
+
+
+def test_optimize_budget_flag(capsys, tmp_path):
+    assert main([
+        "optimize",
+        "--objective", "fig15.average_speedup",
+        "--axis", "hmc.pe_frequency_mhz=312.5,625,1250",
+        "--budget", "2",
+        "--driver", "exhaustive",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "probes: 2 of 3 grid points (budget exhausted)" in out
+
+
+def test_optimize_rejects_bad_arguments(tmp_path):
+    # No search space at all.
+    with pytest.raises(SystemExit):
+        main([
+            "optimize", "--objective", "fig15.average_speedup",
+            "--cache-dir", str(tmp_path),
+        ])
+    # No objective.
+    with pytest.raises(SystemExit):
+        main([
+            "optimize", "--axis", "hmc.pe_frequency_mhz=625",
+            "--cache-dir", str(tmp_path),
+        ])
+    # Unknown driver is rejected by argparse choices.
+    with pytest.raises(SystemExit):
+        main([
+            "optimize", "--objective", "fig15.average_speedup",
+            "--axis", "hmc.pe_frequency_mhz=625",
+            "--driver", "annealing",
+            "--cache-dir", str(tmp_path),
+        ])
+    # A metric typo surfaces as a clean exit, not a traceback.
+    with pytest.raises(SystemExit):
+        main([
+            "optimize", "--objective", "fig15.nope",
+            "--axis", "hmc.pe_frequency_mhz=625",
+            "--benchmarks", "Caps-MN1",
+            "--cache-dir", str(tmp_path),
+        ])
+
+
+def test_sweep_json_output_file_roundtrips(capsys, tmp_path):
+    """Satellite check: sweep --format json --output dumps loadable points."""
+    out_path = tmp_path / "sweep.json"
+    assert main([
+        "sweep",
+        "--axis", "hmc.pe_frequency_mhz=312.5,625",
+        "--benchmarks", "Caps-MN1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--format", "json",
+        "--output", str(out_path),
+    ]) == 0
+    payload = json.loads(out_path.read_text())
+    assert len(payload["points"]) == 2
+    # The dump feeds the offline frontier path.
+    from repro.optimize import sweep_frontier
+
+    frontier = sweep_frontier(payload, "speedup")
+    assert frontier["frontier"]
