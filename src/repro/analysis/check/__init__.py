@@ -1,0 +1,56 @@
+"""Static analysis for the repro codebase: ``repro check``.
+
+A stdlib-only (``ast``) checker that turns the repo's hard-won invariants
+into enforceable lint rules with stable IDs:
+
+* **determinism** (``RPR-D00x``) -- no wall-clock/seedless RNG in the
+  simulation tree, no accumulation-reordering kernels in the
+  exact-arithmetic modules, no set-order-dependent output;
+* **concurrency** (``RPR-T00x``) -- module state mutated only under locks
+  in threaded modules, cache files published atomically;
+* **consistency** (``RPR-C00x``) -- dotted scenario-override and
+  ``experiment.metric`` path literals validated against the live schemas;
+* **hygiene** (``RPR-H001``) -- no broad/bare exception handlers;
+* plus ``RPR-S001`` for suppression comments that suppress nothing.
+
+Violations that are deliberate carry an inline ``repro: allow(RPR-H001)``
+comment annotation (with a ``--`` why) on the offending line; whole files
+opt out of one rule with ``repro: allow-file(ID)``.  See :mod:`repro.analysis.check.registry` for the full rule table and
+:func:`run_check` for the programmatic entry point.
+"""
+
+from repro.analysis.check.engine import (
+    CheckResult,
+    check_file,
+    discover_files,
+    run_check,
+)
+from repro.analysis.check.findings import SEVERITIES, Finding
+from repro.analysis.check.registry import (
+    RULES,
+    Rule,
+    format_rule_table,
+    get_rule,
+    resolve_selection,
+    rule_ids,
+)
+from repro.analysis.check.schema import reset_schema_caches
+from repro.analysis.check.suppress import Suppressions, parse_suppressions
+
+__all__ = [
+    "CheckResult",
+    "Finding",
+    "Rule",
+    "RULES",
+    "SEVERITIES",
+    "Suppressions",
+    "check_file",
+    "discover_files",
+    "format_rule_table",
+    "get_rule",
+    "parse_suppressions",
+    "reset_schema_caches",
+    "resolve_selection",
+    "rule_ids",
+    "run_check",
+]

@@ -1,0 +1,335 @@
+"""Consistency rules: dotted path literals vs. the live schemas.
+
+* ``RPR-C001`` -- scenario override paths.  Exact paths (``--set`` literals,
+  ``with_overrides``/``with_set`` arguments) resolve through the live
+  :func:`~repro.api.scenario.override_keys`; sweep-axis paths (``--axis``
+  literals, ``SweepAxis``/``from_axes`` keys, spec-JSON ``axes`` sections)
+  resolve through :func:`~repro.sweep.spec.canonical_axis_key`, so the
+  same abbreviations the sweep engine accepts pass the checker.
+* ``RPR-C002`` -- ``experiment.metric`` paths (``Objective``/``Constraint``
+  literals, ``--objective``/``--constraint`` CLI literals, objective-spec
+  JSON, markdown docs) resolve through the live experiment registry and
+  each result dataclass's numeric fields.
+
+Three scanners feed the two rules: a Python AST scanner (only known call
+shapes and CLI argument lists -- arbitrary strings are never guessed at),
+a markdown scanner (CLI flags anywhere; backticked dotted tokens whose
+head is a scenario section or a registered experiment), and a JSON scanner
+(sweep-spec ``axes`` and objective-spec ``objectives``/``constraints``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from typing import Iterator, List, Mapping, Optional, Sequence
+
+from repro.analysis.check import schema
+from repro.analysis.check.findings import Finding
+from repro.analysis.check.pysource import PySource
+
+# --------------------------------------------------------------------- python
+
+
+def check_c_rules_python(module: PySource) -> Iterator[Finding]:
+    """RPR-C001/C002 over one Python file's known call shapes."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield from _check_call(module, node)
+        elif isinstance(node, (ast.List, ast.Tuple)):
+            yield from _check_cli_literal_list(module, node)
+
+
+def _check_call(module: PySource, node: ast.Call) -> Iterator[Finding]:
+    func = node.func
+    tail = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if tail is None:
+        return
+    if tail == "SweepAxis":
+        key = _kwarg_or_arg(node, "key", 0)
+        yield from _axis_finding(module, key)
+    elif tail == "from_axes":
+        mapping = _kwarg_or_arg(node, "axes", 0)
+        if isinstance(mapping, ast.Dict):
+            for key in mapping.keys:
+                yield from _axis_finding(module, key)
+    elif tail == "with_overrides":
+        mapping = _kwarg_or_arg(node, "overrides", 0)
+        if isinstance(mapping, ast.Dict):
+            for key in mapping.keys:
+                yield from _override_finding(module, key)
+    elif tail == "with_set":
+        assignments = _kwarg_or_arg(node, "assignments", 0)
+        if isinstance(assignments, (ast.List, ast.Tuple, ast.Set)):
+            for element in assignments.elts:
+                text = _const_str(element)
+                if text is not None and "=" in text:
+                    yield from _override_finding(
+                        module, element, path=text.partition("=")[0].strip()
+                    )
+    elif tail in ("Objective", "Constraint"):
+        metric = _kwarg_or_arg(node, "metric", 0)
+        yield from _metric_finding(module, metric, strip_sense=(tail == "Objective"))
+    elif tail == "extract_metric":
+        metric = _kwarg_or_arg(node, "path", 1)
+        yield from _metric_finding(module, metric)
+
+
+def _check_cli_literal_list(
+    module: PySource, node: "ast.List | ast.Tuple"
+) -> Iterator[Finding]:
+    """Validate ``["--set", "K=V", ...]`` style CLI literals (tests, docs)."""
+    elements = node.elts
+    for index, element in enumerate(elements[:-1]):
+        flag = _const_str(element)
+        if flag not in ("--set", "--axis", "--objective", "--constraint"):
+            continue
+        value_node = elements[index + 1]
+        value = _const_str(value_node)
+        if value is None or value.startswith("-"):
+            continue  # the next element is another flag, not this flag's value
+        if flag in ("--set", "--axis"):
+            if "=" not in value:
+                continue
+            path = value.partition("=")[0].strip()
+            if flag == "--set":
+                yield from _override_finding(module, value_node, path=path)
+            else:
+                yield from _axis_finding(module, value_node, path=path)
+        elif flag == "--objective":
+            yield from _metric_finding(
+                module, value_node, strip_sense=True, skip_files=True
+            )
+        else:  # --constraint METRIC:OP=VALUE
+            path = value.partition(":")[0].strip()
+            yield from _metric_finding(module, value_node, path=path)
+
+
+def _kwarg_or_arg(node: ast.Call, name: str, position: int) -> Optional[ast.expr]:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    if len(node.args) > position:
+        return node.args[position]
+    return None
+
+
+def _const_str(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _override_finding(
+    module: PySource, node: Optional[ast.AST], path: Optional[str] = None
+) -> Iterator[Finding]:
+    path = path if path is not None else _const_str(node)
+    if path is None or node is None or path == "name":
+        return
+    error = schema.resolve_override_path(path)
+    if error is not None:
+        yield _py_finding("RPR-C001", module, node, error)
+
+
+def _axis_finding(
+    module: PySource, node: Optional[ast.AST], path: Optional[str] = None
+) -> Iterator[Finding]:
+    path = path if path is not None else _const_str(node)
+    if path is None or node is None:
+        return
+    error = schema.resolve_axis_path(path)
+    if error is not None:
+        yield _py_finding("RPR-C001", module, node, error)
+
+
+def _metric_finding(
+    module: PySource,
+    node: Optional[ast.AST],
+    path: Optional[str] = None,
+    strip_sense: bool = False,
+    skip_files: bool = False,
+) -> Iterator[Finding]:
+    path = path if path is not None else _const_str(node)
+    if path is None or node is None:
+        return
+    if skip_files and ("/" in path or path.endswith(".json")):
+        return  # a single --objective may name an objective-spec file
+    if strip_sense:
+        head, sep, sense = path.rpartition(":")
+        if sep and sense in ("max", "min", "maximize", "minimize"):
+            path = head
+    error = schema.resolve_metric_path(path)
+    if error is not None:
+        yield _py_finding("RPR-C002", module, node, error)
+
+
+def _py_finding(rule_id: str, module: PySource, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity="error",
+        path=module.path,
+        line=getattr(node, "lineno", 0),
+        column=getattr(node, "col_offset", -1) + 1,
+        message=message,
+    )
+
+
+# ------------------------------------------------------------------- markdown
+
+#: CLI flags anywhere in the document (fenced examples and prose alike).
+_MD_SET = re.compile(r"--set\s+([A-Za-z_][A-Za-z0-9_.]*)=")
+_MD_AXIS = re.compile(r"--axis\s+([A-Za-z_][A-Za-z0-9_.]*)=")
+_MD_OBJECTIVE = re.compile(r"--objective\s+([A-Za-z_][A-Za-z0-9_./]*(?::[a-z_]+)?)")
+_MD_CONSTRAINT = re.compile(r"--constraint\s+([A-Za-z_][A-Za-z0-9_.]*):")
+#: Backticked dotted tokens (`` `hmc.pe_frequency_mhz` ``, `` `fig17.average_speedup` ``).
+_MD_BACKTICK = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*\.[A-Za-z0-9_.]+)`")
+
+
+def _is_placeholder(token: str) -> bool:
+    """True for usage-line placeholders (``KEY``, ``K``, ``key``)."""
+    if token == token.upper() and token != token.lower():
+        return True
+    return token.lower() in ("key", "value", "key.path")
+
+
+def check_c_rules_markdown(path: str, source: str) -> Iterator[Finding]:
+    """RPR-C001/C002 over one markdown document."""
+    backtick_heads = _backtick_heads()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _MD_SET.finditer(line):
+            key = match.group(1)
+            if key == "name" or _is_placeholder(key):
+                continue
+            error = schema.resolve_override_path(key)
+            if error is not None:
+                yield _text_finding("RPR-C001", path, lineno, match.start(1) + 1, error)
+        for match in _MD_AXIS.finditer(line):
+            if _is_placeholder(match.group(1)):
+                continue
+            error = schema.resolve_axis_path(match.group(1))
+            if error is not None:
+                yield _text_finding("RPR-C001", path, lineno, match.start(1) + 1, error)
+        for match in _MD_OBJECTIVE.finditer(line):
+            token = match.group(1)
+            if "/" in token or token.endswith(".json") or _is_placeholder(token):
+                continue
+            head, sep, sense = token.rpartition(":")
+            if sep and sense in ("max", "min", "maximize", "minimize"):
+                token = head
+            if "." not in token:
+                continue
+            error = schema.resolve_metric_path(token)
+            if error is not None:
+                yield _text_finding("RPR-C002", path, lineno, match.start(1) + 1, error)
+        for match in _MD_CONSTRAINT.finditer(line):
+            if _is_placeholder(match.group(1)):
+                continue
+            error = schema.resolve_metric_path(match.group(1))
+            if error is not None:
+                yield _text_finding("RPR-C002", path, lineno, match.start(1) + 1, error)
+        for match in _MD_BACKTICK.finditer(line):
+            token = match.group(1)
+            head = token.split(".", 1)[0]
+            if head in backtick_heads["scenario"]:
+                error = schema.resolve_override_path(token)
+                if error is not None:
+                    yield _text_finding(
+                        "RPR-C001", path, lineno, match.start(1) + 1, error
+                    )
+            elif head in backtick_heads["experiments"]:
+                error = schema.resolve_metric_path(token)
+                if error is not None:
+                    yield _text_finding(
+                        "RPR-C002", path, lineno, match.start(1) + 1, error
+                    )
+
+
+def _backtick_heads() -> Mapping[str, frozenset]:
+    """Dotted-token heads worth validating in markdown prose.
+
+    Scenario sections that *have* nested fields (``hmc.``, ``gpu_params.``)
+    and registered experiment names (``fig17.``); anything else
+    (``repro.sweep``, ``engine.diskcache``) is a module reference, not a
+    schema path.
+    """
+    scenario_heads = frozenset(
+        key.split(".", 1)[0] for key in schema.scenario_override_keys() if "." in key
+    )
+    experiment_heads = frozenset(schema.experiment_metric_schema())
+    return {"scenario": scenario_heads, "experiments": experiment_heads}
+
+
+def _text_finding(
+    rule_id: str, path: str, line: int, column: int, message: str
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity="error",
+        path=path,
+        line=line,
+        column=column,
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------- json
+
+
+def check_c_rules_json(path: str, source: str) -> Iterator[Finding]:
+    """RPR-C001/C002 over one JSON document (sweep / objective specs).
+
+    Non-spec JSON (benchmark trajectories, scenario files without ``axes``)
+    is ignored: the scanner only validates the sections it understands.
+    """
+    try:
+        data = json.loads(source)
+    except json.JSONDecodeError:
+        return  # not this rule's problem; broken JSON fails its consumer's tests
+    if not isinstance(data, Mapping):
+        return
+    axes = data.get("axes")
+    if isinstance(axes, Mapping):
+        for key in axes:
+            yield from _json_axis_finding(path, source, str(key))
+    elif isinstance(axes, Sequence) and not isinstance(axes, str):
+        for entry in axes:
+            if isinstance(entry, Mapping) and "key" in entry:
+                yield from _json_axis_finding(path, source, str(entry["key"]))
+    for section, strip_sense in (("objectives", True), ("constraints", False)):
+        entries = data.get(section)
+        if not isinstance(entries, Sequence) or isinstance(entries, str):
+            continue
+        for entry in entries:
+            if isinstance(entry, Mapping) and "metric" in entry:
+                token = str(entry["metric"])
+            elif isinstance(entry, str):
+                token = entry.partition(":")[0] if not strip_sense else entry
+                if strip_sense:
+                    head, sep, sense = token.rpartition(":")
+                    if sep and sense in ("max", "min", "maximize", "minimize"):
+                        token = head
+            else:
+                continue
+            error = schema.resolve_metric_path(token)
+            if error is not None:
+                yield _text_finding(
+                    "RPR-C002", path, _line_of(source, token), 0, error
+                )
+
+
+def _json_axis_finding(path: str, source: str, key: str) -> Iterator[Finding]:
+    error = schema.resolve_axis_path(key)
+    if error is not None:
+        yield _text_finding("RPR-C001", path, _line_of(source, key), 0, error)
+
+
+def _line_of(source: str, literal: str) -> int:
+    """Best-effort line number of a JSON string literal (1 if not found)."""
+    needle = json.dumps(literal)
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if needle in line or literal in line:
+            return lineno
+    return 1

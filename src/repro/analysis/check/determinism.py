@@ -1,0 +1,211 @@
+"""Determinism rules: the byte-identical-reports invariant, statically.
+
+* ``RPR-D001`` -- wall-clock reads and seedless RNG construction in the
+  deterministic source tree (everything under ``repro`` except ``serve``,
+  whose uptime/latency metrics are wall-clock by design).
+* ``RPR-D002`` -- accumulation-reordering linear algebra inside the
+  exact-arithmetic modules (``repro.capsnet``, ``repro.arithmetic``),
+  encoding PR 5's measured bit-exactness gate as a lint rule.
+* ``RPR-D003`` -- direct iteration over unordered sets in positions that
+  feed rendered output (loops, comprehensions, ``join``/``list``/``tuple``/
+  ``sum``); set order depends on ``PYTHONHASHSEED`` for strings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.check.findings import Finding
+from repro.analysis.check.pysource import PySource
+
+#: Wall-clock and platform-entropy calls that break report determinism.
+#: (time.perf_counter / time.monotonic stay legal: they only feed the
+#: stderr statistics lines, never stdout reports.)
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+    }
+)
+
+#: numpy RNG constructors that are fine *when seeded* (>= 1 argument).
+_SEEDED_OK = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+    }
+)
+
+#: Reordering linear-algebra calls banned from the exact modules.
+_REORDERING_CALLS = frozenset({"numpy.matmul", "numpy.tensordot", "numpy.dot"})
+
+
+def check_d001(module: PySource) -> Iterator[Finding]:
+    """RPR-D001: wall-clock / seedless RNG in deterministic source."""
+    if not module.in_repro_src() or module.in_parts("serve"):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = module.resolved_name(node.func)
+        if name is None:
+            continue
+        message = _d001_message(name, node)
+        if message is not None:
+            yield _finding("RPR-D001", module, node, message)
+
+
+def _d001_message(name: str, node: ast.Call) -> Optional[str]:
+    if name in _WALL_CLOCK:
+        return (
+            f"{name}() is wall-clock/entropy: simulation results must be "
+            f"deterministic (time.perf_counter is allowed for stderr stats)"
+        )
+    if name == "random.Random" and not (node.args or node.keywords):
+        return "random.Random() without a seed is nondeterministic; pass a seed"
+    if name.startswith("random.") and name != "random.Random":
+        return (
+            f"{name}() uses the process-global stdlib RNG; use a seeded "
+            f"np.random.default_rng(seed) (or random.Random(seed)) instead"
+        )
+    if name in _SEEDED_OK:
+        if not (node.args or node.keywords):
+            return f"{name}() without a seed draws OS entropy; pass an explicit seed"
+        return None
+    if name.startswith("numpy.random.") and name != "numpy.random.Generator":
+        return (
+            f"{name}() uses numpy's legacy global RNG; construct a seeded "
+            f"np.random.default_rng(seed) instead"
+        )
+    return None
+
+
+def check_d002(module: PySource) -> Iterator[Finding]:
+    """RPR-D002: reordering kernels inside the exact-arithmetic modules."""
+    if not module.in_repro_src() or not module.in_parts("capsnet", "arithmetic"):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            yield _finding(
+                "RPR-D002",
+                module,
+                node,
+                "the `@` operator dispatches to BLAS matmul, which reorders "
+                "FP32 accumulation (measured + rejected by the PR 5 "
+                "bit-exactness gate); use the einsum kernels",
+            )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = module.resolved_name(node.func)
+        if name in _REORDERING_CALLS:
+            yield _finding(
+                "RPR-D002",
+                module,
+                node,
+                f"{name} reorders FP32 accumulation (measured + rejected by "
+                f"the PR 5 bit-exactness gate); use the einsum kernels",
+            )
+        elif name == "numpy.einsum":
+            for keyword in node.keywords:
+                if keyword.arg != "optimize":
+                    continue
+                value = keyword.value
+                if not (isinstance(value, ast.Constant) and value.value is False):
+                    yield _finding(
+                        "RPR-D002",
+                        module,
+                        node,
+                        "einsum(optimize=...) routes through tensordot/BLAS "
+                        "and reorders FP32 accumulation; drop the optimize "
+                        "flag in exact-arithmetic code",
+                    )
+
+
+def check_d003(module: PySource) -> Iterator[Finding]:
+    """RPR-D003: direct iteration over unordered sets."""
+    if not module.in_repro_src():
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(module, node.iter):
+                yield _finding(
+                    "RPR-D003",
+                    module,
+                    node.iter,
+                    "loop iterates a set directly; set order depends on "
+                    "PYTHONHASHSEED -- wrap in sorted(...)",
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if _is_set_expr(module, generator.iter):
+                    yield _finding(
+                        "RPR-D003",
+                        module,
+                        generator.iter,
+                        "comprehension iterates a set directly; set order "
+                        "depends on PYTHONHASHSEED -- wrap in sorted(...)",
+                    )
+        elif isinstance(node, ast.Call):
+            yield from _d003_call(module, node)
+
+
+def _d003_call(module: PySource, node: ast.Call) -> Iterator[Finding]:
+    """Order-sensitive consumers fed a set expression directly."""
+    consumer = None
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+        consumer = "str.join"
+    else:
+        name = module.resolved_name(node.func)
+        if name in ("list", "tuple", "sum"):
+            consumer = name
+    if consumer is None:
+        return
+    for arg in node.args[:1]:
+        if _is_set_expr(module, arg):
+            yield _finding(
+                "RPR-D003",
+                module,
+                arg,
+                f"{consumer}(...) consumes a set in iteration order; set "
+                f"order depends on PYTHONHASHSEED -- wrap in sorted(...)",
+            )
+
+
+def _is_set_expr(module: PySource, node: ast.AST) -> bool:
+    """True for expressions that are unordered sets (literal, comp, set())."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = module.resolved_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _finding(rule_id: str, module: PySource, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity="error",
+        path=module.path,
+        line=getattr(node, "lineno", 0),
+        column=getattr(node, "col_offset", -1) + 1,
+        message=message,
+    )

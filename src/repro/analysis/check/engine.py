@@ -1,0 +1,200 @@
+"""The check runner: file discovery, rule dispatch, result rendering.
+
+:func:`run_check` walks the given paths (``.py``/``.md``/``.json`` files,
+directories recursively, skipping hidden and ``__pycache__`` entries),
+runs every active rule over each file, filters findings through the
+file's inline suppressions, reports stale suppressions as ``RPR-S001``,
+and returns a :class:`CheckResult` whose text and JSON renderings are
+deterministic (sorted by path/line/column/rule).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.check import concurrency, consistency, determinism, hygiene
+from repro.analysis.check.findings import SEVERITIES, Finding
+from repro.analysis.check.pysource import PySource
+from repro.analysis.check.registry import RULES_BY_ID, resolve_selection, rule_ids
+from repro.analysis.check.suppress import parse_suppressions
+
+#: Python checkers, each tagged with the rule IDs it can emit; a checker
+#: runs when any of its rules is active, and its output is filtered to the
+#: active subset afterwards.
+_PY_RULES: Tuple[
+    Tuple[Tuple[str, ...], Callable[[PySource], Iterable[Finding]]], ...
+] = (
+    (("RPR-D001",), determinism.check_d001),
+    (("RPR-D002",), determinism.check_d002),
+    (("RPR-D003",), determinism.check_d003),
+    (("RPR-T001",), concurrency.check_t001),
+    (("RPR-T002",), concurrency.check_t002),
+    (("RPR-C001", "RPR-C002"), consistency.check_c_rules_python),
+    (("RPR-H001",), hygiene.check_h001),
+)
+
+#: Rules the markdown/JSON consistency scanners can emit.
+_TEXT_C_RULES: Tuple[str, ...] = ("RPR-C001", "RPR-C002")
+
+#: File extensions the checker understands.
+_CHECKED_SUFFIXES = frozenset({".py", ".md", ".json"})
+
+
+@dataclass
+class CheckResult:
+    """The outcome of one :func:`run_check` invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: rule IDs that were active for this run, in registry order.
+    active_rules: List[str] = field(default_factory=list)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def ok(self, max_severity: str = "warning") -> bool:
+        """True when the run passes at the given severity floor.
+
+        ``max_severity="warning"`` (the default) means any finding fails;
+        ``"error"`` lets warnings through (used by ``--severity error``).
+        """
+        if max_severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {max_severity!r}; choose from {list(SEVERITIES)}"
+            )
+        if max_severity == "error":
+            return not self.errors()
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON artifact shape (stable keys, findings in report order)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "rules": list(self.active_rules),
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format_text(self) -> str:
+        """The human report: one line per finding plus a summary line."""
+        lines = [f.format() for f in self.findings]
+        errors, warnings = len(self.errors()), len(self.warnings())
+        if not self.findings:
+            lines.append(
+                f"repro check: {self.files_checked} file(s) clean "
+                f"({len(self.active_rules)} rule(s) active)"
+            )
+        else:
+            lines.append(
+                f"repro check: {errors} error(s), {warnings} warning(s) "
+                f"in {self.files_checked} file(s)"
+            )
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def discover_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into the sorted list of checkable files.
+
+    Directories recurse; hidden directories (``.git``, ``.github`` would
+    hide CI configs -- but those are YAML, not checked anyway) and
+    ``__pycache__`` are skipped.  A path that does not exist raises
+    :class:`FileNotFoundError` -- a CI typo must not silently check nothing.
+    """
+    found: Set[str] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            found.add(str(path))
+            continue
+        for candidate in sorted(path.rglob("*")):
+            if not candidate.is_file():
+                continue
+            if candidate.suffix not in _CHECKED_SUFFIXES:
+                continue
+            relative = candidate.relative_to(path)
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in relative.parts[:-1]
+            ):
+                continue
+            if candidate.name.startswith("."):
+                continue
+            found.add(str(candidate))
+    return sorted(found)
+
+
+def check_file(
+    path: str, active: Set[str], source: Optional[str] = None
+) -> List[Finding]:
+    """All findings for one file under the active rule set.
+
+    Suppression comments are honored; stale ones surface as ``RPR-S001``
+    (when that rule is active).  Unreadable files yield no findings --
+    the caller's build will fail on them anyway.
+    """
+    if source is None:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return []
+    suppressions = parse_suppressions(path, source)
+    raw: List[Finding] = []
+    ran: Set[str] = set()
+    suffix = Path(path).suffix
+    if suffix == ".py":
+        module = PySource.parse(path, source)
+        if module is not None:
+            for emits, checker in _PY_RULES:
+                emitted_active = set(emits) & active
+                if not emitted_active:
+                    continue
+                ran.update(emitted_active)
+                raw.extend(checker(module))
+    elif suffix == ".md":
+        if set(_TEXT_C_RULES) & active:
+            ran.update(set(_TEXT_C_RULES) & active)
+            raw.extend(consistency.check_c_rules_markdown(path, source))
+    elif suffix == ".json":
+        if set(_TEXT_C_RULES) & active:
+            ran.update(set(_TEXT_C_RULES) & active)
+            raw.extend(consistency.check_c_rules_json(path, source))
+    findings = [
+        f for f in raw if f.rule_id in active and not suppressions.suppresses(f)
+    ]
+    if "RPR-S001" in active:
+        findings.extend(suppressions.unused(ran))
+    return findings
+
+
+def run_check(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> CheckResult:
+    """Check every file under ``paths`` with the selected rules."""
+    active = resolve_selection(select, ignore)
+    files = discover_files(paths)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(check_file(path, active))
+    findings.sort(key=Finding.sort_key)
+    return CheckResult(
+        findings=findings,
+        files_checked=len(files),
+        active_rules=[r for r in rule_ids() if r in active],
+    )

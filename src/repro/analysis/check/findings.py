@@ -1,0 +1,83 @@
+"""Findings: what the static checker reports, and how it serializes.
+
+A :class:`Finding` pins one invariant violation to a file/line/column, under
+a stable rule ID (``RPR-D001``, ...).  Findings are plain frozen dataclasses
+so the whole check result round-trips through JSON (the CI artifact) without
+loss: :meth:`Finding.to_dict` / :meth:`Finding.from_dict` are exact inverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+#: Finding severities, most severe first.  ``error`` findings fail the check
+#: (non-zero exit); ``warning`` findings fail it too unless filtered away
+#: with ``--severity error`` -- a clean repo carries neither.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes:
+        rule_id: stable rule identifier (``RPR-D001``, ...).
+        severity: ``"error"`` or ``"warning"``.
+        path: file the finding lives in, as given to the checker.
+        line: 1-based line number (0 for whole-file findings).
+        column: 1-based column number (0 when the rule has no column).
+        message: one-line description of the violation.
+    """
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; choose from {list(SEVERITIES)}"
+            )
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Deterministic report order: path, then position, then rule."""
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def format(self) -> str:
+        """The one-line text-report form (``path:line:col: ID severity msg``)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain (JSON-ready) form."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        unknown = sorted(
+            set(data) - {"rule", "severity", "path", "line", "column", "message"}
+        )
+        if unknown:
+            raise ValueError(f"unknown finding key(s) {unknown}")
+        return cls(
+            rule_id=str(data["rule"]),
+            severity=str(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            column=int(data["column"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+        )

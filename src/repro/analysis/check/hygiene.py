@@ -1,0 +1,66 @@
+"""Hygiene rules: error-handling discipline.
+
+* ``RPR-H001`` -- broad (``except Exception``/``except BaseException``) or
+  bare ``except:`` handlers.  The engine's contract is that unexpected
+  errors *propagate* (a swallowed KeyError becomes a silently wrong
+  number).  Handlers that re-raise unconditionally (the cleanup-then-
+  ``raise`` pattern the atomic writers use) are exempt -- they swallow
+  nothing; the few legitimate swallowing handlers (a server's 500 path)
+  carry an explicit allow comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.check.findings import Finding
+from repro.analysis.check.pysource import PySource
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler's own body contains a bare ``raise``."""
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a raise inside a nested function isn't this handler's
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def check_h001(module: PySource) -> Iterator[Finding]:
+    """RPR-H001: broad or bare exception handlers that can swallow errors."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _reraises(node):
+            continue  # cleanup-then-raise swallows nothing
+        if node.type is None:
+            message = "bare `except:` swallows everything, even KeyboardInterrupt"
+        else:
+            types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            broad = [
+                name
+                for name in (module.resolved_name(t) for t in types)
+                if name in _BROAD
+            ]
+            if not broad:
+                continue
+            message = (
+                f"`except {broad[0]}` without a re-raise hides invariant "
+                f"violations; catch the specific errors this call site can "
+                f"raise (annotate deliberate last-resort handlers with a why)"
+            )
+        yield Finding(
+            rule_id="RPR-H001",
+            severity="error",
+            path=module.path,
+            line=node.lineno,
+            column=node.col_offset + 1,
+            message=message,
+        )

@@ -1,0 +1,125 @@
+"""Shared Python-source infrastructure for the AST rules.
+
+:class:`PySource` parses one file once and precomputes what every rule
+family needs: the AST, an import-alias map (``np`` -> ``numpy``,
+``default_rng`` -> ``numpy.random.default_rng``) so rules match *resolved*
+dotted names instead of surface spellings, and the path-scoping predicates
+(is this file part of the deterministic src tree? of the serve allowlist?).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Directory components that mark a file as outside the library source
+#: (tests may use wall-clock timeouts, benchmarks measure wall-clock).
+_NON_SRC_PARTS = frozenset({"tests", "benchmarks", "examples", "docs"})
+
+
+@dataclass
+class PySource:
+    """One parsed Python file plus the precomputed lookups the rules share."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: local binding -> fully qualified imported name (``np`` -> ``numpy``).
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: resolved absolute path components, for scope predicates.
+    parts: Tuple[str, ...] = ()
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> Optional["PySource"]:
+        """Parse ``source``; ``None`` when the file has a syntax error.
+
+        (The checker reports syntax errors separately -- a file that does
+        not parse cannot be checked, but also cannot ship.)
+        """
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return None
+        module = cls(
+            path=path,
+            source=source,
+            tree=tree,
+            parts=Path(path).resolve().parts,
+        )
+        module._collect_aliases()
+        return module
+
+    # ------------------------------------------------------------------ scoping
+
+    def in_repro_src(self) -> bool:
+        """True for files in the ``repro`` package source tree."""
+        return "repro" in self.parts and not (set(self.parts) & _NON_SRC_PARTS)
+
+    def in_parts(self, *names: str) -> bool:
+        """True when any path component equals one of ``names``."""
+        return bool(set(self.parts) & set(names))
+
+    def basename(self) -> str:
+        return self.parts[-1] if self.parts else self.path
+
+    # ------------------------------------------------------------ name handling
+
+    def _collect_aliases(self) -> None:
+        """Map local bindings to fully-qualified imported names.
+
+        Only import statements introduce entries, so a local variable that
+        happens to be called ``random`` never resolves to the stdlib module
+        (no false positives on shadowed names).
+        """
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b.c` binds `a`; `import a.b.c as x` binds x=a.b.c.
+                    full = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = full
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue  # relative imports stay package-local
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The surface dotted name of a Name/Attribute chain (or ``None``)."""
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+
+    def resolved_name(self, node: ast.AST) -> Optional[str]:
+        """The import-resolved dotted name of a call target (or ``None``).
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        under ``import numpy as np``; a chain whose head was never imported
+        resolves to its surface form (locals, builtins).
+        """
+        surface = self.dotted_name(node)
+        if surface is None:
+            return None
+        head, _, rest = surface.partition(".")
+        full_head = self.aliases.get(head)
+        if full_head is None:
+            return surface
+        return f"{full_head}.{rest}" if rest else full_head
+
+    def imports_any(self, *modules: str) -> bool:
+        """True when the file imports any of ``modules`` (or a submodule)."""
+        for full in self.aliases.values():
+            for module in modules:
+                if full == module or full.startswith(module + "."):
+                    return True
+        return False

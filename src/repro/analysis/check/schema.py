@@ -1,0 +1,142 @@
+"""Live-schema providers for the consistency rules.
+
+The consistency family validates dotted path *literals* against the code
+they index into, so the checker never carries its own copy of either
+schema:
+
+* scenario override paths resolve through the real
+  :func:`repro.api.scenario.override_keys` /
+  :func:`repro.sweep.spec.canonical_axis_key` (sweep axes accept
+  unambiguous abbreviations, ``--set`` keys must be exact), and
+* ``experiment.metric`` paths resolve through the real experiment registry
+  plus each experiment's result dataclass -- the same top-level numeric
+  fields :func:`repro.api.session.headline_metrics` exposes at runtime.
+
+Everything is imported lazily and memoized: a check run touches the
+registry once, and ``repro check --help`` never imports an experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import typing
+from typing import Dict, List, Optional, Set
+
+#: Memoized schemas (one process-wide build per check run is plenty).
+_OVERRIDE_KEYS: Optional[List[str]] = None
+_METRIC_SCHEMA: Optional[Dict[str, Set[str]]] = None
+
+
+def scenario_override_keys() -> List[str]:
+    """Every valid dotted scenario override key (exact form)."""
+    global _OVERRIDE_KEYS
+    if _OVERRIDE_KEYS is None:
+        from repro.api.scenario import override_keys
+
+        _OVERRIDE_KEYS = list(override_keys())
+    return _OVERRIDE_KEYS
+
+
+def resolve_override_path(key: str) -> Optional[str]:
+    """Error message for an invalid exact override path (``None`` if valid).
+
+    This is the ``--set`` / :meth:`Scenario.with_overrides` contract: exact
+    keys only, no abbreviations.
+    """
+    key = str(key).strip()
+    if key in scenario_override_keys():
+        return None
+    return (
+        f"unknown scenario override path {key!r}; "
+        f"not in the live Scenario schema (see override_keys())"
+    )
+
+
+def resolve_axis_path(key: str) -> Optional[str]:
+    """Error message for an invalid sweep-axis path (``None`` if valid).
+
+    Sweep axes resolve through :func:`repro.sweep.spec.canonical_axis_key`,
+    so unambiguous abbreviations (``hmc.pe_frequency``) are accepted exactly
+    as the sweep engine accepts them.
+    """
+    from repro.sweep.spec import canonical_axis_key
+
+    try:
+        canonical_axis_key(key)
+    except ValueError as error:
+        return str(error)
+    return None
+
+
+def experiment_metric_schema() -> Dict[str, Set[str]]:
+    """``{experiment name: {headline metric names}}`` from the live registry.
+
+    Metric names are the top-level ``int``/``float`` fields of each
+    experiment's result dataclass, found through the return annotation of
+    the experiment module's ``run()`` function -- statically the same set
+    :func:`repro.api.session.headline_metrics` yields at runtime (a field
+    that is NaN for a particular scenario still *exists* in the schema).
+    """
+    global _METRIC_SCHEMA
+    if _METRIC_SCHEMA is not None:
+        return _METRIC_SCHEMA
+    from repro.engine.experiment import experiment_names, get_experiment
+
+    schema: Dict[str, Set[str]] = {}
+    for name in experiment_names():
+        experiment = get_experiment(name)
+        module = sys.modules.get(type(experiment).__module__)
+        run = getattr(module, "run", None)
+        result_type = None
+        if run is not None:
+            try:
+                hints = typing.get_type_hints(run)
+            except Exception:  # repro: allow(RPR-H001) -- third-party experiment modules may carry unresolvable annotations; they simply contribute no metric schema
+                hints = {}
+            result_type = hints.get("return")
+        schema[name] = _numeric_fields(result_type)
+    _METRIC_SCHEMA = schema
+    return schema
+
+
+def _numeric_fields(result_type: object) -> Set[str]:
+    """Top-level ``int``/``float`` dataclass fields (bool excluded)."""
+    if result_type is None or not dataclasses.is_dataclass(result_type):
+        return set()
+    fields = set()
+    for f in dataclasses.fields(result_type):
+        if f.type in (int, float) or f.type in ("int", "float"):
+            fields.add(f.name)
+    return fields
+
+
+def resolve_metric_path(path: str) -> Optional[str]:
+    """Error message for an invalid ``experiment.metric`` path (``None`` if valid)."""
+    path = str(path).strip()
+    parts = path.split(".")
+    if len(parts) != 2 or not all(parts):
+        return (
+            f"invalid metric path {path!r}; expected experiment.metric "
+            f"(e.g. fig17.average_speedup)"
+        )
+    schema = experiment_metric_schema()
+    experiment, metric = parts
+    if experiment not in schema:
+        return (
+            f"unknown experiment {experiment!r} in metric path {path!r}; "
+            f"registered experiments: {sorted(schema)}"
+        )
+    if metric not in schema[experiment]:
+        return (
+            f"unknown metric {metric!r} in path {path!r}; "
+            f"{experiment} offers: {sorted(schema[experiment])}"
+        )
+    return None
+
+
+def reset_schema_caches() -> None:
+    """Drop the memoized schemas (tests that register custom experiments)."""
+    global _OVERRIDE_KEYS, _METRIC_SCHEMA
+    _OVERRIDE_KEYS = None
+    _METRIC_SCHEMA = None

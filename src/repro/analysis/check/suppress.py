@@ -1,0 +1,111 @@
+"""Inline suppressions: ``repro: allow(RPR-D001)`` comments.
+
+Two forms are recognized, each written after a ``#`` comment marker, in
+Python comments and (for the markdown/JSON scanners) anywhere in a line:
+
+* ``repro: allow(RPR-D001)`` -- suppress the named rule(s) on this line.
+* ``repro: allow-file(RPR-C002)`` -- suppress the named rule(s) for the
+  whole file (used by test fixtures that exercise deliberately-bad inputs).
+
+Multiple IDs are comma-separated: ``repro: allow(RPR-C001, RPR-C002)``.
+Suppressions are tracked: one that never matched a finding of a rule that
+actually ran on the file is itself reported as ``RPR-S001`` (unused
+suppression), so stale annotations cannot quietly mask future regressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.check.findings import Finding
+
+#: ``repro: allow(ID[, ID...])`` / ``repro: allow-file(ID[, ID...])``.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow(?P<file>-file)?\(\s*(?P<ids>[A-Za-z0-9\-, ]+?)\s*\)"
+)
+
+
+@dataclass
+class Suppressions:
+    """The suppression state of one checked file."""
+
+    path: str
+    #: ``(line, rule_id)`` -> used flag, for line-scoped suppressions.
+    lines: Dict[Tuple[int, str], bool] = field(default_factory=dict)
+    #: ``rule_id`` -> used flag, for file-scoped suppressions (+ their line).
+    whole_file: Dict[str, bool] = field(default_factory=dict)
+    #: ``rule_id`` -> declaration line of the file-scoped suppression.
+    whole_file_lines: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, line: int, rule_id: str, whole_file: bool = False) -> None:
+        """Register one suppression parsed from a comment."""
+        if whole_file:
+            self.whole_file.setdefault(rule_id, False)
+            self.whole_file_lines.setdefault(rule_id, line)
+        else:
+            self.lines.setdefault((line, rule_id), False)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True (and marks the suppression used) if ``finding`` is allowed."""
+        if finding.rule_id in self.whole_file:
+            self.whole_file[finding.rule_id] = True
+            return True
+        key = (finding.line, finding.rule_id)
+        if key in self.lines:
+            self.lines[key] = True
+            return True
+        return False
+
+    def unused(self, ran_rule_ids: Set[str]) -> List[Finding]:
+        """``RPR-S001`` findings for suppressions that never fired.
+
+        Only suppressions of rules that actually *ran* on this file count:
+        a rule disabled via ``--select``/``--ignore`` could not have fired,
+        so its annotations are not reported as stale.
+        """
+        findings = []
+        for (line, rule_id), used in sorted(self.lines.items()):
+            if not used and rule_id in ran_rule_ids:
+                findings.append(
+                    Finding(
+                        rule_id="RPR-S001",
+                        severity="warning",
+                        path=self.path,
+                        line=line,
+                        column=0,
+                        message=f"unused suppression: nothing to allow({rule_id}) here",
+                    )
+                )
+        for rule_id, used in sorted(self.whole_file.items()):
+            if not used and rule_id in ran_rule_ids:
+                findings.append(
+                    Finding(
+                        rule_id="RPR-S001",
+                        severity="warning",
+                        path=self.path,
+                        line=self.whole_file_lines[rule_id],
+                        column=0,
+                        message=(
+                            f"unused suppression: nothing to allow-file({rule_id}) "
+                            f"in this file"
+                        ),
+                    )
+                )
+        return findings
+
+
+def parse_suppressions(path: str, source: str) -> Suppressions:
+    """Scan ``source`` for ``repro: allow`` comments (line-based, any file type)."""
+    suppressions = Suppressions(path=path)
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro:" not in line:
+            continue
+        for match in _ALLOW_RE.finditer(line):
+            whole_file = match.group("file") is not None
+            for raw_id in match.group("ids").split(","):
+                rule_id = raw_id.strip()
+                if rule_id:
+                    suppressions.add(lineno, rule_id, whole_file=whole_file)
+    return suppressions

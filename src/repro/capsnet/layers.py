@@ -126,7 +126,10 @@ class Conv2D(Layer):
             x, (self.kernel_size, self.kernel_size), self.stride, self.padding
         )
         weight = self.params["weight"].reshape(self.out_channels, -1)
-        out = cols @ weight.T + self.params["bias"]
+        # The PR 1 golden outputs were generated with `@`; swapping kernels in
+        # this seed-era path would change trained weights bit-for-bit and
+        # invalidate every golden report, so these sites are allowed as-is.
+        out = cols @ weight.T + self.params["bias"]  # repro: allow(RPR-D002)
         out = out.reshape(x.shape[0], out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         self._cache = (cols, (out_h, out_w), x.shape)
         return np.ascontiguousarray(out, dtype=np.float32)
@@ -157,7 +160,7 @@ class Conv2D(Layer):
         self.grads["bias"] += grad_cols_out.sum(axis=(0, 1))
         if not compute_input_grad:
             return None
-        grad_cols = grad_cols_out @ weight
+        grad_cols = grad_cols_out @ weight  # repro: allow(RPR-D002)
         return col2im(
             grad_cols,
             input_shape,
@@ -256,15 +259,16 @@ class Dense(Layer):
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(f"expected input (batch, {self.in_features}), got {x.shape}")
         self._input = x
-        return x @ self.params["weight"] + self.params["bias"]
+        # Same seed-era golden-path exemption as Conv2D.forward above.
+        return x @ self.params["weight"] + self.params["bias"]  # repro: allow(RPR-D002)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
         grad = np.asarray(grad, dtype=np.float32)
-        self.grads["weight"] += self._input.T @ grad
+        self.grads["weight"] += self._input.T @ grad  # repro: allow(RPR-D002)
         self.grads["bias"] += grad.sum(axis=0)
-        return grad @ self.params["weight"].T
+        return grad @ self.params["weight"].T  # repro: allow(RPR-D002)
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Command line interface for the PIM-CapsNet reproduction.
 
-Eight subcommands cover the common workflows::
+Nine subcommands cover the common workflows::
 
     python -m repro characterize [--benchmarks ...]      # Figs. 4-7 (GPU bottleneck)
     python -m repro evaluate [--benchmarks ...]          # Figs. 15-17 (PIM-CapsNet)
@@ -10,6 +10,7 @@ Eight subcommands cover the common workflows::
     python -m repro compare --scenario A --scenario B    # N scenarios side by side
     python -m repro workloads list|show NAME             # the workload catalog
     python -m repro serve [--host H] [--port P]          # HTTP/JSON service
+    python -m repro check [PATHS ...]                    # static analysis (lint)
 
 ``optimize`` searches the grid ``--spec``/``--axis`` declare instead of
 enumerating it: repeatable ``--objective METRIC[:max|min]`` options name
@@ -63,6 +64,14 @@ the resulting catalog and ``repro workloads show NAME`` one spec.
 ``reproduce`` (alias ``run``) shares one simulation context across all
 experiments (identical simulations run once) and executes independent
 experiments concurrently; ``--jobs 1`` forces a serial run.
+
+``check`` runs the repo's own static-analysis rules
+(:mod:`repro.analysis.check`) over the given paths (default: ``src`` and
+``tests``): determinism, concurrency, consistency and hygiene invariants,
+each under a stable rule ID (``repro check --list-rules``).  Exit code 0
+means clean, 1 means findings, 2 means a usage error -- CI runs
+``repro check --format json --output findings.json`` and archives the
+artifact.
 """
 
 from __future__ import annotations
@@ -659,6 +668,25 @@ def _add_scenario_options(parser: argparse.ArgumentParser, repeatable: bool = Fa
     )
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: run the static-analysis rules (exit 1 on findings)."""
+    # Imported here: only this subcommand needs the checker.
+    from repro.analysis.check import format_rule_table, run_check
+
+    if args.list_rules:
+        _emit(format_rule_table(), args.output)
+        return 0
+    paths = args.paths or ["src", "tests"]
+    try:
+        result = run_check(paths, select=args.select, ignore=args.ignore)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"repro check: {error}", file=sys.stderr)
+        return 2
+    text = result.format_json() if args.format == "json" else result.format_text()
+    _emit(text, args.output)
+    return 0 if result.ok(max_severity=args.severity) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser.
 
@@ -986,6 +1014,65 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_options(workloads)
     _add_output_options(workloads)
     workloads.set_defaults(func=_cmd_workloads)
+
+    check = subparsers.add_parser(
+        "check",
+        help=(
+            "static analysis: determinism/concurrency/consistency/hygiene "
+            "rules with stable IDs (exit 0 clean, 1 findings, 2 usage)"
+        ),
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help=(
+            "files or directories to check -- .py/.md/.json files, "
+            "directories recurse (default: src tests)"
+        ),
+    )
+    check.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="check only the named rule(s), repeatable (e.g. --select RPR-D001)",
+    )
+    check.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip the named rule(s), repeatable",
+    )
+    check.add_argument(
+        "--severity",
+        choices=("error", "warning"),
+        default="warning",
+        help=(
+            "findings that fail the check: 'warning' (default, any finding "
+            "fails) or 'error' (warnings pass)"
+        ),
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (IDs, families, severities) and exit",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: one line per finding (default) or structured JSON",
+    )
+    check.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout (the CI artifact)",
+    )
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -235,7 +235,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 # The client went away mid-response; nothing left to send.
                 status = 499
                 self.close_connection = True
-            except Exception:
+            # Last-resort 500 handler: a request must never kill the server
+            # thread, and the traceback is preserved on stderr.
+            except Exception:  # repro: allow(RPR-H001)
                 traceback.print_exc(file=sys.stderr)
                 status = 500
                 self._record(status)
@@ -610,7 +612,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 pass
             except (BrokenPipeError, ConnectionResetError):
                 return 499
-            except Exception as error:
+            except Exception as error:  # repro: allow(RPR-H001)
                 # Headers are long gone; report the failure in-band as the
                 # stream's last event (no summary event = the run failed).
                 traceback.print_exc(file=sys.stderr)

@@ -172,7 +172,9 @@ def optimize_events(
     def work() -> None:
         try:
             outcome["result"] = search.run()
-        except BaseException as error:
+        # Cross-thread propagation: the error is re-raised on the consumer
+        # side after the event queue drains, so nothing is swallowed here.
+        except BaseException as error:  # repro: allow(RPR-H001)
             outcome["error"] = error
         finally:
             events.put(("done", None))

@@ -1,0 +1,240 @@
+"""Engine-level tests for ``repro.analysis.check``: file discovery, rule
+selection, JSON round-trip, the ``repro check`` CLI, and the registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.check import (
+    CheckResult,
+    Finding,
+    RULES,
+    discover_files,
+    format_rule_table,
+    get_rule,
+    resolve_selection,
+    rule_ids,
+    run_check,
+)
+from repro.cli import main
+
+# Assembled so this file's raw source never contains a suppression comment.
+ALLOW = "# repro: " + "allow"
+
+DIRTY_SOURCE = "import time\n\n\ndef stamp():\n    return time.time()\n"
+CLEAN_SOURCE = "def identity(value):\n    return value\n"
+
+
+def _dirty_file(tmp_path, name="mod.py"):
+    target = tmp_path / "repro" / "engine" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(DIRTY_SOURCE, encoding="utf-8")
+    return target
+
+
+# ------------------------------------------------------------------ discovery
+
+
+def test_discover_files_recurses_and_filters(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "notes.md").write_text("hello\n")
+    (tmp_path / "pkg" / "data.json").write_text("{}\n")
+    (tmp_path / "pkg" / "data.yaml").write_text("a: 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.cpython-311.py").write_text("x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "mod.py").write_text("x = 1\n")
+    found = discover_files([str(tmp_path)])
+    names = [f.rsplit("/", 1)[-1] for f in found]
+    assert names == ["data.json", "mod.py", "notes.md"]
+
+
+def test_discover_files_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        discover_files([str(tmp_path / "no-such-dir")])
+
+
+def test_discover_files_accepts_explicit_file(tmp_path):
+    target = tmp_path / "one.py"
+    target.write_text("x = 1\n")
+    assert discover_files([str(target)]) == [str(target)]
+
+
+# ------------------------------------------------------------------ selection
+
+
+def test_resolve_selection_defaults_to_all_rules():
+    assert resolve_selection() == set(rule_ids())
+
+
+def test_resolve_selection_unknown_ids_raise():
+    with pytest.raises(ValueError, match="unknown rule"):
+        resolve_selection(select=["RPR-X999"])
+    with pytest.raises(ValueError, match="unknown rule"):
+        resolve_selection(ignore=["RPR-X999"])
+
+
+def test_resolve_selection_empty_set_raises():
+    with pytest.raises(ValueError, match="no rules active"):
+        resolve_selection(select=["RPR-D001"], ignore=["RPR-D001"])
+
+
+def test_ignore_disables_a_rule(tmp_path):
+    _dirty_file(tmp_path)
+    result = run_check([str(tmp_path)], ignore=["RPR-D001"])
+    assert result.findings == []
+    assert "RPR-D001" not in result.active_rules
+
+
+def test_select_c002_alone_still_runs_the_consistency_scanner(tmp_path):
+    target = tmp_path / "repro" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "from repro.optimize import Objective\n\n"
+        'GOAL = Objective("fig17.bogus_metric", "max")\n',
+        encoding="utf-8",
+    )
+    result = run_check([str(tmp_path)], select=["RPR-C002"])
+    assert [f.rule_id for f in result.findings] == ["RPR-C002"]
+
+
+# ----------------------------------------------------------------- the result
+
+
+def test_result_counts_and_ok(tmp_path):
+    _dirty_file(tmp_path)
+    result = run_check([str(tmp_path)])
+    assert len(result.errors()) == 1
+    assert result.warnings() == []
+    assert not result.ok()
+    assert not result.ok(max_severity="error")
+    with pytest.raises(ValueError, match="unknown severity"):
+        result.ok(max_severity="fatal")
+
+
+def test_warning_only_run_passes_at_error_severity(tmp_path):
+    target = tmp_path / "repro" / "engine" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        f"def clean():\n    return 1  {ALLOW}(RPR-D001)\n", encoding="utf-8"
+    )
+    result = run_check([str(tmp_path)])
+    assert [f.rule_id for f in result.findings] == ["RPR-S001"]
+    assert not result.ok()
+    assert result.ok(max_severity="error")
+
+
+def test_findings_are_sorted_deterministically(tmp_path):
+    _dirty_file(tmp_path, name="b.py")
+    _dirty_file(tmp_path, name="a.py")
+    result = run_check([str(tmp_path)])
+    assert [f.path.rsplit("/", 1)[-1] for f in result.findings] == ["a.py", "b.py"]
+    assert result.findings == sorted(result.findings, key=Finding.sort_key)
+
+
+def test_json_artifact_round_trips(tmp_path):
+    _dirty_file(tmp_path)
+    result = run_check([str(tmp_path)])
+    artifact = json.loads(result.format_json())
+    assert artifact["version"] == 1
+    assert artifact["files_checked"] == result.files_checked
+    assert artifact["rules"] == result.active_rules
+    assert artifact["summary"] == {"errors": 1, "warnings": 0}
+    rebuilt = [Finding.from_dict(item) for item in artifact["findings"]]
+    assert rebuilt == result.findings
+
+
+def test_finding_from_dict_rejects_unknown_keys():
+    data = Finding("RPR-D001", "error", "x.py", 1, 1, "msg").to_dict()
+    assert Finding.from_dict(data) == Finding("RPR-D001", "error", "x.py", 1, 1, "msg")
+    data["extra"] = True
+    with pytest.raises(ValueError, match="unknown finding key"):
+        Finding.from_dict(data)
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError, match="unknown severity"):
+        Finding("RPR-D001", "fatal", "x.py", 1, 1, "msg")
+
+
+def test_format_text_summarizes(tmp_path):
+    _dirty_file(tmp_path)
+    text = run_check([str(tmp_path)]).format_text()
+    assert "RPR-D001" in text
+    assert "1 error(s), 0 warning(s)" in text
+    clean = CheckResult(files_checked=3, active_rules=list(rule_ids()))
+    assert "3 file(s) clean" in clean.format_text()
+
+
+# ------------------------------------------------------------------- registry
+
+
+def test_rule_ids_are_unique_and_documented():
+    ids = rule_ids()
+    assert len(ids) == len(set(ids))
+    for rule in RULES:
+        assert rule.rule_id.startswith("RPR-")
+        assert rule.summary and rule.rationale and rule.scope
+    assert get_rule("RPR-D001").family == "determinism"
+    with pytest.raises(KeyError, match="unknown rule"):
+        get_rule("RPR-X999")
+
+
+def test_rule_table_lists_every_rule():
+    table = format_rule_table()
+    for rule_id in rule_ids():
+        assert rule_id in table
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+def test_cli_check_clean_file_exits_zero(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN_SOURCE, encoding="utf-8")
+    assert main(["check", str(target)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_check_findings_exit_one(tmp_path, capsys):
+    target = _dirty_file(tmp_path)
+    assert main(["check", str(target)]) == 1
+    assert "RPR-D001" in capsys.readouterr().out
+
+
+def test_cli_check_usage_errors_exit_two(tmp_path, capsys):
+    assert main(["check", "--select", "RPR-X999", str(tmp_path)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+    assert main(["check", str(tmp_path / "missing")]) == 2
+
+
+def test_cli_check_json_output_artifact(tmp_path, capsys):
+    target = _dirty_file(tmp_path)
+    artifact = tmp_path / "findings.json"
+    code = main(
+        ["check", "--format", "json", "--output", str(artifact), str(target)]
+    )
+    assert code == 1
+    data = json.loads(artifact.read_text(encoding="utf-8"))
+    assert data["summary"]["errors"] == 1
+    assert data["findings"][0]["rule"] == "RPR-D001"
+
+
+def test_cli_check_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids():
+        assert rule_id in out
+
+
+def test_cli_check_severity_error_lets_warnings_pass(tmp_path):
+    target = tmp_path / "repro" / "engine" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        f"def clean():\n    return 1  {ALLOW}(RPR-D001)\n", encoding="utf-8"
+    )
+    assert main(["check", str(target)]) == 1
+    assert main(["check", "--severity", "error", str(target)]) == 0

@@ -1,0 +1,612 @@
+"""Per-rule tests for ``repro.analysis.check``: each rule catches its seeded
+violation, stays quiet on the compliant variant, respects its allowlisted
+scopes, and honors inline suppressions."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.check import check_file, resolve_selection
+
+# Assembled at runtime so the raw source of *this* file never contains a
+# suppression comment (the self-lint scan would report it as unused).
+ALLOW = "# repro: " + "allow"
+
+
+def _check(tmp_path, relpath, source, select=None):
+    """Write ``source`` at ``relpath`` under ``tmp_path`` and check it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return check_file(str(path), resolve_selection(select))
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ------------------------------------------------------------------- RPR-D001
+
+
+def test_d001_flags_wall_clock_in_src(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/mod.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        select=["RPR-D001"],
+    )
+    assert _ids(findings) == ["RPR-D001"]
+    assert "wall-clock" in findings[0].message
+
+
+def test_d001_flags_seedless_rng_but_not_seeded(tmp_path):
+    source = """
+    import numpy as np
+
+    seedless = np.random.default_rng()
+    seeded = np.random.default_rng(1234)
+    """
+    findings = _check(tmp_path, "repro/engine/rng.py", source, select=["RPR-D001"])
+    assert _ids(findings) == ["RPR-D001"]
+    assert "seedless" in source.splitlines()[findings[0].line - 1]
+
+
+def test_d001_flags_global_stdlib_random(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/sweep/pick.py",
+        """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+        """,
+        select=["RPR-D001"],
+    )
+    assert _ids(findings) == ["RPR-D001"]
+
+
+def test_d001_allows_perf_counter(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/stats.py",
+        """
+        import time
+
+        def elapsed(start):
+            return time.perf_counter() - start
+        """,
+        select=["RPR-D001"],
+    )
+    assert findings == []
+
+
+def test_d001_serve_is_allowlisted(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/serve/uptime.py",
+        """
+        import time
+
+        def now():
+            return time.time()
+        """,
+        select=["RPR-D001"],
+    )
+    assert findings == []
+
+
+def test_d001_outside_src_tree_is_exempt(tmp_path):
+    findings = _check(
+        tmp_path,
+        "scripts/mod.py",
+        """
+        import time
+
+        def now():
+            return time.time()
+        """,
+        select=["RPR-D001"],
+    )
+    assert findings == []
+
+
+def test_d001_line_suppression(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/mod.py",
+        f"""
+        import time
+
+        def stamp():
+            return time.time()  {ALLOW}(RPR-D001)
+        """,
+        select=["RPR-D001"],
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RPR-D002
+
+
+def test_d002_flags_matmul_operator_in_capsnet(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/capsnet/mod.py",
+        """
+        def mul(a, b):
+            return a @ b
+        """,
+        select=["RPR-D002"],
+    )
+    assert _ids(findings) == ["RPR-D002"]
+    assert "BLAS" in findings[0].message
+
+
+def test_d002_flags_einsum_optimize_but_not_plain(tmp_path):
+    source = """
+    import numpy as np
+
+    def contract(a, b):
+        bad = np.einsum("ij,jk->ik", a, b, optimize=True)
+        good = np.einsum("ij,jk->ik", a, b)
+        explicit_off = np.einsum("ij,jk->ik", a, b, optimize=False)
+        return bad, good, explicit_off
+    """
+    findings = _check(tmp_path, "repro/arithmetic/mod.py", source, select=["RPR-D002"])
+    assert _ids(findings) == ["RPR-D002"]
+    assert findings[0].line == 5
+
+
+def test_d002_only_applies_to_exact_modules(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/mod.py",
+        """
+        def mul(a, b):
+            return a @ b
+        """,
+        select=["RPR-D002"],
+    )
+    assert findings == []
+
+
+def test_d002_whole_file_suppression(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/capsnet/mod.py",
+        f"""
+        {ALLOW}-file(RPR-D002)
+
+        def mul(a, b):
+            return a @ b
+        """,
+        select=["RPR-D002"],
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RPR-D003
+
+
+def test_d003_flags_loop_over_set_literal(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/report/mod.py",
+        """
+        def render():
+            for label in {"b", "a"}:
+                print(label)
+        """,
+        select=["RPR-D003"],
+    )
+    assert _ids(findings) == ["RPR-D003"]
+
+
+def test_d003_flags_join_over_set_call(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/report/mod.py",
+        """
+        def render(names):
+            return ", ".join(set(names))
+        """,
+        select=["RPR-D003"],
+    )
+    assert _ids(findings) == ["RPR-D003"]
+
+
+def test_d003_sorted_set_is_fine(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/report/mod.py",
+        """
+        def render(names):
+            return ", ".join(sorted(set(names)))
+        """,
+        select=["RPR-D003"],
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RPR-T001
+
+
+def test_t001_flags_unlocked_mutation_in_threaded_module(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/serve/state.py",
+        """
+        import threading
+
+        _STATE = {}
+        _LOCK = threading.Lock()
+
+        def bad(key, value):
+            _STATE[key] = value
+
+        def also_bad(key):
+            _STATE.pop(key, None)
+        """,
+        select=["RPR-T001"],
+    )
+    assert _ids(findings) == ["RPR-T001", "RPR-T001"]
+
+
+def test_t001_lock_guarded_mutation_is_fine(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/serve/state.py",
+        """
+        import threading
+
+        _STATE = {}
+        _LOCK = threading.Lock()
+
+        def good(key, value):
+            with _LOCK:
+                _STATE[key] = value
+        """,
+        select=["RPR-T001"],
+    )
+    assert findings == []
+
+
+def test_t001_flags_unlocked_global_rebind(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/flags.py",
+        """
+        import threading
+
+        _LOADED = False
+
+        def mark():
+            global _LOADED
+            _LOADED = True
+        """,
+        select=["RPR-T001"],
+    )
+    assert _ids(findings) == ["RPR-T001"]
+
+
+def test_t001_unthreaded_module_is_exempt(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/sweep/registry.py",
+        """
+        _PRESETS = {}
+
+        def register(name, value):
+            _PRESETS[name] = value
+        """,
+        select=["RPR-T001"],
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RPR-T002
+
+
+def test_t002_flags_plain_write_in_cache_module(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/diskcache.py",
+        """
+        def publish(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+        """,
+        select=["RPR-T002"],
+    )
+    assert _ids(findings) == ["RPR-T002"]
+    assert "os.replace" in findings[0].message
+
+
+def test_t002_atomic_publish_is_fine(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/sweep/queue.py",
+        """
+        import os
+        import tempfile
+
+        def publish(path, data):
+            fd, tmp = tempfile.mkstemp(suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        """,
+        select=["RPR-T002"],
+    )
+    assert findings == []
+
+
+def test_t002_only_applies_to_cache_modules(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/reports.py",
+        """
+        def publish(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+        """,
+        select=["RPR-T002"],
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RPR-C001
+
+
+def test_c001_flags_unknown_sweep_axis(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/experiments/custom.py",
+        """
+        from repro.sweep.spec import SweepAxis
+
+        AXIS = SweepAxis("hmc.bogus_field", (1.0, 2.0))
+        """,
+        select=["RPR-C001"],
+    )
+    assert _ids(findings) == ["RPR-C001"]
+
+
+def test_c001_accepts_valid_axis_abbreviation(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/experiments/custom.py",
+        """
+        from repro.sweep.spec import SweepAxis
+
+        AXIS = SweepAxis("hmc.pe_frequency", (312.5, 625.0))
+        """,
+        select=["RPR-C001"],
+    )
+    assert findings == []
+
+
+def test_c001_flags_unknown_override_key(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/experiments/custom.py",
+        """
+        def variant(scenario):
+            return scenario.with_overrides({"hmc.bogus_field": 625.0})
+        """,
+        select=["RPR-C001"],
+    )
+    assert _ids(findings) == ["RPR-C001"]
+
+
+def test_c001_markdown_flags_bad_set_key_not_placeholders(tmp_path):
+    findings = _check(
+        tmp_path,
+        "docs/usage.md",
+        """
+        Run with `--set KEY=VALUE` overrides, for example
+        `--set hmc.bogus_field=625`; the real flag is
+        `--set hmc.pe_frequency_mhz=625`.
+        """,
+        select=["RPR-C001"],
+    )
+    assert _ids(findings) == ["RPR-C001"]
+    assert "hmc.bogus_field" in findings[0].message
+
+
+def test_c001_json_flags_bad_axis_key(tmp_path):
+    findings = _check(
+        tmp_path,
+        "specs/sweep.json",
+        """
+        {
+          "axes": [
+            {"key": "hmc.bogus_field", "values": [1.0]},
+            {"key": "hmc.pe_frequency_mhz", "values": [625.0]}
+          ]
+        }
+        """,
+        select=["RPR-C001"],
+    )
+    assert _ids(findings) == ["RPR-C001"]
+    assert findings[0].line == 4  # the line holding "hmc.bogus_field"
+
+
+# ------------------------------------------------------------------- RPR-C002
+
+
+def test_c002_flags_unknown_metric_path(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/experiments/custom.py",
+        """
+        from repro.optimize import Objective
+
+        GOAL = Objective("fig17.bogus_metric", "max")
+        """,
+        select=["RPR-C002"],
+    )
+    assert _ids(findings) == ["RPR-C002"]
+    assert "fig17" in findings[0].message
+
+
+def test_c002_accepts_real_metric_paths(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/experiments/custom.py",
+        """
+        from repro.optimize import Constraint, Objective
+
+        GOAL = Objective("fig17.average_speedup", "max")
+        BOUND = Constraint("overhead.total_area_mm2", "lt", 10.0)
+        """,
+        select=["RPR-C002"],
+    )
+    assert findings == []
+
+
+def test_c002_json_flags_bad_objective_metric(tmp_path):
+    findings = _check(
+        tmp_path,
+        "specs/objective.json",
+        """
+        {
+          "objectives": [
+            {"metric": "fig17.bogus_metric", "sense": "maximize"}
+          ]
+        }
+        """,
+        select=["RPR-C002"],
+    )
+    assert _ids(findings) == ["RPR-C002"]
+
+
+def test_c002_markdown_constraint_flagged(tmp_path):
+    findings = _check(
+        tmp_path,
+        "docs/usage.md",
+        """
+        Restrict with `--constraint fig17.bogus_metric:within_pct_of_best=5`.
+        """,
+        select=["RPR-C002"],
+    )
+    assert _ids(findings) == ["RPR-C002"]
+
+
+# ------------------------------------------------------------------- RPR-H001
+
+
+def test_h001_flags_broad_and_bare_handlers(tmp_path):
+    findings = _check(
+        tmp_path,
+        "anywhere/mod.py",
+        """
+        def swallow():
+            try:
+                work()
+            except Exception:
+                pass
+
+        def swallow_everything():
+            try:
+                work()
+            except:
+                pass
+        """,
+        select=["RPR-H001"],
+    )
+    assert _ids(findings) == ["RPR-H001", "RPR-H001"]
+
+
+def test_h001_reraise_and_specific_handlers_are_fine(tmp_path):
+    findings = _check(
+        tmp_path,
+        "anywhere/mod.py",
+        """
+        def cleanup_then_raise(tmp):
+            try:
+                work()
+            except BaseException:
+                tmp.unlink()
+                raise
+
+        def specific():
+            try:
+                work()
+            except (OSError, ValueError):
+                return None
+        """,
+        select=["RPR-H001"],
+    )
+    assert findings == []
+
+
+def test_h001_annotated_handler_is_suppressed(tmp_path):
+    findings = _check(
+        tmp_path,
+        "anywhere/mod.py",
+        f"""
+        def last_resort():
+            try:
+                work()
+            except Exception:  {ALLOW}(RPR-H001)
+                return 500
+        """,
+        select=["RPR-H001"],
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RPR-S001
+
+
+def test_s001_reports_unused_suppressions(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/mod.py",
+        f"""
+        {ALLOW}-file(RPR-D002)
+
+        def clean():
+            return 1  {ALLOW}(RPR-D001)
+        """,
+        select=["RPR-D001", "RPR-D002", "RPR-S001"],
+    )
+    assert _ids(findings) == ["RPR-S001", "RPR-S001"]
+    assert all(f.severity == "warning" for f in findings)
+
+
+def test_s001_used_suppression_not_reported(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/mod.py",
+        f"""
+        import time
+
+        def stamp():
+            return time.time()  {ALLOW}(RPR-D001)
+        """,
+        select=["RPR-D001", "RPR-S001"],
+    )
+    assert findings == []
+
+
+def test_s001_silent_for_rules_that_did_not_run(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/mod.py",
+        f"""
+        def clean():
+            return 1  {ALLOW}(RPR-D001)
+        """,
+        select=["RPR-H001", "RPR-S001"],
+    )
+    assert findings == []

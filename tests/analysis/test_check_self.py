@@ -1,0 +1,29 @@
+"""The self-lint gate: the repo passes its own static analysis.
+
+This is the test-suite twin of the CI ``check`` job -- if it fails, either
+a real invariant violation crept in or a new rule needs a fix/annotation
+pass over the tree before it ships.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.check import run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_clean_under_all_rules():
+    targets = [
+        REPO_ROOT / "src",
+        REPO_ROOT / "tests",
+        REPO_ROOT / "benchmarks",
+        REPO_ROOT / "examples",
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+    ]
+    result = run_check([str(t) for t in targets if t.exists()])
+    assert result.files_checked > 100
+    details = "\n".join(f.format() for f in result.findings)
+    assert result.findings == [], f"repo not clean:\n{details}"

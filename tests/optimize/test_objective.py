@@ -1,4 +1,8 @@
-"""Unit tests for the declarative objective/constraint layer."""
+"""Unit tests for the declarative objective/constraint layer.
+
+Rejection tests construct deliberately-invalid metric paths throughout.
+"""
+# repro: allow-file(RPR-C002)
 
 from __future__ import annotations
 

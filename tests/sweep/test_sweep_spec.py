@@ -18,14 +18,14 @@ def test_axis_canonicalizes_abbreviated_keys():
 
 def test_axis_rejects_unknown_keys():
     with pytest.raises(ValueError, match="unknown sweep axis"):
-        SweepAxis("hmc.warp_core_mhz", (1.0,))
+        SweepAxis("hmc.warp_core_mhz", (1.0,))  # repro: allow(RPR-C001)
 
 
 def test_axis_rejects_ambiguous_keys():
     # "hmc.p" abbreviates several HMC fields (packet_overhead_bytes,
     # pes_per_vault, pe_frequency_mhz).
     with pytest.raises(ValueError, match="ambiguous sweep axis"):
-        SweepAxis("hmc.p", (1.0,))
+        SweepAxis("hmc.p", (1.0,))  # repro: allow(RPR-C001)
 
 
 def test_axis_rejects_empty_and_duplicate_values():

@@ -169,7 +169,7 @@ def test_unknown_scenario_rejected():
 
 def test_unknown_set_key_rejected():
     with pytest.raises(SystemExit, match="unknown scenario key"):
-        main(["evaluate", "--set", "hmc.nope=1"])
+        main(["evaluate", "--set", "hmc.nope=1"])  # repro: allow(RPR-C001)
 
 
 def test_malformed_set_rejected():
@@ -433,7 +433,7 @@ def test_sweep_rejects_bad_axis_and_unknown_spec(tmp_path):
     with pytest.raises(SystemExit):
         main(["sweep", "--axis", "nonsense", "--cache-dir", str(tmp_path)])
     with pytest.raises(SystemExit):
-        main(["sweep", "--axis", "hmc.warp=1,2", "--cache-dir", str(tmp_path)])
+        main(["sweep", "--axis", "hmc.warp=1,2", "--cache-dir", str(tmp_path)])  # repro: allow(RPR-C001)
     with pytest.raises(SystemExit):
         main(["sweep", "--spec", "no-such-sweep", "--cache-dir", str(tmp_path)])
 
@@ -651,7 +651,7 @@ def test_optimize_rejects_bad_arguments(tmp_path):
     # A metric typo surfaces as a clean exit, not a traceback.
     with pytest.raises(SystemExit):
         main([
-            "optimize", "--objective", "fig15.nope",
+            "optimize", "--objective", "fig15.nope",  # repro: allow(RPR-C002)
             "--axis", "hmc.pe_frequency_mhz=625",
             "--benchmarks", "Caps-MN1",
             "--cache-dir", str(tmp_path),
