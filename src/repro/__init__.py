@@ -43,7 +43,7 @@ from repro.workloads.catalog import (
     default_catalog,
 )
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "ObjectiveSpec",

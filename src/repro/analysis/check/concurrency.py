@@ -12,6 +12,12 @@
   legal inside a function that also calls ``os.replace`` (temp file +
   rename) or claims via ``os.open(..., O_CREAT | O_EXCL)``.  Concurrent
   readers must never observe a torn file.
+* ``RPR-T003`` -- in the same hardened modules, write I/O
+  (``os.replace``, write-mode opens, ``write_text``/``write_bytes``) must
+  run under the shared :func:`repro.faults.retry.with_retries` helper so a
+  transient ``EIO`` does not lose a publish.  Exclusive-claim writes
+  (``O_CREAT | O_EXCL`` lease files) are exempt: losing a claim race is
+  contention control, not a fault to retry.
 """
 
 from __future__ import annotations
@@ -264,6 +270,81 @@ def _write_message(module: PySource, node: ast.AST) -> Optional[str]:
                 f"write a temp file and os.replace() it so concurrent "
                 f"readers never see a torn file"
             )
+    return None
+
+
+def check_t003(module: PySource) -> Iterator[Finding]:
+    """RPR-T003: retry-less write I/O in a hardened (crash-consistent) module."""
+    if not module.in_repro_src() or module.basename() not in _ATOMIC_MODULES:
+        return
+
+    def visit(node: ast.AST, guarded: bool) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_guarded = guarded
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Entering a function whose subtree calls with_retries(...)
+                # (or claims via O_EXCL) guards everything inside it --
+                # including the nested `_publish` closures the helper runs.
+                child_guarded = (
+                    guarded
+                    or _calls_with_retries(module, child)
+                    or _claims_exclusively(module, child)
+                )
+            elif not guarded:
+                message = _retry_less_write_message(module, child)
+                if message is not None:
+                    yield Finding(
+                        rule_id="RPR-T003",
+                        severity="error",
+                        path=module.path,
+                        line=getattr(child, "lineno", 0),
+                        column=getattr(child, "col_offset", -1) + 1,
+                        message=message,
+                    )
+            yield from visit(child, child_guarded)
+
+    yield from visit(module.tree, guarded=False)
+
+
+def _calls_with_retries(module: PySource, func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = module.resolved_name(node.func) or ""
+            if name.rsplit(".", 1)[-1] == "with_retries":
+                return True
+    return False
+
+
+def _claims_exclusively(module: PySource, func: ast.AST) -> bool:
+    """True when the function claims via ``O_CREAT | O_EXCL`` (lease files).
+
+    Losing an exclusive-claim race is expected contention control; wrapping
+    it in retries would turn mutual exclusion into a spin."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = module.dotted_name(node)
+            if name and name.rsplit(".", 1)[-1] == "O_EXCL":
+                return True
+    return False
+
+
+def _retry_less_write_message(module: PySource, node: ast.AST) -> Optional[str]:
+    if not isinstance(node, ast.Call):
+        return None
+    name = module.resolved_name(node.func)
+    if name == "os.replace":
+        return (
+            "os.replace() outside with_retries(); route the publish "
+            "through the shared retry helper (repro.faults.retry) so a "
+            "transient EIO does not lose it"
+        )
+    message = _write_message(module, node)
+    if message is not None:
+        return (
+            "write I/O outside with_retries(); route it through the "
+            "shared retry helper (repro.faults.retry) so a transient "
+            "EIO does not lose the publish"
+        )
     return None
 
 

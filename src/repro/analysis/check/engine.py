@@ -32,6 +32,7 @@ _PY_RULES: Tuple[
     (("RPR-D003",), determinism.check_d003),
     (("RPR-T001",), concurrency.check_t001),
     (("RPR-T002",), concurrency.check_t002),
+    (("RPR-T003",), concurrency.check_t003),
     (("RPR-C001", "RPR-C002"), consistency.check_c_rules_python),
     (("RPR-H001",), hygiene.check_h001),
 )

@@ -128,6 +128,23 @@ RULES: Tuple[Rule, ...] = (
         scope="src/repro/engine/diskcache.py and src/repro/sweep/queue.py",
     ),
     Rule(
+        rule_id="RPR-T003",
+        family="concurrency",
+        severity="error",
+        summary="hardened-module write I/O bypasses the shared retry helper",
+        rationale=(
+            "The fault-injection PR hardened the disk caches and the sweep "
+            "work queue against transient I/O errors: every publish runs "
+            "under repro.faults.retry.with_retries (deterministic backoff, "
+            "fatal errnos fail fast).  A new write path that bypasses the "
+            "helper silently reintroduces lost-publish behavior under the "
+            "exact faults the chaos suite injects.  O_CREAT|O_EXCL claim "
+            "writes are exempt: a lost claim race is contention, not a "
+            "fault."
+        ),
+        scope="src/repro/engine/diskcache.py and src/repro/sweep/queue.py",
+    ),
+    Rule(
         rule_id="RPR-C001",
         family="consistency",
         severity="error",

@@ -212,9 +212,29 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return _run_and_emit(args, only=list(EVALUATE_EXPERIMENTS), benchmarks=args.benchmarks)
 
 
+def _activate_faults(source: Optional[str]) -> None:
+    """Arm a ``--faults`` plan (file or inline JSON) for this process tree."""
+    if source is None:
+        return
+    from repro.faults import FaultPlan, activate
+
+    try:
+        plan = FaultPlan.load(source)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"invalid --faults plan: {error}") from None
+    # Exported so worker subprocesses inherit the same plan.
+    activate(plan, export=True)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _activate_faults(args.faults)
     if args.spec or args.axis:
         return _cmd_sweep_grid(args)
+    if args.max_attempts is not None:
+        raise SystemExit(
+            "--max-attempts only applies to queued sweeps (--spec/--axis "
+            "with --workers or --resume)"
+        )
     selected = list(args.benchmarks or [])
     if args.benchmark:
         print(
@@ -254,6 +274,11 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
         if args.benchmarks:
             spec = dataclasses.replace(spec, benchmarks=tuple(args.benchmarks))
         queued = args.workers is not None or args.resume
+        if args.max_attempts is not None and not queued:
+            raise ValueError(
+                "--max-attempts only applies to queued sweeps "
+                "(add --workers or --resume)"
+            )
         if not queued:
             runner = SweepRunner(
                 spec,
@@ -271,6 +296,9 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
         # Axis *values* are only coerced when each grid point's overrides
         # apply, so bad values (--axis hmc.num_vaults=8,abc) surface here.
         if queued:
+            queued_options = {}
+            if args.max_attempts is not None:
+                queued_options["max_attempts"] = args.max_attempts
             result = run_queued_sweep(
                 spec,
                 base,
@@ -282,6 +310,7 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
                 use_cache=not args.no_cache,
                 backend=args.backend,
                 verify=args.verify,
+                **queued_options,
             )
         else:
             result = runner.run()
@@ -532,6 +561,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here: only this subcommand needs the serve subsystem.
     from repro.serve import ReproServer, ServeConfig
 
+    _activate_faults(args.faults)
     scenario = _scenario_from_args(args)
     try:
         config = ServeConfig(
@@ -544,6 +574,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             drain_timeout=args.drain_timeout,
             quiet=args.quiet,
+            max_inflight=args.max_inflight,
+            request_timeout=args.request_timeout,
         )
         server = ReproServer(config)
     except (ValueError, OSError) as error:
@@ -830,6 +862,27 @@ def build_parser() -> argparse.ArgumentParser:
             "the cache root, so --resume finds the previous run by itself)"
         ),
     )
+    sweep.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "queued sweeps only: attempts before a crashing (poison) shard "
+            "is marked failed and the sweep completes with a partial-results "
+            "report (default 3)"
+        ),
+    )
+    sweep.add_argument(
+        "--faults",
+        default=None,
+        metavar="PATH|JSON",
+        help=(
+            "arm a deterministic fault-injection plan (JSON file or inline "
+            "object; exported to worker processes) -- for testing the "
+            "sweep's crash-consistency story"
+        ),
+    )
     _add_scenario_options(sweep)
     _add_output_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
@@ -997,6 +1050,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress per-request access logging on stderr",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "admit at most N concurrent work (POST) requests; extra ones "
+            "get 503 + Retry-After instead of queueing (default: unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "answer run/compare requests that exceed this deadline with a "
+            "504; the work continues server-side and warms the caches "
+            "(default: no timeout)"
+        ),
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PATH|JSON",
+        help=(
+            "arm a deterministic fault-injection plan (JSON file or inline "
+            "object) -- for testing the service's degradation story"
+        ),
     )
     _add_scenario_options(serve)
     _add_cache_options(serve)

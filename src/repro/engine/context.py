@@ -50,10 +50,17 @@ def default_worker_count() -> int:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`SimulationContext`."""
+    """Hit/miss (and degradation) counters of one cache instance.
+
+    ``corrupt_artifacts`` and ``write_errors`` only move for the on-disk
+    caches: corrupt/truncated files that were quarantined, and flushes or
+    publishes the disk refused (after retries).
+    """
 
     hits: int = 0
     misses: int = 0
+    corrupt_artifacts: int = 0
+    write_errors: int = 0
 
     @property
     def requests(self) -> int:

@@ -47,6 +47,7 @@ import functools
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import threading
 import zipfile
@@ -62,6 +63,8 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Unio
 from repro.core.accelerator import EndToEndComparison, RoutingComparison
 from repro.core.pipeline import PipelineTiming
 from repro.engine.strategies import DesignLike, design_key, resolve_design
+from repro.faults import point as fault_point
+from repro.faults.retry import is_fatal_io, with_retries
 from repro.workloads.benchmarks import BenchmarkConfig
 from repro.workloads.parallelism import Dimension
 
@@ -80,6 +83,46 @@ MODEL_CACHE_SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: One-shot warning registry: each degradation condition warns exactly once
+#: per process (a sweep hitting ENOSPC must not print one line per shard).
+_WARN_LOCK = threading.Lock()
+_WARNED: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    """Print ``message`` to stderr the first time ``key`` degrades."""
+    with _WARN_LOCK:
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    print(f"repro cache warning: {message}", file=sys.stderr)
+
+
+def _reset_warnings() -> None:
+    """Forget which degradations already warned (test isolation hook)."""
+    with _WARN_LOCK:
+        _WARNED.clear()
+
+
+def _quarantine(path: Path, root: Path) -> Optional[Path]:
+    """Move a corrupt artifact to ``<root>/corrupt/`` so it is never re-read.
+
+    Returns the quarantine destination, or ``None`` when the move failed
+    (the artifact is then unlinked as a fallback -- every cache entry is
+    re-creatable, so dropping a corrupt one is always safe).
+    """
+    target = root / "corrupt" / path.name
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with_retries(lambda: os.replace(path, target))
+        return target
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
 
 
 def default_cache_dir() -> Path:
@@ -139,6 +182,9 @@ class SimulationCache:
         self.version = int(version)
         self.directory = self.root / f"v{self.version}"
         self.stats: "CacheStats" = CacheStats()
+        #: True once a fatal disk error (ENOSPC/EACCES/...) degraded this
+        #: cache to read-only: gets still work, flushes become no-ops.
+        self.read_only = False
         self._lock = threading.RLock()
         #: scenario hash -> {entry digest: {"key": ..., "result": ...}}
         self._shards: Dict[str, Dict[str, dict]] = {}
@@ -202,21 +248,42 @@ class SimulationCache:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def _read_disk(self, scenario_hash: str) -> Dict[str, dict]:
-        """One scenario's entry map as currently on disk (fresh read)."""
+        """One scenario's entry map as currently on disk (fresh read).
+
+        Missing or unreadable shards count as empty.  A shard that exists
+        but holds invalid JSON (a torn write from a non-atomic producer, or
+        real disk corruption) is quarantined to ``<root>/corrupt/`` and
+        counted, so it is warned about once instead of silently re-missed
+        on every lookup forever.
+        """
+        path = self._shard_path(scenario_hash)
         try:
-            data = json.loads(
-                self._shard_path(scenario_hash).read_text(encoding="utf-8")
+            fault_point("diskcache.shard.read", path=path)
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("shard payload is not a JSON object")
+        except ValueError:
+            self.stats.corrupt_artifacts += 1
+            quarantined = _quarantine(path, self.root)
+            where = f"quarantined to {quarantined}" if quarantined else "dropped"
+            _warn_once(
+                f"corrupt-shard:{path}",
+                f"corrupt cache shard {path} ({where}); "
+                f"its entries will be recomputed",
             )
-            if (
-                data.get("schema") == self.version
-                and data.get("scenario") == scenario_hash
-                and isinstance(data.get("entries"), dict)
-            ):
-                return data["entries"]
-        except (OSError, ValueError):
-            # Missing, unreadable or corrupt shards count as empty; the
-            # next flush rewrites them wholesale.
-            pass
+            return {}
+        if (
+            data.get("schema") == self.version
+            and data.get("scenario") == scenario_hash
+            and isinstance(data.get("entries"), dict)
+        ):
+            return data["entries"]
+        # Valid JSON of the wrong shape/version: not corruption, just a
+        # foreign file; treat as empty and let the next flush rewrite it.
         return {}
 
     def _shard(self, scenario_hash: str) -> Dict[str, dict]:
@@ -352,15 +419,21 @@ class SimulationCache:
     def flush(self) -> int:
         """Publish every dirty shard atomically; returns shards written.
 
-        A read-only or full cache directory degrades to a no-op cache
-        (entries stay buffered in memory).
+        Transient write errors are retried with deterministic backoff; a
+        fatal disk error (full, read-only, permission denied) degrades the
+        cache to read-only with a one-shot warning and a ``write_errors``
+        count instead of aborting the run -- entries stay buffered in
+        memory, so in-process gets keep working.
         """
         written = 0
         with self._lock:
+            if self.read_only:
+                return 0
             dirty = [hash_ for hash_, flag in self._dirty.items() if flag]
             for scenario_hash in dirty:
                 path = self._shard_path(scenario_hash)
-                try:
+
+                def _publish() -> None:
                     path.parent.mkdir(parents=True, exist_ok=True)
                     # The read-merge-publish below must be one critical
                     # section: without the shard lock, two writers sharing a
@@ -389,6 +462,8 @@ class SimulationCache:
                         try:
                             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                                 handle.write(json.dumps(data))
+                            fault_point("diskcache.flush.write", path=tmp)
+                            fault_point("diskcache.flush.replace")
                             os.replace(tmp, path)
                         except BaseException:
                             try:
@@ -396,11 +471,28 @@ class SimulationCache:
                             except OSError:
                                 pass
                             raise
-                except OSError:
+
+                try:
+                    with_retries(_publish)
+                except OSError as error:
+                    self.stats.write_errors += 1
+                    if is_fatal_io(error):
+                        self._degrade(error)
+                        break
                     continue
                 self._dirty[scenario_hash] = False
                 written += 1
         return written
+
+    def _degrade(self, error: OSError) -> None:
+        """Flip to read-only after a fatal disk error (one-shot warning)."""
+        self.read_only = True
+        _warn_once(
+            f"read-only:{self.directory}",
+            f"simulation cache {self.directory} degraded to read-only after "
+            f"{type(error).__name__}: {error}; results stay in memory for "
+            f"this run but will not persist",
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimulationCache({str(self.directory)!r})"
@@ -541,6 +633,8 @@ class TrainedModelCache:
         self.version = int(version)
         self.directory = self.root / f"models-v{self.version}"
         self.stats: "CacheStats" = CacheStats()
+        #: True once a fatal disk error degraded this cache to read-only.
+        self.read_only = False
         self._lock = threading.RLock()
 
     @staticmethod
@@ -565,8 +659,10 @@ class TrainedModelCache:
 
         key = self._normalize(key)
         digest = self._digest(key)
+        path = self._path(digest)
         try:
-            with np.load(self._path(digest), allow_pickle=False) as data:
+            fault_point("modelcache.read", path=path)
+            with np.load(path, allow_pickle=False) as data:
                 meta = json.loads(str(data["__meta__"][()]))
                 if meta.get("schema") != self.version or meta.get("key") != key:
                     raise ValueError("cache key mismatch")
@@ -579,8 +675,22 @@ class TrainedModelCache:
                     for name in data.files
                     if name.startswith("param/")
                 }
-        except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
+        except OSError:
+            # Missing or unreadable: a plain miss (the caller retrains).
             self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, zipfile.BadZipFile):
+            # The file exists but its content is torn/corrupt/mismatched:
+            # quarantine it so the broken artifact is never consulted again.
+            self.stats.misses += 1
+            self.stats.corrupt_artifacts += 1
+            quarantined = _quarantine(path, self.root)
+            where = f"quarantined to {quarantined}" if quarantined else "dropped"
+            _warn_once(
+                f"corrupt-model:{path}",
+                f"corrupt trained-model artifact {path} ({where}); "
+                f"the model will be retrained",
+            )
             return None
         self.stats.hits += 1
         return TrainedModelArtifact(state=state, accuracies=accuracies)
@@ -593,7 +703,10 @@ class TrainedModelCache:
     ) -> bool:
         """Persist one trained model atomically; ``False`` if the disk refuses.
 
-        A read-only or full cache directory degrades to a no-op cache.
+        Transient write errors are retried with deterministic backoff; a
+        fatal disk error (full, read-only, permission denied) degrades the
+        cache to read-only with a one-shot warning and a ``write_errors``
+        count, after which puts are no-ops.
         """
         import numpy as np
 
@@ -608,7 +721,10 @@ class TrainedModelCache:
         arrays = {f"param/{name}": value for name, value in state.items()}
         arrays["__meta__"] = np.array(json.dumps(meta, sort_keys=True))
         with self._lock:
-            try:
+            if self.read_only:
+                return False
+
+            def _publish() -> None:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 fd, tmp = tempfile.mkstemp(
                     prefix=path.stem, suffix=".npz.tmp", dir=str(path.parent)
@@ -616,6 +732,8 @@ class TrainedModelCache:
                 try:
                     with os.fdopen(fd, "wb") as handle:
                         np.savez(handle, **arrays)
+                    fault_point("modelcache.write", path=tmp)
+                    fault_point("modelcache.replace")
                     os.replace(tmp, path)
                 except BaseException:
                     try:
@@ -623,7 +741,19 @@ class TrainedModelCache:
                     except OSError:
                         pass
                     raise
-            except OSError:
+
+            try:
+                with_retries(_publish)
+            except OSError as error:
+                self.stats.write_errors += 1
+                if is_fatal_io(error):
+                    self.read_only = True
+                    _warn_once(
+                        f"read-only:{self.directory}",
+                        f"trained-model cache {self.directory} degraded to "
+                        f"read-only after {type(error).__name__}: {error}; "
+                        f"models will be retrained instead of persisted",
+                    )
                 return False
         return True
 

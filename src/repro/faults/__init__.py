@@ -1,0 +1,65 @@
+"""Deterministic fault injection for the persistence/coordination layers.
+
+The disk caches (:mod:`repro.engine.diskcache`), the sharded work queue
+(:mod:`repro.sweep.queue`) and the HTTP service (:mod:`repro.serve`) all
+promise graceful degradation under real-world failures -- torn writes,
+``ENOSPC``, a worker killed on another host, a handler that never returns.
+This package makes every one of those failures *provokable on demand and
+deterministically*, so the hardening they motivate is testable instead of
+aspirational:
+
+* :class:`~repro.faults.plan.FaultPlan` / :class:`~repro.faults.plan.FaultRule`
+  -- a JSON-round-trippable description of which registered fault point
+  misbehaves, how (``error`` / ``truncate`` / ``crash`` / ``sleep``), and on
+  which call (``after`` / ``times`` counters -- never wall clock, so a plan
+  replays byte-identically).
+* :func:`~repro.faults.inject.point` -- the zero-cost-when-disarmed hook the
+  hardened modules call at each named fault point
+  (:data:`~repro.faults.plan.FAULT_POINTS` is the registry).
+* Arming: :func:`~repro.faults.inject.activate` in tests, or the
+  :data:`~repro.faults.inject.FAULTS_ENV` (``REPRO_FAULTS``) environment
+  variable holding inline JSON or a plan-file path -- the env route crosses
+  process boundaries, so pool workers and CLI subprocesses inherit the plan.
+* :func:`~repro.faults.retry.with_retries` -- the shared deterministic
+  retry/backoff helper the hardened write paths go through (rule RPR-T003
+  keeps them honest).
+
+Everything here is stdlib-only and safe to import from any layer.
+"""
+
+from repro.faults.inject import (
+    FAULTS_ENV,
+    activate,
+    active_plan,
+    deactivate,
+    fired_counts,
+    injected,
+    point,
+)
+from repro.faults.plan import ACTIONS, FAULT_POINTS, FaultPlan, FaultRule
+from repro.faults.retry import (
+    DEFAULT_ATTEMPTS,
+    DEFAULT_BASE_DELAY,
+    FATAL_ERRNOS,
+    is_fatal_io,
+    with_retries,
+)
+
+__all__ = [
+    "ACTIONS",
+    "DEFAULT_ATTEMPTS",
+    "DEFAULT_BASE_DELAY",
+    "FATAL_ERRNOS",
+    "FAULTS_ENV",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fired_counts",
+    "injected",
+    "is_fatal_io",
+    "point",
+    "with_retries",
+]

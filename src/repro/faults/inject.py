@@ -1,0 +1,194 @@
+"""The injection hook: arming, counting, and firing fault rules.
+
+The hardened modules call :func:`point` at each named fault site.  With no
+plan armed the call is two dict lookups; with a plan armed the first rule
+matching the point consumes one call from its counter window and, when the
+window says so, fires:
+
+* ``error``    -- raises :class:`OSError` with the rule's errno (so
+  ``ENOSPC`` arrives as the real :class:`OSError` subclass the production
+  error paths see).
+* ``truncate`` -- tears the file the site passed as ``path`` (simulating a
+  torn write that an atomic-publish bug would expose).
+* ``crash``    -- ``SIGKILL``s the current process: uncatchable, exactly
+  like a power cut, an OOM kill, or a ``kill -9`` on a sweep worker.
+* ``sleep``    -- stalls via the injectable sleep hook (tests swap it out,
+  so even "slow I/O" is deterministic).
+
+Arming routes:
+
+* :func:`activate` / :func:`deactivate` (or the :func:`injected` context
+  manager) -- in-process, used by tests and the CLI.
+* The ``REPRO_FAULTS`` environment variable -- checked lazily on every
+  :func:`point` call (cheap string compare), so worker *processes* spawned
+  by a pool or a CLI subprocess inherit the plan with zero plumbing.
+  ``activate(plan, export=True)`` sets the variable for child processes.
+
+All counter state lives behind a module lock; counters reset whenever the
+armed plan changes, so each activation replays from call zero.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.faults.plan import FAULT_POINTS, FaultPlan, FaultRule
+
+#: Environment variable carrying an inline-JSON fault plan or a plan-file path.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_LOCK = threading.Lock()
+#: The armed plan (explicit activation wins over the environment).
+_PLAN: Optional[FaultPlan] = None
+_EXPLICIT = False
+#: The REPRO_FAULTS text the current env-loaded plan was parsed from.
+_ENV_TEXT: Optional[str] = None
+#: rule index -> matching calls seen so far.
+_CALLS: Dict[int, int] = {}
+#: fault point name -> faults actually fired (for tests/diagnostics).
+_FIRED: Dict[str, int] = {}
+#: Injectable sleep hook for the ``sleep`` action.
+_SLEEP: Callable[[float], None] = time.sleep
+
+
+def activate(plan: FaultPlan, *, export: bool = False) -> None:
+    """Arm ``plan`` in this process (counters reset to zero).
+
+    With ``export=True`` the plan is also written to ``REPRO_FAULTS`` so
+    child processes (pool workers, CLI subprocesses) inherit it.
+    """
+    global _PLAN, _EXPLICIT
+    with _LOCK:
+        _PLAN = plan
+        _EXPLICIT = True
+        _CALLS.clear()
+        _FIRED.clear()
+    if export:
+        os.environ[FAULTS_ENV] = plan.to_json()
+
+
+def deactivate() -> None:
+    """Disarm any explicit plan and forget the env-derived one."""
+    global _PLAN, _EXPLICIT, _ENV_TEXT
+    with _LOCK:
+        _PLAN = None
+        _EXPLICIT = False
+        _ENV_TEXT = None
+        _CALLS.clear()
+        _FIRED.clear()
+
+
+class injected:
+    """Context manager arming a plan for a ``with`` block (tests)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> FaultPlan:
+        activate(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc_info: object) -> None:
+        deactivate()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently armed plan (explicit or env-derived), if any."""
+    return _resolve_plan()
+
+
+def fired_counts() -> Dict[str, int]:
+    """How many faults each point has fired since the last (re)arming."""
+    with _LOCK:
+        return dict(_FIRED)
+
+
+def set_sleep(sleep: Callable[[float], None]) -> None:
+    """Swap the ``sleep`` action's clock hook (tests inject a recorder)."""
+    global _SLEEP
+    with _LOCK:
+        _SLEEP = sleep
+
+
+def _resolve_plan() -> Optional[FaultPlan]:
+    """The armed plan, re-reading ``REPRO_FAULTS`` when its text changed."""
+    global _PLAN, _ENV_TEXT
+    if _EXPLICIT:
+        return _PLAN
+    text = os.environ.get(FAULTS_ENV)
+    if text == _ENV_TEXT:
+        return _PLAN
+    plan = FaultPlan.load(text) if text else None
+    with _LOCK:
+        if _EXPLICIT:
+            return _PLAN
+        _ENV_TEXT = text
+        _PLAN = plan
+        _CALLS.clear()
+        _FIRED.clear()
+        return _PLAN
+
+
+def point(name: str, path: Optional[object] = None) -> None:
+    """One named fault site; a no-op unless an armed rule fires here.
+
+    Args:
+        name: a key of :data:`~repro.faults.plan.FAULT_POINTS` (anything
+            else raises -- call-site typos must not silently never fire).
+        path: the file the site is about to publish/read, consumed by the
+            ``truncate`` action.
+    """
+    if name not in FAULT_POINTS:
+        raise ValueError(
+            f"unregistered fault point {name!r}; registered: {sorted(FAULT_POINTS)}"
+        )
+    plan = _resolve_plan()
+    if plan is None:
+        return
+    fired: Optional[FaultRule] = None
+    with _LOCK:
+        for index, rule in enumerate(plan.rules):
+            if not rule.matches(name):
+                continue
+            seen = _CALLS.get(index, 0)
+            _CALLS[index] = seen + 1
+            if rule.triggers(seen):
+                fired = rule
+                _FIRED[name] = _FIRED.get(name, 0) + 1
+            break  # the first matching rule owns the point
+    if fired is not None:
+        _fire(fired, name, path)
+
+
+def _fire(rule: FaultRule, name: str, path: Optional[object]) -> None:
+    if rule.action == "error":
+        code = rule.errno_code
+        raise OSError(code, f"{os.strerror(code)} [injected at {name}]")
+    if rule.action == "truncate":
+        _truncate(path, rule.keep_bytes)
+        return
+    if rule.action == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover - unreachable
+    if rule.action == "sleep":
+        _SLEEP(rule.seconds)
+
+
+def _truncate(path: Optional[object], keep_bytes: Optional[int]) -> None:
+    """Tear the file at ``path`` (no-op when the site passed no file)."""
+    if path is None:
+        return
+    try:
+        with open(os.fspath(path), "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            keep = size // 2 if keep_bytes is None else min(keep_bytes, size)
+            handle.truncate(keep)
+    except OSError:
+        # The file vanished or is unwritable: the torn write simply did
+        # not happen, which is a legal outcome of the simulated fault.
+        return

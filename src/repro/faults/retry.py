@@ -1,0 +1,64 @@
+"""The shared retry helper for transient cache/queue/lease I/O.
+
+Every hardened write path (shard flushes, model publishes, done-files,
+heartbeats -- rule RPR-T003 enforces this) funnels through
+:func:`with_retries`: up to ``attempts`` tries with deterministic
+exponential backoff (``base_delay * 2**attempt``, no jitter -- replays are
+byte-identical) through an injectable ``sleep`` hook, so tests pay zero
+wall clock.
+
+Not every :class:`OSError` deserves a retry: :data:`FATAL_ERRNOS`
+(``ENOSPC``, ``EDQUOT``, ``EACCES``, ``EPERM``, ``EROFS``) describe a disk
+that will refuse the write *every* time, so they fail fast and the caller
+degrades (the caches flip to read-only) instead of burning the backoff
+budget on a full disk.
+"""
+
+from __future__ import annotations
+
+import errno
+import time
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: Default attempt budget for transient I/O.
+DEFAULT_ATTEMPTS = 3
+
+#: First backoff delay in seconds; doubles per attempt (0.01, 0.02, 0.04...).
+DEFAULT_BASE_DELAY = 0.01
+
+#: Errnos that no retry can fix: the disk is full or the path is forbidden.
+FATAL_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EDQUOT, errno.EACCES, errno.EPERM, errno.EROFS}
+)
+
+
+def is_fatal_io(error: BaseException) -> bool:
+    """True for :class:`OSError`\\ s that retrying cannot fix."""
+    return isinstance(error, OSError) and error.errno in FATAL_ERRNOS
+
+
+def with_retries(
+    fn: Callable[[], T],
+    *,
+    attempts: int = DEFAULT_ATTEMPTS,
+    base_delay: float = DEFAULT_BASE_DELAY,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> T:
+    """Run ``fn`` with deterministic backoff on transient :class:`OSError`.
+
+    Fatal errnos (:data:`FATAL_ERRNOS`) and the final attempt's error
+    propagate unchanged; non-``OSError`` exceptions are never retried.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    wait = time.sleep if sleep is None else sleep
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except OSError as error:
+            if is_fatal_io(error) or attempt == attempts - 1:
+                raise
+            wait(base_delay * (2 ** attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

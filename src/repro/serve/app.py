@@ -41,6 +41,7 @@ cache entries are flushed to disk, and ``serve_forever`` returns 0.
 from __future__ import annotations
 
 import json
+import math
 import signal
 import sys
 import threading
@@ -54,12 +55,14 @@ from repro.api.scenario import Scenario, preset_names
 from repro.api.session import compare_scenarios
 from repro.engine.runner import select_experiments
 from repro.engine.serialize import to_jsonable
+from repro.faults import point as fault_point
 from repro.serve.errors import (
     BadRequest,
     InternalError,
     MethodNotAllowed,
     NotFound,
     PayloadTooLarge,
+    RequestTimeout,
     ServeError,
 )
 from repro.serve.progress import optimize_events, sweep_events
@@ -230,7 +233,13 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             except ServeError as error:
                 status = error.status
                 self._record(status)
-                self._send_json(status, error.to_dict())
+                retry_after = getattr(error, "retry_after", None)
+                headers = (
+                    (("Retry-After", str(max(1, math.ceil(retry_after)))),)
+                    if retry_after is not None
+                    else ()
+                )
+                self._send_json(status, error.to_dict(), headers=headers)
             except (BrokenPipeError, ConnectionResetError):
                 # The client went away mid-response; nothing left to send.
                 status = 499
@@ -284,7 +293,12 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
 
     # ---------------------------------------------------------------- plumbing
 
-    def _send_json(self, status: int, payload: object) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
         # Payloads are already JSON-ready (`.to_dict()` shapes, the same the
         # CLI dumps); to_jsonable is NOT applied wholesale here because its
         # tuple-key convention escapes literal slashes in string keys, which
@@ -293,8 +307,48 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _execute_with_timeout(self, fn):
+        """Run one work callable, bounded by ``config.request_timeout``.
+
+        The work runs in a helper thread; when the deadline passes the
+        request answers 504 while the work keeps running server-side -- its
+        results still land in the warm caches, so a retried request usually
+        completes instantly.  Without a configured timeout the callable runs
+        inline (no thread hop).
+        """
+        timeout = self.state.config.request_timeout
+        if timeout is None:
+            return fn()
+        box: dict = {}
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                box["value"] = fn()
+            # Everything is relayed verbatim to the request thread below;
+            # nothing is swallowed.
+            except BaseException as error:  # repro: allow(RPR-H001)
+                box["error"] = error
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=run, name="repro-serve-work", daemon=True)
+        worker.start()
+        if not done.wait(timeout):
+            self.state.record_timeout()
+            raise RequestTimeout(
+                f"request exceeded the {timeout:g}s handler timeout; the "
+                "work continues server-side and a retry will reuse its "
+                "cached results"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
 
     def _json_body(self) -> dict:
         length = self.headers.get("Content-Length")
@@ -400,6 +454,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             )
 
             def execute() -> dict:
+                fault_point("serve.handler.execute")
                 session = state.session_for(scenario)
                 result = session.run(names, benchmarks=benchmarks)
                 return {
@@ -412,7 +467,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                     "data": result.runner.to_dict(),
                 }
 
-            payload, coalesced = state.coalescer.run(key, execute)
+            payload, coalesced = self._execute_with_timeout(
+                lambda: state.coalescer.run(key, execute)
+            )
             return 200, {**payload, "coalesced": coalesced}
         finally:
             state.end_work()
@@ -481,6 +538,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             )
 
             def execute() -> dict:
+                fault_point("serve.handler.execute")
                 sessions = [state.session_for(scenario) for scenario in scenarios]
                 comparison = compare_scenarios(
                     scenarios,
@@ -498,7 +556,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                     "data": comparison.to_dict(),
                 }
 
-            payload, coalesced = state.coalescer.run(key, execute)
+            payload, coalesced = self._execute_with_timeout(
+                lambda: state.coalescer.run(key, execute)
+            )
             return 200, {**payload, "coalesced": coalesced}
         finally:
             state.end_work()

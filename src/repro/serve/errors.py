@@ -92,6 +92,38 @@ class Draining(ServeError):
         super().__init__(message)
 
 
+class Overloaded(ServeError):
+    """Backpressure: the in-flight work limit is reached (503 + Retry-After).
+
+    Carries ``retry_after`` (seconds) which the app layer renders as the
+    HTTP ``Retry-After`` header, so well-behaved clients back off instead
+    of piling onto a saturated worker pool.
+    """
+
+    status = 503
+    code = "overloaded"
+
+    def __init__(
+        self,
+        message: str = "server is at its in-flight work limit; retry shortly",
+        *,
+        retry_after: float = 1.0,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class RequestTimeout(ServeError):
+    """A handler exceeded the configured per-request timeout (504).
+
+    The abandoned work keeps running server-side and lands in the warm
+    caches, so a retried request usually completes instantly.
+    """
+
+    status = 504
+    code = "request_timeout"
+
+
 class InternalError(ServeError):
     """Opaque internal failure (500); details stay server-side."""
 

@@ -33,7 +33,7 @@ from repro.api.scenario import Scenario
 from repro.api.session import Session
 from repro.engine.context import SimulationContext
 from repro.serve.coalesce import Coalescer
-from repro.serve.errors import Draining
+from repro.serve.errors import Draining, Overloaded
 
 #: Default bound of the warm-session LRU.
 DEFAULT_MAX_SESSIONS = 8
@@ -58,6 +58,12 @@ class ServeConfig:
         drain_timeout: seconds shutdown waits for in-flight work before
             closing anyway.
         quiet: suppress per-request access logging.
+        max_inflight: admit at most this many concurrent work (POST)
+            requests; the rest get a 503 + ``Retry-After`` instead of
+            queueing unboundedly (``None``: unlimited, the old behavior).
+        request_timeout: seconds a run/compare handler may take before the
+            request is answered with a 504 (``None``: no timeout).
+        retry_after: ``Retry-After`` seconds suggested on backpressure 503s.
     """
 
     host: str = "127.0.0.1"
@@ -69,6 +75,9 @@ class ServeConfig:
     max_sessions: int = DEFAULT_MAX_SESSIONS
     drain_timeout: float = 30.0
     quiet: bool = False
+    max_inflight: Optional[int] = None
+    request_timeout: Optional[float] = None
+    retry_after: float = 1.0
 
     def __post_init__(self) -> None:
         if self.scenario is None:
@@ -76,6 +85,12 @@ class ServeConfig:
         if int(self.max_sessions) < 1:
             raise ValueError("max_sessions must be >= 1")
         self.max_sessions = int(self.max_sessions)
+        if self.max_inflight is not None:
+            if int(self.max_inflight) < 1:
+                raise ValueError("max_inflight must be >= 1")
+            self.max_inflight = int(self.max_inflight)
+        if self.request_timeout is not None and float(self.request_timeout) <= 0:
+            raise ValueError("request_timeout must be > 0")
 
 
 def _percentile(samples: list, q: float) -> float:
@@ -166,6 +181,9 @@ class ServerState:
         self._draining = threading.Event()
         self._work_done = threading.Condition()
         self._active_work = 0
+        #: Degradation counters (mutated under ``_work_done``).
+        self.requests_rejected_overload = 0
+        self.requests_timed_out = 0
 
     # ---------------------------------------------------------------- sessions
 
@@ -227,11 +245,30 @@ class ServerState:
             self._work_done.notify_all()
 
     def begin_work(self) -> None:
-        """Admit one work (POST) request, or raise :class:`Draining`."""
+        """Admit one work (POST) request.
+
+        Raises :class:`Draining` during shutdown and :class:`Overloaded`
+        (503 + ``Retry-After``) when ``max_inflight`` concurrent work
+        requests are already running -- bounded admission instead of an
+        unbounded thread pile-up.
+        """
         with self._work_done:
             if self._draining.is_set():
                 raise Draining()
+            limit = self.config.max_inflight
+            if limit is not None and self._active_work >= limit:
+                self.requests_rejected_overload += 1
+                raise Overloaded(
+                    f"server is at its in-flight work limit ({limit}); "
+                    f"retry shortly",
+                    retry_after=self.config.retry_after,
+                )
             self._active_work += 1
+
+    def record_timeout(self) -> None:
+        """Count one request answered with a 504 handler timeout."""
+        with self._work_done:
+            self.requests_timed_out += 1
 
     def end_work(self) -> None:
         with self._work_done:
@@ -281,17 +318,33 @@ class ServerState:
         snapshot["simulations_executed"] = self.simulations_executed
         snapshot["disk_cache"] = _cache_stats(self.disk_cache)
         snapshot["model_cache"] = _cache_stats(self.model_cache)
+        with self._work_done:
+            snapshot["degradation"] = {
+                "requests_rejected_overload": self.requests_rejected_overload,
+                "requests_timed_out": self.requests_timed_out,
+            }
         return snapshot
 
 
 def _cache_stats(cache) -> dict:
-    """Hit/miss counters of one persistent cache (``enabled: false`` when off)."""
+    """Hit/miss and degradation counters of one persistent cache."""
     if cache is None:
-        return {"enabled": False, "hits": 0, "misses": 0, "hit_rate": 0.0}
+        return {
+            "enabled": False,
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "corrupt_artifacts": 0,
+            "write_errors": 0,
+            "read_only": False,
+        }
     stats = cache.stats
     return {
         "enabled": True,
         "hits": stats.hits,
         "misses": stats.misses,
         "hit_rate": stats.hit_rate,
+        "corrupt_artifacts": stats.corrupt_artifacts,
+        "write_errors": stats.write_errors,
+        "read_only": bool(getattr(cache, "read_only", False)),
     }

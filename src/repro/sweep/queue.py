@@ -19,10 +19,23 @@ channel (the batch-job pattern of condor/slurm runners):
     ``leases/shard-NNNNN.lock``  an **atomic claim** (``O_CREAT | O_EXCL``)
                                naming the worker (pid + host).  At most one
                                worker can ever hold a shard; leases of dead
-                               local processes are reclaimed.
+                               local processes are reclaimed, and leases of
+                               *remote* workers whose heartbeat expired are
+                               reclaimed too.
     ``done/shard-NNNNN.json``  the shard's published outcomes, written to a
                                temp file and ``os.replace``-d so readers only
                                ever see complete shards.
+    ``heartbeats/<worker>.json``  touched periodically by every live worker;
+                               a lease whose holder's heartbeat is older
+                               than the TTL is provably abandoned even
+                               across hosts (a worker with *no* heartbeat
+                               file is honored -- never steal on silence).
+    ``attempts/shard-NNNNN.json``  per-shard failure count, updated under
+                               the shard's exclusive lease.
+    ``failed/shard-NNNNN.json``  the poison-shard marker: a shard that
+                               failed ``max_attempts`` times is retired so
+                               the sweep completes with an explicit
+                               partial-results report instead of hanging.
 
 Shards are deterministic, contiguous slices of the row-major grid
 (``spec.assignments()``), so any worker can recompute the whole partition
@@ -39,10 +52,11 @@ import json
 import os
 import socket
 import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Set, Union
 
 from repro.api.scenario import Scenario
 from repro.engine.diskcache import (
@@ -51,6 +65,8 @@ from repro.engine.diskcache import (
     canonical_digest,
     default_cache_dir,
 )
+from repro.faults import point as fault_point
+from repro.faults.retry import with_retries
 from repro.sweep.runner import (
     _NO_CACHE,
     BACKENDS,
@@ -70,21 +86,42 @@ QUEUE_SCHEMA_VERSION = 1
 #: little work, large enough that the vectorized backend sees whole planes.
 DEFAULT_SHARD_SIZE = 256
 
+#: Default executions a shard gets before it is retired as poisoned.
+DEFAULT_MAX_ATTEMPTS = 3
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
-    """Publish ``payload`` at ``path`` so readers never see partial JSON."""
+#: Default age (seconds) after which a worker's heartbeat counts as expired
+#: and its leases become reclaimable by other hosts.
+DEFAULT_HEARTBEAT_TTL = 60.0
+
+
+def _atomic_write_json(
+    path: Path, payload: dict, fault: Optional[str] = None
+) -> None:
+    """Publish ``payload`` at ``path`` so readers never see partial JSON.
+
+    Transient write errors are retried with deterministic backoff (each
+    attempt rebuilds its own temp file, so a retry can never publish a torn
+    predecessor).  ``fault`` names the registered fault point exercised
+    between write and publish.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
-    handle, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(handle, "w") as stream:
-            json.dump(payload, stream, sort_keys=True)
-        os.replace(tmp_name, str(path))
-    except BaseException:
+
+    def _publish() -> None:
+        handle, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            if fault is not None:
+                fault_point(fault, path=tmp_name)
+            os.replace(tmp_name, str(path))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    with_retries(_publish)
 
 
 def shard_ranges(grid_size: int, shard_size: int) -> List[tuple]:
@@ -148,13 +185,23 @@ class _ShardQueue:
         self.worker_id = worker_id
         self.leases = workdir / "leases"
         self.done = workdir / "done"
-        self.leases.mkdir(parents=True, exist_ok=True)
-        self.done.mkdir(parents=True, exist_ok=True)
+        self.heartbeats = workdir / "heartbeats"
+        self.failed = workdir / "failed"
+        self.attempts = workdir / "attempts"
+        for directory in (
+            self.leases, self.done, self.heartbeats, self.failed, self.attempts
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.heartbeat_ttl = float(
+            manifest.get("heartbeat_ttl", DEFAULT_HEARTBEAT_TTL)
+        )
         self.spec = SweepSpec.from_dict(manifest["sweep"])
         self.base = Scenario.from_dict(manifest["base_scenario"])
         self.benchmarks: Optional[List[str]] = manifest["benchmarks"]
         self.assignments = self.spec.assignments()
         self.ranges = shard_ranges(len(self.assignments), manifest["shard_size"])
+        #: shards whose done-file this worker already validated.
+        self._done_valid: Set[int] = set()
 
     # ----------------------------------------------------------- lease files
 
@@ -164,10 +211,47 @@ class _ShardQueue:
     def lease_path(self, shard: int) -> Path:
         return self.leases / f"{_shard_name(shard)}.lock"
 
+    def failed_path(self, shard: int) -> Path:
+        return self.failed / f"{_shard_name(shard)}.json"
+
+    def attempts_path(self, shard: int) -> Path:
+        return self.attempts / f"{_shard_name(shard)}.json"
+
+    def heartbeat_path(self, worker: str) -> Path:
+        return self.heartbeats / f"{worker}.json"
+
+    def beat(self) -> None:
+        """Refresh this worker's heartbeat (best-effort: a worker that
+        cannot heartbeat keeps working, it merely becomes reclaimable)."""
+        path = self.heartbeat_path(self.worker_id)
+        try:
+            fault_point("queue.heartbeat.write", path=path)
+            if path.exists():
+                os.utime(path, None)
+            else:
+                _atomic_write_json(
+                    path,
+                    {
+                        "worker": self.worker_id,
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                    },
+                )
+        except OSError:
+            pass
+
+    def clear_heartbeat(self) -> None:
+        """Drop this worker's heartbeat on clean exit."""
+        try:
+            os.unlink(str(self.heartbeat_path(self.worker_id)))
+        except OSError:
+            pass
+
     def try_claim(self, shard: int) -> bool:
-        """Atomically claim one shard; reclaim a dead local worker's lease."""
+        """Atomically claim one shard; reclaim provably abandoned leases."""
         for attempt in range(2):
             try:
+                fault_point("queue.lease.claim", path=self.lease_path(shard))
                 handle = os.open(
                     str(self.lease_path(shard)),
                     os.O_CREAT | os.O_EXCL | os.O_WRONLY,
@@ -180,41 +264,69 @@ class _ShardQueue:
                         return False
                     continue  # retry the claim once; another worker may race us
                 return False
-            with os.fdopen(handle, "w") as stream:
-                json.dump(
-                    {
-                        "worker": self.worker_id,
-                        "pid": os.getpid(),
-                        "host": socket.gethostname(),
-                    },
-                    stream,
-                )
+            except OSError:
+                # Transient claim failure (permissions, I/O): skip the
+                # shard; a later pass or another worker picks it up.
+                return False
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    json.dump(
+                        {
+                            "worker": self.worker_id,
+                            "pid": os.getpid(),
+                            "host": socket.gethostname(),
+                        },
+                        stream,
+                    )
+            except OSError:
+                # A lease we cannot fill would read as corrupt (honored
+                # forever until the heartbeat TTL); drop it instead.
+                self.release(shard)
+                return False
             return True
         return False
 
     def _lease_is_stale(self, shard: int) -> bool:
-        """A lease is stale only for a provably dead *local* process.
+        """True when a lease's holder is provably gone.
 
-        Remote holders and unreadable leases are honored: wrongly stealing a
-        live worker's shard would double-execute it, while honoring a truly
-        dead remote lease merely leaves one shard for ``--resume``.
+        Two proofs are accepted: a *local* pid that no longer exists, or a
+        holder (any host) whose heartbeat file is older than the TTL.
+        Unreadable leases and holders without a heartbeat are honored --
+        wrongly stealing a live worker's shard would double-execute it,
+        while honoring a truly dead lease merely leaves one shard for
+        ``--resume`` or the TTL to expire.
         """
         try:
             with open(self.lease_path(shard)) as stream:
                 lease = json.load(stream)
             pid = int(lease["pid"])
             host = lease["host"]
+            holder = str(lease.get("worker", ""))
         except (OSError, ValueError, KeyError, TypeError):
             return False  # mid-write or corrupt: treat as live
-        if host != socket.gethostname() or pid == os.getpid():
+        if pid == os.getpid() and host == socket.gethostname():
+            return False
+        if host == socket.gethostname():
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except PermissionError:
+                pass  # pid exists but is not ours; fall back to the heartbeat
+            else:
+                return False  # provably alive locally: never steal
+        return self._heartbeat_expired(holder)
+
+    def _heartbeat_expired(self, worker: str) -> bool:
+        """True when ``worker``'s heartbeat exists and is older than the TTL."""
+        if not worker:
             return False
         try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            return True
-        except PermissionError:
-            return False  # exists, owned by someone else
-        return False
+            mtime = os.stat(self.heartbeat_path(worker)).st_mtime
+        except OSError:
+            return False  # no heartbeat: stay conservative, honor the lease
+        age = time.time() - mtime  # repro: allow(RPR-D001) -- lease-liveness ages are coordination metadata, never report data
+        return age > self.heartbeat_ttl
 
     def release(self, shard: int) -> None:
         try:
@@ -222,10 +334,67 @@ class _ShardQueue:
         except OSError:
             pass
 
+    # -------------------------------------------------- poison-shard records
+
+    def attempt_count(self, shard: int) -> int:
+        """Failed executions recorded so far for one shard."""
+        try:
+            with open(self.attempts_path(shard)) as stream:
+                return int(json.load(stream).get("attempts", 0))
+        except (OSError, ValueError, TypeError, AttributeError):
+            return 0
+
+    def record_attempt(self, shard: int, error: BaseException) -> int:
+        """Persist one failed execution (caller holds the lease); new total."""
+        attempts = self.attempt_count(shard) + 1
+        _atomic_write_json(
+            self.attempts_path(shard),
+            {
+                "shard": shard,
+                "attempts": attempts,
+                "error": _describe_error(error),
+                "worker": self.worker_id,
+            },
+        )
+        return attempts
+
+    def mark_failed(self, shard: int, error: BaseException, attempts: int) -> None:
+        """Retire a poison shard so the sweep completes without it."""
+        start, stop = self.ranges[shard]
+        _atomic_write_json(
+            self.failed_path(shard),
+            {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "shard": shard,
+                "start": start,
+                "stop": stop,
+                "worker": self.worker_id,
+                "attempts": attempts,
+                "error": _describe_error(error),
+            },
+        )
+
+    def settled(self, shard: int) -> bool:
+        """True when a shard needs no more work (valid done-file, or failed).
+
+        A done-file that exists but does not parse (real corruption -- the
+        publish itself is atomic) is dropped so the shard re-executes.
+        """
+        if shard in self._done_valid:
+            return True
+        if self.failed_path(shard).exists():
+            return True
+        payload = _load_done(self.done_path(shard))
+        if payload is None:
+            return False
+        self._done_valid.add(shard)
+        return True
+
     # ------------------------------------------------------------- execution
 
     def execute(self, shard: int, backend: str, verify: str) -> dict:
         """Evaluate one shard's grid slice and publish its done-file."""
+        fault_point("queue.shard.execute")
         start, stop = self.ranges[shard]
         chunk = self.assignments[start:stop]
         manifest = self.manifest
@@ -275,8 +444,40 @@ class _ShardQueue:
             "worker": self.worker_id,
             "outcomes": outcomes,
         }
-        _atomic_write_json(self.done_path(shard), payload)
+        _atomic_write_json(self.done_path(shard), payload, fault="queue.done.publish")
         return payload
+
+
+def _describe_error(error: BaseException) -> str:
+    """One-line, JSON-safe description of a shard failure."""
+    return f"{type(error).__name__}: {error}"
+
+
+def _load_done(path: Path) -> Optional[dict]:
+    """A published done-file's payload, or ``None`` (missing or corrupt).
+
+    Done-files are published atomically, so a file that exists but does not
+    parse -- or parses to the wrong shape -- is genuine corruption (or an
+    injected torn write).  It is unlinked so the shard simply re-executes;
+    shard results are re-creatable and the simulation cache makes the redo
+    nearly free.
+    """
+    try:
+        with open(path) as stream:
+            payload = json.load(stream)
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("outcomes"), list
+        ):
+            raise ValueError("done-file payload shape mismatch")
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError):
+        try:
+            os.unlink(str(path))
+        except OSError:
+            pass
+        return None
+    return payload
 
 
 def run_worker(
@@ -286,6 +487,7 @@ def run_worker(
     max_shards: Optional[int] = None,
     backend: str = "auto",
     verify: str = "sample",
+    max_attempts: Optional[int] = None,
 ) -> dict:
     """Drain the queue at ``workdir``: claim shards until none remain.
 
@@ -294,6 +496,13 @@ def run_worker(
     directory (including from other hosts sharing the filesystem) and they
     partition the grid among themselves through lease files alone.
 
+    While draining, a background thread refreshes the worker's heartbeat
+    file so that, should this process die (any host, any signal), its
+    leases become reclaimable once the heartbeat TTL expires.  A shard
+    whose execution raises is released and retried; after ``max_attempts``
+    recorded failures it is retired as *failed* (poison-shard accounting)
+    so the queue always drains.
+
     Args:
         workdir: queue directory holding ``manifest.json``.
         worker_id: label recorded in leases/done-files (host-pid by default).
@@ -301,10 +510,12 @@ def run_worker(
             mid-flight kill in tests; ``None`` drains the queue).
         backend: one of :data:`BACKENDS`.
         verify: vectorized equivalence-gate mode (:data:`VERIFY_MODES`).
+        max_attempts: executions a shard gets before it is retired
+            (``None``: the manifest's value, or :data:`DEFAULT_MAX_ATTEMPTS`).
 
     Returns:
         A report dict: ``worker_id``, ``shards_executed``, ``simulations``,
-        ``disk_hits``, ``disk_misses``.
+        ``disk_hits``, ``disk_misses``, ``shard_failures``.
     """
     workdir = Path(workdir)
     if backend not in BACKENDS:
@@ -314,48 +525,89 @@ def run_worker(
     manifest = load_manifest(workdir)
     if worker_id is None:
         worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    if max_attempts is None:
+        max_attempts = int(manifest.get("max_attempts", DEFAULT_MAX_ATTEMPTS))
+    max_attempts = max(1, int(max_attempts))
     queue = _ShardQueue(workdir, manifest, worker_id)
+    if backend == "vectorized":
+        # A config error would fail every shard identically; fail fast
+        # instead of burning the whole grid's attempt budget on it.
+        blocker = vectorization_blocker(queue.spec, queue.base)
+        if blocker is not None:
+            raise ValueError(f"sweep cannot be vectorized: {blocker}")
     report = {
         "worker_id": worker_id,
         "shards_executed": 0,
         "simulations": 0,
         "disk_hits": 0,
         "disk_misses": 0,
+        "shard_failures": 0,
     }
-    while True:
-        claimed_this_pass = 0
-        for shard in range(len(queue.ranges)):
-            if max_shards is not None and report["shards_executed"] >= max_shards:
-                return report
-            if queue.done_path(shard).exists():
-                continue
-            if not queue.try_claim(shard):
-                continue  # done or leased by a live worker
-            claimed_this_pass += 1
-            try:
-                # Re-check under the lease: another worker may have finished
-                # the shard between our existence check and the claim.
-                if not queue.done_path(shard).exists():
-                    payload = queue.execute(shard, backend, verify)
+    queue.beat()
+    stop_beating = threading.Event()
+    interval = max(0.05, queue.heartbeat_ttl / 5.0)
+    beater = threading.Thread(
+        target=_heartbeat_loop,
+        args=(queue, stop_beating, interval),
+        name=f"repro-heartbeat-{worker_id}",
+        daemon=True,
+    )
+    beater.start()
+    try:
+        while True:
+            claimed_this_pass = 0
+            for shard in range(len(queue.ranges)):
+                if max_shards is not None and report["shards_executed"] >= max_shards:
+                    return report
+                if queue.settled(shard):
+                    continue
+                if not queue.try_claim(shard):
+                    continue  # done or leased by a live worker
+                claimed_this_pass += 1
+                try:
+                    # Re-check under the lease: another worker may have
+                    # settled the shard between our check and the claim.
+                    if queue.settled(shard):
+                        continue
+                    try:
+                        payload = queue.execute(shard, backend, verify)
+                    except Exception as error:  # repro: allow(RPR-H001) -- a poison shard must not kill the worker; the failure is recorded, bounded by max_attempts, and surfaced in the partial-results report
+                        report["shard_failures"] += 1
+                        attempts = queue.record_attempt(shard, error)
+                        if attempts >= max_attempts:
+                            queue.mark_failed(shard, error, attempts)
+                        continue
                     report["shards_executed"] += 1
                     for outcome in payload["outcomes"]:
                         report["simulations"] += outcome["simulations"]
                         report["disk_hits"] += outcome["disk_hits"]
                         report["disk_misses"] += outcome["disk_misses"]
-            finally:
-                queue.release(shard)
-        pending = [
-            shard
-            for shard in range(len(queue.ranges))
-            if not queue.done_path(shard).exists()
-        ]
-        if not pending:
-            return report
-        if claimed_this_pass == 0:
-            # Everything left is leased by live workers; let them finish.
-            # The merger re-checks completeness (and reclaims stale leases).
-            return report
-        time.sleep(0)  # yield between passes when sharing a host
+                finally:
+                    queue.release(shard)
+            pending = [
+                shard
+                for shard in range(len(queue.ranges))
+                if not queue.settled(shard)
+            ]
+            if not pending:
+                return report
+            if claimed_this_pass == 0:
+                # Everything left is leased by live workers; let them finish.
+                # The merger re-checks completeness (and reclaims stale leases).
+                return report
+            time.sleep(0)  # yield between passes when sharing a host
+    finally:
+        stop_beating.set()
+        beater.join(timeout=1.0)
+        queue.clear_heartbeat()
+
+
+def _heartbeat_loop(
+    queue: _ShardQueue, stop: threading.Event, interval: float
+) -> None:
+    """Refresh the worker heartbeat until told to stop."""
+    while not stop.wait(interval):
+        queue.beat()
 
 
 def _worker_entry(payload: dict) -> dict:
@@ -366,6 +618,7 @@ def _worker_entry(payload: dict) -> dict:
         max_shards=payload["max_shards"],
         backend=payload["backend"],
         verify=payload["verify"],
+        max_attempts=payload.get("max_attempts"),
     )
 
 
@@ -409,6 +662,8 @@ def _build_manifest(
     cache_dir: Optional[str],
     use_cache: bool,
     cache_version: int,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
 ) -> dict:
     manifest = {
         "schema": QUEUE_SCHEMA_VERSION,
@@ -420,6 +675,10 @@ def _build_manifest(
         "cache_dir": cache_dir,
         "use_cache": bool(use_cache),
         "cache_version": int(cache_version),
+        # Robustness knobs: deliberately excluded from the digest, so the
+        # same sweep resumes into the same workdir whatever they are set to.
+        "max_attempts": max(1, int(max_attempts)),
+        "heartbeat_ttl": float(heartbeat_ttl),
     }
     manifest["num_shards"] = len(shard_ranges(manifest["grid_size"], shard_size))
     manifest["digest"] = _queue_digest(manifest)
@@ -439,6 +698,8 @@ def run_queued_sweep(
     cache_version: int = CACHE_SCHEMA_VERSION,
     backend: str = "auto",
     verify: str = "sample",
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
 ) -> SweepResult:
     """Execute a sweep through the sharded work queue and merge the result.
 
@@ -447,6 +708,13 @@ def run_queued_sweep(
     platform lacks process pools), runs one final in-process drain to pick up
     shards orphaned by killed workers, then merges every done-file into a
     :class:`~repro.sweep.runner.SweepResult`.
+
+    A shard that keeps raising is retired after ``max_attempts`` recorded
+    failures and reported in the result's ``failed_shards`` (an explicit
+    partial-results section) instead of hanging the sweep; ``resume=True``
+    clears previous failed/attempt records so cleared faults get a fresh
+    budget.  ``heartbeat_ttl`` bounds how long a worker killed on another
+    host can strand its leases.
 
     The result's statistics count **this run only**: a resumed sweep whose
     shards were all published before reports zero executed simulations.
@@ -476,6 +744,8 @@ def run_queued_sweep(
         cache_dir=runner.cache_dir,
         use_cache=runner.use_cache,
         cache_version=runner.cache_version,
+        max_attempts=max_attempts,
+        heartbeat_ttl=heartbeat_ttl,
     )
     if workdir is None:
         workdir = queue_workdir(
@@ -499,11 +769,16 @@ def run_queued_sweep(
                     f"{manifest['digest'][:16]})"
                 )
             _clear_queue_state(workdir)
-            _atomic_write_json(manifest_path, manifest)
         elif not resume:
             _clear_queue_state(workdir)
-    else:
-        _atomic_write_json(manifest_path, manifest)
+        else:
+            # Resume: keep done-files, but give previously failed shards a
+            # fresh attempt budget -- the operator presumably cleared the
+            # fault before retrying.
+            _clear_queue_state(workdir, only=("failed", "attempts"))
+    # (Re)publish the manifest: same digest, but the robustness knobs
+    # (max_attempts, heartbeat_ttl) track the latest invocation.
+    _atomic_write_json(manifest_path, manifest)
     (workdir / "leases").mkdir(parents=True, exist_ok=True)
     (workdir / "done").mkdir(parents=True, exist_ok=True)
 
@@ -514,6 +789,7 @@ def run_queued_sweep(
             "max_shards": None,
             "backend": backend,
             "verify": verify,
+            "max_attempts": manifest["max_attempts"],
         }
         for index in range(workers)
     ]
@@ -521,7 +797,13 @@ def run_queued_sweep(
     # Final in-process drain: reclaims stale leases of killed workers and
     # executes anything still missing, so the merge below cannot starve.
     reports.append(
-        run_worker(workdir, "merger", backend=backend, verify=verify)
+        run_worker(
+            workdir,
+            "merger",
+            backend=backend,
+            verify=verify,
+            max_attempts=manifest["max_attempts"],
+        )
     )
 
     result = _merge(workdir, spec, base, manifest)
@@ -535,9 +817,14 @@ def run_queued_sweep(
     return result
 
 
-def _clear_queue_state(workdir: Path) -> None:
-    """Drop leases and done-files (fresh, non-resume run)."""
-    for child in ("leases", "done"):
+def _clear_queue_state(
+    workdir: Path,
+    only: Optional[tuple] = None,
+) -> None:
+    """Drop queue coordination files (fresh run), or just the ``only`` dirs."""
+    for child in ("leases", "done", "heartbeats", "failed", "attempts"):
+        if only is not None and child not in only:
+            continue
         directory = workdir / child
         if not directory.is_dir():
             continue
@@ -561,24 +848,35 @@ def _run_workers(payloads: List[dict]):
 
 
 def _merge(workdir: Path, spec: SweepSpec, base: Scenario, manifest: dict) -> SweepResult:
-    """Assemble every done-file into an ordered :class:`SweepResult`."""
+    """Assemble every done-file into an ordered :class:`SweepResult`.
+
+    Shards retired as *failed* (poison shards) contribute no points; they
+    are collected into the result's ``failed_shards`` so the report states
+    exactly which grid slices are missing and why.  A shard that is
+    neither done nor failed still raises -- that sweep genuinely did not
+    finish and ``--resume`` will.
+    """
     assignments = spec.assignments()
     ranges = shard_ranges(len(assignments), manifest["shard_size"])
     outcomes: List[Optional[dict]] = [None] * len(assignments)
+    failed: List[dict] = []
     for shard, (start, stop) in enumerate(ranges):
-        path = workdir / "done" / f"{_shard_name(shard)}.json"
-        try:
-            with open(path) as stream:
-                payload = json.load(stream)
-        except FileNotFoundError:
+        payload = _load_done(workdir / "done" / f"{_shard_name(shard)}.json")
+        if payload is None:
+            failure = _load_failed(workdir / "failed" / f"{_shard_name(shard)}.json")
+            if failure is not None:
+                failed.append(failure)
+                continue
             raise RuntimeError(
                 f"sweep incomplete: shard {shard} ({start}:{stop}) has no "
                 f"published result in {workdir}; re-run with --resume"
-            ) from None
+            )
         for offset, outcome in enumerate(payload["outcomes"]):
             outcomes[start + offset] = outcome
     points: List[SweepPoint] = []
     for index, (assignment, outcome) in enumerate(zip(assignments, outcomes)):
+        if outcome is None:
+            continue  # a failed shard's slice: reported, not fabricated
         label = ",".join(
             f"{key}={_format_value(value)}" for key, value in assignment.items()
         )
@@ -589,4 +887,16 @@ def _merge(workdir: Path, spec: SweepSpec, base: Scenario, manifest: dict) -> Sw
             cells=[SweepCell(**cell) for cell in outcome["cells"]],
         )
         points.append(point)
-    return SweepResult(spec=spec, base=base, points=points)
+    return SweepResult(spec=spec, base=base, points=points, failed_shards=failed)
+
+
+def _load_failed(path: Path) -> Optional[dict]:
+    """A failed-shard marker's payload, or ``None`` (missing/unreadable)."""
+    try:
+        with open(path) as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "shard" not in payload:
+        return None
+    return payload

@@ -39,6 +39,7 @@ from repro.api.scenario import Scenario
 from repro.core.accelerator import DesignPoint
 from repro.engine.context import CacheStats, SimulationContext, default_worker_count
 from repro.engine.diskcache import CACHE_SCHEMA_VERSION, SimulationCache
+from repro.faults import point as fault_point
 from repro.sweep.spec import SweepSpec, _format_value
 from repro.sweep.vectorized import VERIFY_MODES, evaluate_grid, vectorization_blocker
 
@@ -122,6 +123,10 @@ class SweepResult:
     elapsed_seconds: float = 0.0
     executor_used: str = "serial"
     jobs: int = 1
+    #: Poison shards the queue retired (``{shard, start, stop, attempts,
+    #: error, ...}`` records); empty for complete sweeps, in which case the
+    #: report and dict renderings are byte-identical to pre-fault builds.
+    failed_shards: List[dict] = field(default_factory=list)
 
     @property
     def benchmarks(self) -> List[str]:
@@ -170,11 +175,32 @@ class SweepResult:
             "",
             summary,
         ]
+        if self.failed_shards:
+            lines.extend(["", self._format_failed_shards()])
         return "\n".join(lines)
+
+    def _format_failed_shards(self) -> str:
+        """The partial-results section (only rendered when shards failed)."""
+        count = len(self.failed_shards)
+        section = [
+            f"PARTIAL RESULTS: {count} shard(s) failed permanently and were "
+            f"excluded from the tables above:"
+        ]
+        for info in self.failed_shards:
+            section.append(
+                f"  shard {info.get('shard')} "
+                f"(grid points {info.get('start')}:{info.get('stop')}): "
+                f"{info.get('error')} after {info.get('attempts')} attempt(s)"
+            )
+        section.append(
+            "Fix the cause and re-run with --resume to fill in the missing "
+            "points (completed shards are never re-executed)."
+        )
+        return "\n".join(section)
 
     def to_dict(self) -> dict:
         """Structured (JSON-ready) grid output -- stable across warm re-runs."""
-        return {
+        payload = {
             "spec": self.spec.to_dict(),
             "base_scenario": self.base.to_dict(),
             "points": [
@@ -198,15 +224,26 @@ class SweepResult:
                 for point in self.points
             ],
         }
+        if self.failed_shards:
+            # Only present for partial sweeps: complete sweeps keep the
+            # exact pre-fault dict shape (byte-identical golden artifacts).
+            payload["failed_shards"] = [dict(info) for info in self.failed_shards]
+        return payload
 
     def describe_stats(self) -> str:
         """One-line execution summary (cache hits prove warm runs are free)."""
         cells = sum(len(point.cells) for point in self.points)
+        failed = (
+            f", {len(self.failed_shards)} failed shard(s)"
+            if self.failed_shards
+            else ""
+        )
         return (
             f"sweep {self.spec.name!r}: {len(self.points)} points, {cells} cells, "
             f"{self.simulations_executed} simulations executed, "
             f"disk cache: {self.cache.hits} hits, {self.cache.misses} misses, "
             f"{self.elapsed_seconds:.2f}s ({self.executor_used}, jobs={self.jobs})"
+            f"{failed}"
         )
 
 
@@ -435,6 +472,7 @@ def _execute(payloads: List[dict], mode: str, jobs: int):
 
 def _execute_point(payload: Mapping[str, object]) -> dict:
     """Execute one grid point; plain dicts in, plain dicts out (picklable)."""
+    fault_point("sweep.point.execute")
     scenario = Scenario.from_dict(payload["scenario"])  # type: ignore[arg-type]
     cache_dir = payload["cache_dir"]
     cache = (

@@ -363,6 +363,94 @@ def test_t002_only_applies_to_cache_modules(tmp_path):
     assert findings == []
 
 
+# ------------------------------------------------------------------- RPR-T003
+
+
+def test_t003_flags_retry_less_replace_in_hardened_module(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/diskcache.py",
+        """
+        import os
+
+        def publish(tmp, path):
+            os.replace(tmp, path)
+        """,
+        select=["RPR-T003"],
+    )
+    assert _ids(findings) == ["RPR-T003"]
+    assert "with_retries" in findings[0].message
+
+
+def test_t003_publish_under_with_retries_is_fine(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/sweep/queue.py",
+        """
+        import os
+
+        from repro.faults.retry import with_retries
+
+        def publish(tmp, path, data):
+            def _publish():
+                with open(tmp, "w") as handle:
+                    handle.write(data)
+                os.replace(tmp, path)
+
+            with_retries(_publish)
+        """,
+        select=["RPR-T003"],
+    )
+    assert findings == []
+
+
+def test_t003_exclusive_claim_is_exempt(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/sweep/queue.py",
+        """
+        import os
+
+        def claim(path, payload):
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            with os.fdopen(handle, "w") as stream:
+                stream.write(payload)
+        """,
+        select=["RPR-T003"],
+    )
+    assert findings == []
+
+
+def test_t003_only_applies_to_hardened_modules(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/reports.py",
+        """
+        import os
+
+        def publish(tmp, path):
+            os.replace(tmp, path)
+        """,
+        select=["RPR-T003"],
+    )
+    assert findings == []
+
+
+def test_t003_suppression_is_honored(tmp_path):
+    findings = _check(
+        tmp_path,
+        "repro/engine/diskcache.py",
+        f"""
+        import os
+
+        def publish(tmp, path):
+            os.replace(tmp, path)  {ALLOW}(RPR-T003)
+        """,
+        select=["RPR-T003"],
+    )
+    assert findings == []
+
+
 # ------------------------------------------------------------------- RPR-C001
 
 

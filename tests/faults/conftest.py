@@ -1,0 +1,32 @@
+"""Shared isolation for the fault-injection suite.
+
+Every test runs with a clean slate: no armed plan (explicit or from
+``REPRO_FAULTS``), the default sleep hook, and forgotten one-shot cache
+warnings -- so the order tests run in can never leak a fault into a
+neighbor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine.diskcache import _reset_warnings
+from repro.faults import FAULTS_ENV, deactivate
+from repro.faults.inject import set_sleep
+
+
+@pytest.fixture(autouse=True)
+def fault_isolation(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    deactivate()
+    _reset_warnings()
+    yield
+    # Direct removal, not monkeypatch: tests exporting a plan set the
+    # variable outside monkeypatch's bookkeeping.
+    os.environ.pop(FAULTS_ENV, None)
+    deactivate()
+    set_sleep(time.sleep)
+    _reset_warnings()

@@ -1,0 +1,91 @@
+"""Chaos tests: SIGKILL the sweep at every fault point, then ``--resume``.
+
+Each case runs the real CLI in a subprocess with a ``REPRO_FAULTS`` crash
+rule armed at one fault point, verifies the process dies by SIGKILL
+mid-sweep, and then resumes without faults.  The resumed run must exit
+cleanly with a report byte-identical to an undisturbed reference run, and
+a further resume must re-execute zero simulations.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+#: Every fault point a single-worker queued scalar sweep passes through.
+CRASH_POINTS = (
+    "sweep.point.execute",
+    "queue.shard.execute",
+    "queue.done.publish",
+    "diskcache.flush.replace",
+)
+
+
+def _sweep_cmd(workdir, cache_dir):
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "sweep",
+        "--axis",
+        "hmc.pe_frequency_mhz=312.5,625",
+        "--benchmarks",
+        "Caps-MN1",
+        "--workers",
+        "1",
+        "--shard-size",
+        "1",
+        "--backend",
+        "scalar",
+        "--workdir",
+        str(workdir),
+        "--cache-dir",
+        str(cache_dir),
+    ]
+
+
+def _run(cmd, *, faults=None):
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    if faults is not None:
+        env["REPRO_FAULTS"] = json.dumps(faults)
+    return subprocess.run(
+        cmd, env=env, capture_output=True, text=True, timeout=120
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_stdout(tmp_path_factory):
+    """Stdout of one undisturbed run; the yardstick for byte-identity."""
+    root = tmp_path_factory.mktemp("chaos-reference")
+    done = _run(_sweep_cmd(root / "wd", root / "cache"))
+    assert done.returncode == 0, done.stderr
+    return done.stdout
+
+
+@pytest.mark.parametrize("crash_point", CRASH_POINTS)
+def test_kill9_at_fault_point_then_resume_is_byte_identical(
+    tmp_path, crash_point, reference_stdout
+):
+    workdir = tmp_path / "wd"
+    cache_dir = tmp_path / "cache"
+    plan = {"rules": [{"point": crash_point, "action": "crash"}]}
+
+    killed = _run(_sweep_cmd(workdir, cache_dir), faults=plan)
+    assert killed.returncode == -signal.SIGKILL
+
+    # Resume with no faults armed: the sweep completes and the report is
+    # byte-identical to a run that was never interrupted.
+    resumed = _run(_sweep_cmd(workdir, cache_dir) + ["--resume"])
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == reference_stdout
+    assert "failed" not in resumed.stderr
+
+    # A further resume finds every shard settled: nothing re-executes.
+    settled = _run(_sweep_cmd(workdir, cache_dir) + ["--resume"])
+    assert settled.returncode == 0, settled.stderr
+    assert settled.stdout == reference_stdout
+    assert "0 simulations executed" in settled.stderr

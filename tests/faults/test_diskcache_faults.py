@@ -1,0 +1,191 @@
+"""Fault injection against the persistent caches: degrade, never corrupt.
+
+Arms every ``diskcache.*`` and ``modelcache.*`` fault point and asserts the
+documented degradation story: transient errors are retried away, fatal disk
+errors flip the cache to read-only with one warning and a counter, and torn
+artifacts are quarantined and recomputed -- never re-read, never raised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.scenario import Scenario
+from repro.core.accelerator import DesignPoint
+from repro.engine.context import SimulationContext
+from repro.engine.diskcache import SimulationCache, TrainedModelCache
+from repro.faults import FaultPlan, FaultRule, fired_counts, injected
+from repro.workloads.benchmarks import get_benchmark
+
+
+@pytest.fixture
+def scenario():
+    return Scenario.default()
+
+
+@pytest.fixture
+def workload():
+    return get_benchmark("Caps-MN1")
+
+
+@pytest.fixture
+def result(scenario, workload):
+    context = SimulationContext(max_workers=1, scenario=scenario)
+    return context.routing(workload.name, DesignPoint.PIM_CAPSNET)
+
+
+def _plan(*rules):
+    return FaultPlan(rules=tuple(rules))
+
+
+def _filled_cache(tmp_path, scenario, workload, result):
+    cache = SimulationCache(tmp_path / "cache")
+    assert cache.put(scenario, workload, "routing", DesignPoint.PIM_CAPSNET, result)
+    return cache
+
+
+# -------------------------------------------------------- simulation cache
+
+
+def test_shard_read_error_is_a_plain_miss(tmp_path, scenario, workload, result):
+    cache = _filled_cache(tmp_path, scenario, workload, result)
+    assert cache.flush() == 1
+
+    rule = FaultRule(point="diskcache.shard.read", error="EIO", times=None)
+    with injected(_plan(rule)):
+        cold = SimulationCache(tmp_path / "cache")
+        assert (
+            cold.get(scenario, workload, "routing", DesignPoint.PIM_CAPSNET) is None
+        )
+    assert cold.stats.misses == 1
+    assert cold.stats.corrupt_artifacts == 0  # unreadable != corrupt
+
+
+def test_transient_flush_error_is_retried_away(tmp_path, scenario, workload, result):
+    cache = _filled_cache(tmp_path, scenario, workload, result)
+    rule = FaultRule(point="diskcache.flush.replace", error="EIO", times=2)
+    with injected(_plan(rule)):
+        assert cache.flush() == 1
+        assert fired_counts() == {"diskcache.flush.replace": 2}
+    assert cache.stats.write_errors == 0
+    assert not cache.read_only
+    warm = SimulationCache(tmp_path / "cache")
+    assert warm.get(scenario, workload, "routing", DesignPoint.PIM_CAPSNET) == result
+
+
+def test_fatal_flush_error_degrades_to_read_only(
+    tmp_path, scenario, workload, result, capsys
+):
+    cache = _filled_cache(tmp_path, scenario, workload, result)
+    rule = FaultRule(point="diskcache.flush.write", error="ENOSPC", times=None)
+    with injected(_plan(rule)):
+        assert cache.flush() == 0
+        assert cache.flush() == 0  # read-only now: flushes are no-ops
+    assert cache.read_only
+    assert cache.stats.write_errors == 1
+    # Buffered entries still serve in-process gets.
+    assert cache.get(scenario, workload, "routing", DesignPoint.PIM_CAPSNET) == result
+    warnings = [
+        line
+        for line in capsys.readouterr().err.splitlines()
+        if "degraded to read-only" in line
+    ]
+    assert len(warnings) == 1  # one-shot, not one line per shard/flush
+
+
+def test_torn_shard_is_quarantined_and_recomputed(
+    tmp_path, scenario, workload, result, capsys
+):
+    cache = _filled_cache(tmp_path, scenario, workload, result)
+    # Tear the temp file right before the atomic publish: the shard that
+    # lands on disk is truncated JSON.
+    rule = FaultRule(
+        point="diskcache.flush.write", action="truncate", keep_bytes=20
+    )
+    with injected(_plan(rule)):
+        assert cache.flush() == 1
+
+    cold = SimulationCache(tmp_path / "cache")
+    assert cold.get(scenario, workload, "routing", DesignPoint.PIM_CAPSNET) is None
+    assert cold.stats.corrupt_artifacts == 1
+    corrupt = list((tmp_path / "cache" / "corrupt").iterdir())
+    assert len(corrupt) == 1
+    assert "corrupt cache shard" in capsys.readouterr().err
+
+    # Recovery: recompute, re-publish, read back cleanly.
+    assert cold.put(scenario, workload, "routing", DesignPoint.PIM_CAPSNET, result)
+    assert cold.flush() == 1
+    warm = SimulationCache(tmp_path / "cache")
+    assert warm.get(scenario, workload, "routing", DesignPoint.PIM_CAPSNET) == result
+    assert warm.stats.corrupt_artifacts == 0
+
+
+# ----------------------------------------------------------- model cache
+
+
+def _model_parts():
+    key = {"pipeline": "table5", "seed": 1234}
+    state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3)}
+    accuracies = {"origin": 0.995, "approx": 0.991}
+    return key, state, accuracies
+
+
+def test_model_read_error_is_a_plain_miss(tmp_path):
+    key, state, accuracies = _model_parts()
+    cache = TrainedModelCache(tmp_path / "cache")
+    assert cache.put(key, state, accuracies)
+    rule = FaultRule(point="modelcache.read", error="EIO")
+    with injected(_plan(rule)):
+        assert cache.get(key) is None
+    assert cache.stats.misses == 1
+    assert cache.stats.corrupt_artifacts == 0
+    artifact = cache.get(key)  # fault window spent: clean read works
+    assert artifact is not None
+    assert artifact.accuracies == accuracies
+
+
+def test_torn_model_artifact_is_quarantined(tmp_path, capsys):
+    key, state, accuracies = _model_parts()
+    cache = TrainedModelCache(tmp_path / "cache")
+    # Tear the temp file before the publish: a truncated .npz lands on disk.
+    rule = FaultRule(point="modelcache.write", action="truncate", keep_bytes=64)
+    with injected(_plan(rule)):
+        assert cache.put(key, state, accuracies)
+
+    cold = TrainedModelCache(tmp_path / "cache")
+    assert cold.get(key) is None
+    assert cold.stats.corrupt_artifacts == 1
+    corrupt = list((tmp_path / "cache" / "corrupt").iterdir())
+    assert len(corrupt) == 1
+    assert "corrupt trained-model artifact" in capsys.readouterr().err
+
+    # The retrain-and-rewrite path recovers.
+    assert cold.put(key, state, accuracies)
+    warm = TrainedModelCache(tmp_path / "cache")
+    assert warm.get(key).accuracies == accuracies
+
+
+def test_transient_model_publish_error_is_retried(tmp_path):
+    key, state, accuracies = _model_parts()
+    cache = TrainedModelCache(tmp_path / "cache")
+    rule = FaultRule(point="modelcache.replace", error="EIO", times=1)
+    with injected(_plan(rule)):
+        assert cache.put(key, state, accuracies)
+    assert cache.stats.write_errors == 0
+    assert cache.get(key).accuracies == accuracies
+
+
+def test_fatal_model_publish_error_degrades_to_read_only(tmp_path, capsys):
+    key, state, accuracies = _model_parts()
+    cache = TrainedModelCache(tmp_path / "cache")
+    rule = FaultRule(point="modelcache.replace", error="EACCES", times=None)
+    with injected(_plan(rule)):
+        assert not cache.put(key, state, accuracies)
+        assert not cache.put(key, state, accuracies)  # read-only no-op
+    assert cache.read_only
+    assert cache.stats.write_errors == 1  # the second put never hit the disk
+    warnings = [
+        line
+        for line in capsys.readouterr().err.splitlines()
+        if "degraded to read-only" in line
+    ]
+    assert len(warnings) == 1

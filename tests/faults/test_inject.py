@@ -1,0 +1,150 @@
+"""Tests for :mod:`repro.faults.inject`: arming, counting, firing."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultRule,
+    activate,
+    active_plan,
+    deactivate,
+    fired_counts,
+    injected,
+    point,
+)
+from repro.faults.inject import set_sleep
+
+
+def _plan(*rules):
+    return FaultPlan(rules=tuple(rules))
+
+
+def test_disarmed_point_is_a_no_op():
+    point("diskcache.shard.read")
+    assert fired_counts() == {}
+
+
+def test_unregistered_point_name_raises_even_disarmed():
+    with pytest.raises(ValueError, match="unregistered fault point"):
+        point("diskcache.typo")
+
+
+def test_error_action_raises_the_real_oserror_subclass():
+    with injected(_plan(FaultRule(point="modelcache.write", error="EACCES"))):
+        with pytest.raises(PermissionError) as caught:
+            point("modelcache.write")
+    assert caught.value.errno == errno.EACCES
+    assert "injected at modelcache.write" in str(caught.value)
+
+
+def test_counter_window_fires_exactly_the_configured_calls():
+    rule = FaultRule(point="queue.shard.execute", after=1, times=2)
+    with injected(_plan(rule)):
+        point("queue.shard.execute")  # call 0: before the window
+        with pytest.raises(OSError):
+            point("queue.shard.execute")  # call 1
+        with pytest.raises(OSError):
+            point("queue.shard.execute")  # call 2
+        point("queue.shard.execute")  # call 3: window exhausted
+        assert fired_counts() == {"queue.shard.execute": 2}
+
+
+def test_first_matching_rule_owns_the_point():
+    plan = _plan(
+        FaultRule(point="diskcache.*", after=5),  # never reaches call 5
+        FaultRule(point="diskcache.shard.read", after=0),  # shadowed
+    )
+    with injected(plan):
+        for _ in range(3):
+            point("diskcache.shard.read")
+        assert fired_counts() == {}
+
+
+def test_activation_resets_counters():
+    rule = FaultRule(point="modelcache.read", after=0, times=1)
+    with injected(_plan(rule)):
+        with pytest.raises(OSError):
+            point("modelcache.read")
+        point("modelcache.read")  # window spent
+    with injected(_plan(rule)):  # re-armed: counters start over
+        with pytest.raises(OSError):
+            point("modelcache.read")
+
+
+def test_sleep_action_uses_the_injectable_hook():
+    recorded = []
+    set_sleep(recorded.append)
+    rule = FaultRule(point="serve.handler.execute", action="sleep", seconds=2.5)
+    with injected(_plan(rule)):
+        point("serve.handler.execute")
+    assert recorded == [2.5]
+
+
+def test_truncate_action_tears_the_sites_file(tmp_path):
+    path = tmp_path / "artifact.json"
+    path.write_bytes(b"x" * 100)
+    rule = FaultRule(point="queue.done.publish", action="truncate", keep_bytes=7)
+    with injected(_plan(rule)):
+        point("queue.done.publish", path=path)
+    assert path.read_bytes() == b"x" * 7
+
+    # Default tears to half; a missing file is silently ignored.
+    path.write_bytes(b"y" * 10)
+    with injected(_plan(FaultRule(point="queue.done.publish", action="truncate"))):
+        point("queue.done.publish", path=path)
+        point("queue.done.publish", path=tmp_path / "missing.bin")
+    assert path.read_bytes() == b"y" * 5
+
+
+def test_env_arming_and_re_arming(monkeypatch):
+    plan = _plan(FaultRule(point="modelcache.read"))
+    monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+    assert active_plan() == plan
+    with pytest.raises(OSError):
+        point("modelcache.read")
+
+    # Changing the env text re-arms (fresh counters, new rules).
+    other = _plan(FaultRule(point="modelcache.write"))
+    monkeypatch.setenv(FAULTS_ENV, other.to_json())
+    point("modelcache.read")  # no longer covered
+    with pytest.raises(OSError):
+        point("modelcache.write")
+
+    monkeypatch.delenv(FAULTS_ENV)
+    point("modelcache.write")
+    assert active_plan() is None
+
+
+def test_env_accepts_a_plan_file(monkeypatch, tmp_path):
+    plan = _plan(FaultRule(point="diskcache.flush.write"))
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    monkeypatch.setenv(FAULTS_ENV, str(path))
+    assert active_plan() == plan
+
+
+def test_explicit_activation_wins_over_env(monkeypatch):
+    env_plan = _plan(FaultRule(point="modelcache.read"))
+    monkeypatch.setenv(FAULTS_ENV, env_plan.to_json())
+    explicit = _plan(FaultRule(point="modelcache.write"))
+    activate(explicit)
+    assert active_plan() == explicit
+    point("modelcache.read")  # env rule is not consulted
+    deactivate()
+    assert active_plan() == env_plan  # env plan resurfaces
+
+
+def test_activate_export_publishes_to_the_environment(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    plan = _plan(FaultRule(point="queue.lease.claim"))
+    activate(plan, export=True)
+    assert json.loads(os.environ[FAULTS_ENV]) == plan.to_dict()
+    # activate() set the variable directly, so remove it directly --
+    # monkeypatch.delenv would record the exported JSON and restore it on
+    # teardown, re-arming the plan for whatever test runs next.
+    del os.environ[FAULTS_ENV]

@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.faults.plan`: rule validation and JSON round-trips."""
+
+import pytest
+
+from repro.faults import ACTIONS, FAULT_POINTS, FaultPlan, FaultRule
+
+
+# ------------------------------------------------------------------ validation
+
+
+def test_every_registered_point_builds_a_rule():
+    for name in FAULT_POINTS:
+        assert FaultRule(point=name).matches(name)
+
+
+def test_unregistered_point_is_rejected():
+    with pytest.raises(ValueError, match="matches no registered point"):
+        FaultRule(point="diskcache.bogus")
+
+
+def test_pattern_must_match_at_least_one_point():
+    rule = FaultRule(point="diskcache.*")
+    assert rule.matches("diskcache.shard.read")
+    assert rule.matches("diskcache.flush.replace")
+    assert not rule.matches("modelcache.read")
+    with pytest.raises(ValueError, match="matches no registered point"):
+        FaultRule(point="nosuch.*")
+
+
+def test_unknown_action_is_rejected():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        FaultRule(point="modelcache.read", action="explode")
+    assert "error" in ACTIONS and "crash" in ACTIONS
+
+
+def test_unknown_errno_symbol_is_rejected():
+    with pytest.raises(ValueError, match="unknown errno symbol"):
+        FaultRule(point="modelcache.read", error="ENOSUCHERR")
+
+
+def test_window_fields_are_validated():
+    with pytest.raises(ValueError, match="after must be >= 0"):
+        FaultRule(point="modelcache.read", after=-1)
+    with pytest.raises(ValueError, match="times must be >= 1"):
+        FaultRule(point="modelcache.read", times=0)
+    with pytest.raises(ValueError, match="seconds must be >= 0"):
+        FaultRule(point="modelcache.read", action="sleep", seconds=-0.5)
+
+
+def test_trigger_window_semantics():
+    rule = FaultRule(point="modelcache.read", after=2, times=2)
+    assert [rule.triggers(seen) for seen in range(6)] == [
+        False, False, True, True, False, False,
+    ]
+    forever = FaultRule(point="modelcache.read", after=1, times=None)
+    assert not forever.triggers(0)
+    assert all(forever.triggers(seen) for seen in range(1, 10))
+
+
+# ----------------------------------------------------------------- round-trips
+
+
+def test_plan_round_trips_through_json():
+    plan = FaultPlan(
+        rules=(
+            FaultRule(point="diskcache.flush.replace", error="ENOSPC"),
+            FaultRule(point="queue.*", action="crash", after=3),
+            FaultRule(
+                point="modelcache.write", action="truncate", keep_bytes=16
+            ),
+            FaultRule(point="serve.handler.execute", action="sleep", seconds=0.25),
+        )
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_rule_from_dict_rejects_unknown_keys_and_missing_point():
+    with pytest.raises(ValueError, match="unknown fault rule key"):
+        FaultRule.from_dict({"point": "modelcache.read", "bogus": 1})
+    with pytest.raises(ValueError, match="missing the required 'point'"):
+        FaultRule.from_dict({"action": "error"})
+
+
+def test_plan_rejects_wrong_schema_and_shapes():
+    with pytest.raises(ValueError, match="unsupported fault plan schema"):
+        FaultPlan.from_dict({"schema": 99, "rules": []})
+    with pytest.raises(ValueError, match="'rules' must be a list"):
+        FaultPlan.from_dict({"rules": {}})
+    with pytest.raises(ValueError, match="not valid JSON"):
+        FaultPlan.from_json("{nope")
+
+
+def test_load_accepts_inline_json_and_files(tmp_path):
+    inline = '{"rules": [{"point": "queue.done.publish", "action": "crash"}]}'
+    plan = FaultPlan.load(inline)
+    assert plan.rules[0].action == "crash"
+
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    assert FaultPlan.load(str(path)) == plan
+
+    with pytest.raises(ValueError, match="neither inline JSON nor a readable"):
+        FaultPlan.load(str(tmp_path / "missing.json"))

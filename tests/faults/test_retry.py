@@ -1,0 +1,69 @@
+"""Tests for :mod:`repro.faults.retry`: deterministic backoff and fatal errnos."""
+
+import errno
+
+import pytest
+
+from repro.faults import FATAL_ERRNOS, is_fatal_io, with_retries
+
+
+class _Flaky:
+    """Raises the scripted errors, then returns its payload."""
+
+    def __init__(self, errors, payload="ok"):
+        self.errors = list(errors)
+        self.payload = payload
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return self.payload
+
+
+def test_transient_errors_retry_with_deterministic_backoff():
+    delays = []
+    flaky = _Flaky([OSError(errno.EIO, "io"), OSError(errno.EIO, "io")])
+    assert with_retries(flaky, sleep=delays.append) == "ok"
+    assert flaky.calls == 3
+    assert delays == [0.01, 0.02]
+
+
+def test_attempt_budget_exhaustion_raises_the_last_error():
+    delays = []
+    flaky = _Flaky([OSError(errno.EIO, str(n)) for n in range(5)])
+    with pytest.raises(OSError, match="2"):
+        with_retries(flaky, attempts=3, sleep=delays.append)
+    assert flaky.calls == 3
+    assert delays == [0.01, 0.02]
+
+
+@pytest.mark.parametrize("code", sorted(FATAL_ERRNOS))
+def test_fatal_errnos_fail_fast(code):
+    delays = []
+    flaky = _Flaky([OSError(code, "fatal")])
+    with pytest.raises(OSError) as caught:
+        with_retries(flaky, sleep=delays.append)
+    assert caught.value.errno == code
+    assert flaky.calls == 1
+    assert delays == []
+
+
+def test_non_oserror_exceptions_are_never_retried():
+    flaky = _Flaky([ValueError("logic bug")])
+    with pytest.raises(ValueError):
+        with_retries(flaky, sleep=lambda _: None)
+    assert flaky.calls == 1
+
+
+def test_attempts_must_be_positive():
+    with pytest.raises(ValueError, match="attempts must be >= 1"):
+        with_retries(lambda: None, attempts=0)
+
+
+def test_is_fatal_io_classification():
+    assert is_fatal_io(OSError(errno.ENOSPC, "full"))
+    assert is_fatal_io(PermissionError(errno.EACCES, "denied"))
+    assert not is_fatal_io(OSError(errno.EIO, "transient"))
+    assert not is_fatal_io(ValueError("not I/O at all"))

@@ -1,0 +1,116 @@
+"""Backpressure and fault degradation for ``repro serve``.
+
+Overload answers 503 with a ``Retry-After`` header, slow handlers answer
+504 after the configured timeout, and injected handler faults surface as
+structured 500s -- never hangs, never stack traces in the body.  All three
+leave their mark in the ``/metrics`` degradation section.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, deactivate, injected
+from repro.faults.inject import set_sleep
+
+
+@pytest.fixture(autouse=True)
+def fault_isolation():
+    deactivate()
+    yield
+    deactivate()
+    set_sleep(time.sleep)
+
+
+def _post_raw(url, path, body, timeout=120.0):
+    """(status, JSON body, headers) -- unlike ServeClient, keeps headers."""
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode()), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode()), dict(error.headers)
+
+
+def test_metrics_expose_degradation_counters(client):
+    status, payload = client.get("/metrics")
+    assert status == 200
+    assert payload["degradation"] == {
+        "requests_rejected_overload": 0,
+        "requests_timed_out": 0,
+    }
+
+
+def test_overload_answers_503_with_retry_after(
+    serve_factory, make_client, blocking_experiment
+):
+    server = serve_factory(max_inflight=1, retry_after=7.0)
+    client = make_client(server)
+    outcome = {}
+
+    def occupy():
+        outcome["held"] = client.post(
+            "/v1/run", {"experiments": [blocking_experiment.name]}
+        )
+
+    holder = threading.Thread(target=occupy, daemon=True)
+    holder.start()
+    assert blocking_experiment.started.wait(timeout=30)
+
+    # A *different* request body, so coalescing cannot absorb it: it must
+    # be turned away at the in-flight limit.
+    status, payload, headers = _post_raw(
+        server.url, "/v1/run", {"experiments": ["fig16"]}
+    )
+    assert status == 503
+    assert payload["error"]["code"] == "overloaded"
+    assert headers["Retry-After"] == "7"
+
+    blocking_experiment.gate.set()
+    holder.join(timeout=60)
+    assert outcome["held"][0] == 200  # the in-flight request was unharmed
+
+    snapshot = client.wait_metrics(
+        lambda m: m["degradation"]["requests_rejected_overload"] >= 1
+    )
+    assert snapshot["degradation"]["requests_rejected_overload"] == 1
+
+
+def test_slow_handler_answers_504_within_the_timeout(serve_factory, make_client):
+    server = serve_factory(request_timeout=0.1)
+    client = make_client(server)
+    rule = FaultRule(point="serve.handler.execute", action="sleep", seconds=1.0)
+    with injected(FaultPlan(rules=(rule,))):
+        status, payload = client.post("/v1/run", {"experiments": ["fig16"]})
+    assert status == 504
+    assert payload["error"]["code"] == "request_timeout"
+    assert "Traceback" not in json.dumps(payload)
+    client.wait_metrics(lambda m: m["degradation"]["requests_timed_out"] >= 1)
+
+
+def test_injected_handler_fault_is_a_structured_500(serve_factory, make_client):
+    server = serve_factory()
+    client = make_client(server)
+    rule = FaultRule(point="serve.handler.execute", error="EIO", times=1)
+    with injected(FaultPlan(rules=(rule,))):
+        status, payload = client.post("/v1/run", {"experiments": ["fig16"]})
+        assert status == 500
+        assert payload["error"]["code"] == "internal"
+        assert "Traceback" not in json.dumps(payload)
+
+        # The failure was not cached and the server is still healthy: the
+        # identical retry executes fresh and succeeds.
+        status, payload = client.post("/v1/run", {"experiments": ["fig16"]})
+    assert status == 200
+    assert payload["experiments"] == ["fig16"]

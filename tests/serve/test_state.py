@@ -147,5 +147,8 @@ def test_caches_disabled_when_use_cache_false():
         "hits": 0,
         "misses": 0,
         "hit_rate": 0.0,
+        "corrupt_artifacts": 0,
+        "write_errors": 0,
+        "read_only": False,
     }
     state.flush()  # no-op without a disk cache
